@@ -1,0 +1,209 @@
+//! Array aggregates: built-in functions reducing an array to a scalar
+//! or reducing one dimension (thesis §4.1.3, §4.1.5).
+
+use crate::data::ArrayData;
+use crate::dtype::Num;
+use crate::error::{ArrayError, Result};
+use crate::num_array::NumArray;
+
+/// A whole-array or per-dimension aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateOp {
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Prod,
+    Count,
+}
+
+impl AggregateOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateOp::Sum => "array_sum",
+            AggregateOp::Avg => "array_avg",
+            AggregateOp::Min => "array_min",
+            AggregateOp::Max => "array_max",
+            AggregateOp::Prod => "array_prod",
+            AggregateOp::Count => "array_count",
+        }
+    }
+}
+
+impl NumArray {
+    /// Aggregate all elements into a scalar. Empty arrays yield an error
+    /// for min/max and identity values for sum/prod/count.
+    pub fn aggregate(&self, op: AggregateOp) -> Result<Num> {
+        let n = self.element_count();
+        match op {
+            AggregateOp::Count => return Ok(Num::Int(n as i64)),
+            AggregateOp::Sum if n == 0 => return Ok(Num::Int(0)),
+            AggregateOp::Prod if n == 0 => return Ok(Num::Int(1)),
+            AggregateOp::Avg | AggregateOp::Min | AggregateOp::Max if n == 0 => {
+                return Err(ArrayError::InvalidSlice(
+                    "aggregate over empty array".into(),
+                ))
+            }
+            _ => {}
+        }
+        let mut acc: Option<Num> = None;
+        let mut err: Option<ArrayError> = None;
+        self.for_each(|x| {
+            if err.is_some() {
+                return;
+            }
+            acc = Some(match acc {
+                None => x,
+                Some(a) => {
+                    let r = match op {
+                        AggregateOp::Sum | AggregateOp::Avg => a.checked_add(x),
+                        AggregateOp::Prod => a.checked_mul(x),
+                        AggregateOp::Min => Ok(a.min(x)),
+                        AggregateOp::Max => Ok(a.max(x)),
+                        AggregateOp::Count => unreachable!("handled above"),
+                    };
+                    match r {
+                        Ok(v) => v,
+                        Err(e) => {
+                            err = Some(e);
+                            a
+                        }
+                    }
+                }
+            });
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let total = acc.expect("non-empty checked above");
+        Ok(match op {
+            AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
+            _ => total,
+        })
+    }
+
+    pub fn sum(&self) -> Result<Num> {
+        self.aggregate(AggregateOp::Sum)
+    }
+
+    pub fn avg(&self) -> Result<Num> {
+        self.aggregate(AggregateOp::Avg)
+    }
+
+    pub fn min_value(&self) -> Result<Num> {
+        self.aggregate(AggregateOp::Min)
+    }
+
+    pub fn max_value(&self) -> Result<Num> {
+        self.aggregate(AggregateOp::Max)
+    }
+
+    /// Reduce one dimension with an aggregate, producing an array of rank
+    /// `ndims-1` (e.g. per-row sums of a matrix).
+    pub fn aggregate_dim(&self, op: AggregateOp, dim: usize) -> Result<NumArray> {
+        let size = self.dim_size(dim)?;
+        let mut out_shape = self.shape();
+        out_shape.remove(dim);
+        let count: usize = out_shape.iter().product();
+        let mut values = Vec::with_capacity(count);
+        // Iterate the reduced shape; for each output cell aggregate the
+        // vector along `dim` as a rank-1 view.
+        let mut ix = vec![0usize; out_shape.len()];
+        for _ in 0..count.max(1) {
+            if count == 0 {
+                break;
+            }
+            // Fix every dimension except `dim`, highest source dimension
+            // first so removals don't shift the remaining positions.
+            let mut lane = self.clone();
+            for d in (0..out_shape.len()).rev() {
+                let src_dim = if d >= dim { d + 1 } else { d };
+                lane = lane.subscript(src_dim, ix[d])?;
+            }
+            debug_assert_eq!(lane.ndims(), 1);
+            debug_assert_eq!(lane.element_count(), size);
+            values.push(lane.aggregate(op)?);
+            for d in (0..out_shape.len()).rev() {
+                ix[d] += 1;
+                if ix[d] < out_shape[d] {
+                    break;
+                }
+                ix[d] = 0;
+            }
+        }
+        NumArray::from_data(ArrayData::from_nums(&values), &out_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_array_aggregates() {
+        let a = NumArray::from_i64(vec![3, 1, 4, 1, 5]);
+        assert_eq!(a.sum().unwrap(), Num::Int(14));
+        assert_eq!(a.avg().unwrap(), Num::Real(2.8));
+        assert_eq!(a.min_value().unwrap(), Num::Int(1));
+        assert_eq!(a.max_value().unwrap(), Num::Int(5));
+        assert_eq!(a.aggregate(AggregateOp::Prod).unwrap(), Num::Int(60));
+        assert_eq!(a.aggregate(AggregateOp::Count).unwrap(), Num::Int(5));
+    }
+
+    #[test]
+    fn aggregates_respect_views() {
+        let m = NumArray::from_i64_shaped((0..12).collect(), &[3, 4]).unwrap();
+        let row1 = m.subscript(0, 1).unwrap(); // 4,5,6,7
+        assert_eq!(row1.sum().unwrap(), Num::Int(22));
+        let col2 = m.subscript(1, 2).unwrap(); // 2,6,10
+        assert_eq!(col2.avg().unwrap(), Num::Real(6.0));
+    }
+
+    #[test]
+    fn empty_array_aggregates() {
+        let a = NumArray::from_i64(vec![]);
+        assert_eq!(a.sum().unwrap(), Num::Int(0));
+        assert_eq!(a.aggregate(AggregateOp::Count).unwrap(), Num::Int(0));
+        assert!(a.avg().is_err());
+        assert!(a.min_value().is_err());
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let a = NumArray::from_i64(vec![i64::MAX, 1]);
+        assert!(a.sum().is_err());
+    }
+
+    #[test]
+    fn real_aggregates() {
+        let a = NumArray::from_f64(vec![0.5, 1.5]);
+        assert_eq!(a.sum().unwrap(), Num::Real(2.0));
+        assert_eq!(a.avg().unwrap(), Num::Real(1.0));
+    }
+
+    #[test]
+    fn aggregate_dim_rows_and_cols() {
+        let m = NumArray::from_i64_shaped((0..6).collect(), &[2, 3]).unwrap();
+        // Sum over columns (dim 1) -> per-row sums.
+        let rows = m.aggregate_dim(AggregateOp::Sum, 1).unwrap();
+        assert_eq!(rows.elements(), vec![Num::Int(3), Num::Int(12)]);
+        // Sum over rows (dim 0) -> per-column sums.
+        let cols = m.aggregate_dim(AggregateOp::Sum, 0).unwrap();
+        assert_eq!(cols.elements(), vec![Num::Int(3), Num::Int(5), Num::Int(7)]);
+    }
+
+    #[test]
+    fn aggregate_dim_3d() {
+        let c = NumArray::from_i64_shaped((0..24).collect(), &[2, 3, 4]).unwrap();
+        let r = c.aggregate_dim(AggregateOp::Max, 2).unwrap();
+        assert_eq!(r.shape(), vec![2, 3]);
+        assert_eq!(r.get(&[0, 0]).unwrap(), Num::Int(3));
+        assert_eq!(r.get(&[1, 2]).unwrap(), Num::Int(23));
+    }
+
+    #[test]
+    fn aggregate_dim_bad_dim() {
+        let a = NumArray::from_i64(vec![1, 2]);
+        assert!(a.aggregate_dim(AggregateOp::Sum, 1).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for array operations.
+
+use std::fmt;
+
+/// Errors raised by array construction, transformation and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// A subscript was outside the bounds of its dimension.
+    IndexOutOfBounds { dim: usize, index: i64, size: usize },
+    /// The number of subscripts did not match the array dimensionality.
+    DimensionMismatch { expected: usize, got: usize },
+    /// Two arrays combined element-wise had different shapes.
+    ShapeMismatch { left: Vec<usize>, right: Vec<usize> },
+    /// A slice specification was invalid (zero stride, inverted bounds, ...).
+    InvalidSlice(String),
+    /// The flat data length did not match the product of the shape.
+    ShapeDataMismatch { shape_len: usize, data_len: usize },
+    /// Nested-collection input was ragged (rows of differing lengths).
+    RaggedNesting,
+    /// Integer arithmetic overflowed.
+    ArithmeticOverflow,
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A serialized array payload was malformed.
+    Corrupt(String),
+}
+
+pub type Result<T> = std::result::Result<T, ArrayError>;
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::IndexOutOfBounds { dim, index, size } => write!(
+                f,
+                "subscript {index} out of bounds for dimension {dim} of size {size}"
+            ),
+            ArrayError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} subscripts, got {got}")
+            }
+            ArrayError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            ArrayError::InvalidSlice(msg) => write!(f, "invalid slice: {msg}"),
+            ArrayError::ShapeDataMismatch {
+                shape_len,
+                data_len,
+            } => write!(
+                f,
+                "shape implies {shape_len} elements but {data_len} were supplied"
+            ),
+            ArrayError::RaggedNesting => {
+                write!(f, "nested collection is ragged; cannot form an array")
+            }
+            ArrayError::ArithmeticOverflow => write!(f, "integer arithmetic overflow"),
+            ArrayError::DivisionByZero => write!(f, "integer division by zero"),
+            ArrayError::Corrupt(msg) => write!(f, "corrupt array payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}

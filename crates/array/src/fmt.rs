@@ -1,0 +1,89 @@
+//! Display formatting for arrays.
+//!
+//! Arrays print in the nested-collection notation SciSPARQL and Turtle
+//! use for them: `(1 2 3)` for vectors, `((1 2) (3 4))` for matrices.
+//! Large arrays are elided with `...` to keep query output readable.
+
+use std::fmt;
+
+use crate::num_array::NumArray;
+
+/// Maximum elements printed per dimension before eliding.
+const MAX_PER_DIM: usize = 16;
+
+impl fmt::Display for NumArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ndims() == 0 {
+            return match self.scalar_value() {
+                Some(v) => write!(f, "{v}"),
+                None => write!(f, "()"),
+            };
+        }
+        fmt_level(self, &mut Vec::new(), f)
+    }
+}
+
+fn fmt_level(a: &NumArray, prefix: &mut Vec<usize>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let depth = prefix.len();
+    let size = a.shape()[depth];
+    let last = depth + 1 == a.ndims();
+    write!(f, "(")?;
+    for i in 0..size.min(MAX_PER_DIM) {
+        if i > 0 {
+            write!(f, " ")?;
+        }
+        prefix.push(i);
+        if last {
+            let mut full = prefix.clone();
+            full.truncate(a.ndims());
+            match a.get(&full) {
+                Ok(v) => write!(f, "{v}")?,
+                Err(_) => write!(f, "?")?,
+            }
+        } else {
+            fmt_level(a, prefix, f)?;
+        }
+        prefix.pop();
+    }
+    if size > MAX_PER_DIM {
+        write!(f, " ...")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::num_array::NumArray;
+
+    #[test]
+    fn vector_display() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        assert_eq!(a.to_string(), "(1 2 3)");
+    }
+
+    #[test]
+    fn matrix_display() {
+        let a = NumArray::from_i64_shaped(vec![1, 2, 3, 4], &[2, 2]).unwrap();
+        assert_eq!(a.to_string(), "((1 2) (3 4))");
+    }
+
+    #[test]
+    fn real_display_keeps_marker() {
+        let a = NumArray::from_f64(vec![1.0, 2.5]);
+        assert_eq!(a.to_string(), "(1.0 2.5)");
+    }
+
+    #[test]
+    fn large_vector_elided() {
+        let a = NumArray::from_i64((0..100).collect());
+        let s = a.to_string();
+        assert!(s.ends_with("...)"));
+        assert!(s.len() < 100);
+    }
+
+    #[test]
+    fn view_display_follows_logical_order() {
+        let m = NumArray::from_i64_shaped((0..6).collect(), &[2, 3]).unwrap();
+        assert_eq!(m.transpose().to_string(), "((0 3) (1 4) (2 5))");
+    }
+}

@@ -1,0 +1,176 @@
+//! Linear-address run detection over array views.
+//!
+//! When a view's logical traversal visits ascending, evenly spaced linear
+//! addresses, external storage can fetch it with few range reads instead
+//! of per-element lookups. [`LinearRuns`] compresses a view's address
+//! stream into maximal arithmetic runs — the in-memory counterpart of the
+//! Sequence Pattern Detector the storage layer applies to bags of array
+//! proxies (thesis §6.2.5).
+
+use crate::view::ArrayView;
+
+/// A maximal arithmetic run of linear addresses:
+/// `start, start+step, ..., start+(len-1)*step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    pub start: usize,
+    pub step: usize,
+    pub len: usize,
+}
+
+impl Run {
+    /// Last address of the run.
+    pub fn end(&self) -> usize {
+        self.start + self.step * (self.len.saturating_sub(1))
+    }
+
+    /// Smallest half-open byte-free address interval covering the run.
+    pub fn covering_range(&self) -> (usize, usize) {
+        (self.start, self.end() + 1)
+    }
+}
+
+/// Compress the logical address stream of a view into maximal
+/// constant-step ascending runs.
+#[derive(Debug)]
+pub struct LinearRuns {
+    runs: Vec<Run>,
+}
+
+impl LinearRuns {
+    pub fn of_view(view: &ArrayView) -> Self {
+        let mut runs: Vec<Run> = Vec::new();
+        let mut cur: Option<(usize, usize, usize, usize)> = None; // (start, step, len, last)
+        view.for_each_address(|a| {
+            cur = match cur.take() {
+                None => Some((a, 0, 1, a)),
+                Some((start, step, len, last)) => {
+                    if len == 1 && a > last {
+                        Some((start, a - last, 2, a))
+                    } else if a > last && a - last == step {
+                        Some((start, step, len + 1, a))
+                    } else {
+                        runs.push(Run { start, step, len });
+                        Some((a, 0, 1, a))
+                    }
+                }
+            };
+        });
+        if let Some((start, step, len, _)) = cur {
+            runs.push(Run { start, step, len });
+        }
+        LinearRuns { runs }
+    }
+
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Total number of addresses covered.
+    pub fn address_count(&self) -> usize {
+        self.runs.iter().map(|r| r.len).sum()
+    }
+
+    /// Fraction of fetched addresses that are actually needed if each run
+    /// is read as one dense range (1.0 = perfectly dense access).
+    pub fn density(&self) -> f64 {
+        let needed: usize = self.address_count();
+        let fetched: usize = self
+            .runs
+            .iter()
+            .map(|r| {
+                let (lo, hi) = r.covering_range();
+                hi - lo
+            })
+            .sum();
+        if fetched == 0 {
+            1.0
+        } else {
+            needed as f64 / fetched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_view_is_one_run() {
+        let v = ArrayView::contiguous(&[3, 4]);
+        let r = LinearRuns::of_view(&v);
+        assert_eq!(
+            r.runs(),
+            &[Run {
+                start: 0,
+                step: 1,
+                len: 12
+            }]
+        );
+        assert_eq!(r.density(), 1.0);
+    }
+
+    #[test]
+    fn column_view_is_strided_run() {
+        let v = ArrayView::contiguous(&[3, 4]).subscript(1, 2).unwrap();
+        let r = LinearRuns::of_view(&v);
+        assert_eq!(
+            r.runs(),
+            &[Run {
+                start: 2,
+                step: 4,
+                len: 3
+            }]
+        );
+        assert!(r.density() < 1.0);
+    }
+
+    #[test]
+    fn row_slice_of_matrix_makes_runs_per_row() {
+        // rows 0..2, cols 1..=2 of a 3x4 matrix: addresses 1,2,5,6,9,10
+        let v = ArrayView::contiguous(&[3, 4]).slice(1, 1, 1, 2).unwrap();
+        let r = LinearRuns::of_view(&v);
+        // The stream 1,2,5,6,9,10 compresses to 3 runs of step 1... or
+        // the detector may keep (2,5) as a step-3 continuation attempt;
+        // verify total coverage instead of exact segmentation.
+        assert_eq!(r.address_count(), 6);
+        let mut all: Vec<usize> = Vec::new();
+        for run in r.runs() {
+            for k in 0..run.len {
+                all.push(run.start + k * run.step);
+            }
+        }
+        assert_eq!(all, vec![1, 2, 5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn transposed_view_descending_addresses_split() {
+        let v = ArrayView::contiguous(&[2, 2]).transpose();
+        // logical order addresses: 0, 2, 1, 3 — the descent 2->1 must split.
+        let r = LinearRuns::of_view(&v);
+        assert_eq!(r.address_count(), 4);
+        assert!(r.runs().len() >= 2);
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = ArrayView::contiguous(&[0]);
+        let r = LinearRuns::of_view(&v);
+        assert!(r.runs().is_empty());
+        assert_eq!(r.density(), 1.0);
+    }
+
+    #[test]
+    fn scalar_view_single_run() {
+        let v = ArrayView::scalar_at(5);
+        let r = LinearRuns::of_view(&v);
+        assert_eq!(
+            r.runs(),
+            &[Run {
+                start: 5,
+                step: 0,
+                len: 1
+            }]
+        );
+    }
+}

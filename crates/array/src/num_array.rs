@@ -1,0 +1,568 @@
+//! The resident numeric multidimensional array type.
+
+use std::sync::Arc;
+
+use crate::data::ArrayData;
+use crate::dtype::{Num, NumericType};
+use crate::error::{ArrayError, Result};
+use crate::view::ArrayView;
+
+/// A numeric multidimensional array value: shared immutable element
+/// storage plus a logical view. Cloning is O(1); all transformations
+/// return new descriptors over the same buffer.
+#[derive(Debug, Clone)]
+pub struct NumArray {
+    data: Arc<ArrayData>,
+    view: ArrayView,
+}
+
+impl NumArray {
+    // ---------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------
+
+    /// Build from a flat row-major buffer and a shape.
+    pub fn from_data(data: ArrayData, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(ArrayError::ShapeDataMismatch {
+                shape_len: expected,
+                data_len: data.len(),
+            });
+        }
+        Ok(NumArray {
+            data: Arc::new(data),
+            view: ArrayView::contiguous(shape),
+        })
+    }
+
+    /// A vector (1-D array) of integers.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        let n = values.len();
+        NumArray::from_data(ArrayData::from_i64(values), &[n])
+            .expect("shape matches by construction")
+    }
+
+    /// A vector (1-D array) of reals.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        let n = values.len();
+        NumArray::from_data(ArrayData::from_f64(values), &[n])
+            .expect("shape matches by construction")
+    }
+
+    /// Reshape a flat integer buffer.
+    pub fn from_i64_shaped(values: Vec<i64>, shape: &[usize]) -> Result<Self> {
+        NumArray::from_data(ArrayData::from_i64(values), shape)
+    }
+
+    /// Reshape a flat real buffer.
+    pub fn from_f64_shaped(values: Vec<f64>, shape: &[usize]) -> Result<Self> {
+        NumArray::from_data(ArrayData::from_f64(values), shape)
+    }
+
+    /// A zero-filled array.
+    pub fn zeros(ty: NumericType, shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        NumArray::from_data(ArrayData::zeros(ty, len), shape)
+            .expect("shape matches by construction")
+    }
+
+    /// Build an array by evaluating `f` at every subscript tuple in
+    /// row-major order (the `ARRAY_BUILD` second-order primitive).
+    pub fn from_shape_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> Num) -> Self {
+        let count: usize = shape.iter().product();
+        let mut values = Vec::with_capacity(count);
+        let mut ix = vec![0usize; shape.len()];
+        for _ in 0..count {
+            values.push(f(&ix));
+            for d in (0..shape.len()).rev() {
+                ix[d] += 1;
+                if ix[d] < shape[d] {
+                    break;
+                }
+                ix[d] = 0;
+            }
+        }
+        NumArray::from_data(ArrayData::from_nums(&values), shape)
+            .expect("shape matches by construction")
+    }
+
+    /// Build a (possibly multidimensional) array from nested rows of
+    /// values, e.g. `[[1,2],[3,4]]` from an RDF collection `((1 2)(3 4))`.
+    /// Errors on ragged nesting.
+    pub fn from_nested(nested: &Nested) -> Result<Self> {
+        let mut shape = Vec::new();
+        infer_shape(nested, &mut shape, 0)?;
+        let mut values = Vec::new();
+        flatten(nested, &mut values);
+        NumArray::from_data(ArrayData::from_nums(&values), &shape)
+    }
+
+    /// Assemble from shared parts (used when a storage back-end has
+    /// materialized a buffer for an existing logical view).
+    pub fn from_parts(data: Arc<ArrayData>, view: ArrayView) -> Self {
+        NumArray { data, view }
+    }
+
+    // ---------------------------------------------------------------
+    // Introspection
+    // ---------------------------------------------------------------
+
+    pub fn numeric_type(&self) -> NumericType {
+        self.data.numeric_type()
+    }
+
+    pub fn view(&self) -> &ArrayView {
+        &self.view
+    }
+
+    pub fn data(&self) -> &Arc<ArrayData> {
+        &self.data
+    }
+
+    pub fn shape(&self) -> Vec<usize> {
+        self.view.shape()
+    }
+
+    pub fn ndims(&self) -> usize {
+        self.view.ndims()
+    }
+
+    /// Extent of one dimension (0-based dimension index).
+    pub fn dim_size(&self, dim: usize) -> Result<usize> {
+        self.view
+            .dims()
+            .get(dim)
+            .map(|d| d.size)
+            .ok_or(ArrayError::DimensionMismatch {
+                expected: self.ndims(),
+                got: dim + 1,
+            })
+    }
+
+    /// Total number of logical elements.
+    pub fn element_count(&self) -> usize {
+        self.view.element_count()
+    }
+
+    /// True when the array is a single element (rank 0, or all dims 1).
+    pub fn is_scalar(&self) -> bool {
+        self.element_count() == 1
+    }
+
+    // ---------------------------------------------------------------
+    // Element access
+    // ---------------------------------------------------------------
+
+    /// Element at 0-based subscripts.
+    pub fn get(&self, ix: &[usize]) -> Result<Num> {
+        Ok(self.data.get_linear(self.view.address(ix)?))
+    }
+
+    /// Element at SciSPARQL 1-based subscripts (thesis §4.1.1: array
+    /// subscripts in queries are 1-based).
+    pub fn get1(&self, ix: &[i64]) -> Result<Num> {
+        let mut zero_based = Vec::with_capacity(ix.len());
+        for (dim, &i) in ix.iter().enumerate() {
+            if i < 1 {
+                return Err(ArrayError::IndexOutOfBounds {
+                    dim,
+                    index: i,
+                    size: self.dim_size(dim).unwrap_or(0),
+                });
+            }
+            zero_based.push((i - 1) as usize);
+        }
+        self.get(&zero_based)
+    }
+
+    /// The single element of a scalar array.
+    pub fn scalar_value(&self) -> Option<Num> {
+        if self.is_scalar() {
+            let addr = self.view.addresses();
+            Some(self.data.get_linear(addr[0]))
+        } else {
+            None
+        }
+    }
+
+    /// All elements in logical row-major order.
+    pub fn elements(&self) -> Vec<Num> {
+        let mut out = Vec::with_capacity(self.element_count());
+        self.view
+            .for_each_address(|a| out.push(self.data.get_linear(a)));
+        out
+    }
+
+    /// Visit every element in logical order.
+    pub fn for_each(&self, mut f: impl FnMut(Num)) {
+        self.view.for_each_address(|a| f(self.data.get_linear(a)));
+    }
+
+    // ---------------------------------------------------------------
+    // Transformations (O(1), no copying)
+    // ---------------------------------------------------------------
+
+    /// Fix dimension `dim` at 0-based `index`, reducing rank.
+    pub fn subscript(&self, dim: usize, index: usize) -> Result<NumArray> {
+        Ok(NumArray {
+            data: Arc::clone(&self.data),
+            view: self.view.subscript(dim, index)?,
+        })
+    }
+
+    /// Restrict dimension `dim` to the 0-based inclusive range
+    /// `lo..=hi` stepping by `stride`.
+    pub fn slice(&self, dim: usize, lo: usize, stride: usize, hi: usize) -> Result<NumArray> {
+        Ok(NumArray {
+            data: Arc::clone(&self.data),
+            view: self.view.slice(dim, lo, stride, hi)?,
+        })
+    }
+
+    /// Matrix transposition (swap the two trailing dimensions).
+    pub fn transpose(&self) -> NumArray {
+        NumArray {
+            data: Arc::clone(&self.data),
+            view: self.view.transpose(),
+        }
+    }
+
+    /// Arbitrary dimension permutation.
+    pub fn permute(&self, perm: &[usize]) -> Result<NumArray> {
+        Ok(NumArray {
+            data: Arc::clone(&self.data),
+            view: self.view.permute(perm)?,
+        })
+    }
+
+    /// Apply a full SciSPARQL subscript list, one entry per current
+    /// dimension (or fewer — trailing dimensions pass through). Single
+    /// subscripts reduce rank; ranges keep it.
+    pub fn dereference(&self, subs: &[Subscript]) -> Result<NumArray> {
+        if subs.len() > self.ndims() {
+            return Err(ArrayError::DimensionMismatch {
+                expected: self.ndims(),
+                got: subs.len(),
+            });
+        }
+        let mut out = self.clone();
+        // Process right-to-left so earlier rank reductions don't shift
+        // the dimension numbers of later entries.
+        for (dim, sub) in subs.iter().enumerate().rev() {
+            out = match *sub {
+                Subscript::Index(i) => {
+                    let size = out.dim_size(dim)?;
+                    let idx = resolve_1based(i, size, dim)?;
+                    out.subscript(dim, idx)?
+                }
+                Subscript::Range { lo, stride, hi } => {
+                    let size = out.dim_size(dim)?;
+                    let lo0 = match lo {
+                        Some(l) => resolve_1based(l, size, dim)?,
+                        None => 0,
+                    };
+                    let hi0 = match hi {
+                        Some(h) => resolve_1based(h, size, dim)?,
+                        None => size.saturating_sub(1),
+                    };
+                    if stride <= 0 {
+                        return Err(ArrayError::InvalidSlice("stride must be positive".into()));
+                    }
+                    out.slice(dim, lo0, stride as usize, hi0)?
+                }
+                Subscript::All => out,
+            };
+        }
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------
+    // Materialization and equality
+    // ---------------------------------------------------------------
+
+    /// Copy the logical elements into a fresh contiguous buffer.
+    pub fn materialize(&self) -> NumArray {
+        let shape = self.shape();
+        match self.numeric_type() {
+            NumericType::Int => {
+                let mut v = Vec::with_capacity(self.element_count());
+                self.for_each(|n| v.push(n.as_i64()));
+                NumArray::from_i64_shaped(v, &shape).expect("element count matches view")
+            }
+            NumericType::Real => {
+                let mut v = Vec::with_capacity(self.element_count());
+                self.for_each(|n| v.push(n.as_f64()));
+                NumArray::from_f64_shaped(v, &shape).expect("element count matches view")
+            }
+        }
+    }
+
+    /// Deep value equality: same shape and pairwise-equal elements
+    /// (integer 2 equals real 2.0, per SciSPARQL array equality §4.1.6).
+    pub fn array_eq(&self, other: &NumArray) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        let a = self.elements();
+        let b = other.elements();
+        a.iter().zip(&b).all(|(x, y)| x == y)
+    }
+}
+
+/// Resolve a SciSPARQL 1-based, possibly negative-from-end subscript to a
+/// 0-based index. `-1` addresses the last element.
+fn resolve_1based(i: i64, size: usize, dim: usize) -> Result<usize> {
+    let idx = if i >= 1 {
+        (i - 1) as usize
+    } else if i <= -1 {
+        let back = (-i) as usize;
+        if back > size {
+            return Err(ArrayError::IndexOutOfBounds {
+                dim,
+                index: i,
+                size,
+            });
+        }
+        size - back
+    } else {
+        return Err(ArrayError::IndexOutOfBounds {
+            dim,
+            index: 0,
+            size,
+        });
+    };
+    if idx >= size {
+        return Err(ArrayError::IndexOutOfBounds {
+            dim,
+            index: i,
+            size,
+        });
+    }
+    Ok(idx)
+}
+
+/// One entry of a SciSPARQL array dereference list (`?a[i, lo:stride:hi, :]`).
+/// Subscripts are 1-based; negative values count from the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subscript {
+    /// A single subscript: reduces rank.
+    Index(i64),
+    /// A `lo:stride:hi` range with optional bounds; keeps rank.
+    Range {
+        lo: Option<i64>,
+        stride: i64,
+        hi: Option<i64>,
+    },
+    /// `:` — the whole dimension.
+    All,
+}
+
+/// Nested numeric rows, as parsed from RDF collections.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Nested {
+    Leaf(Num),
+    Row(Vec<Nested>),
+}
+
+fn infer_shape(n: &Nested, shape: &mut Vec<usize>, depth: usize) -> Result<()> {
+    match n {
+        Nested::Leaf(_) => {
+            if shape.len() != depth {
+                return Err(ArrayError::RaggedNesting);
+            }
+            Ok(())
+        }
+        Nested::Row(rows) => {
+            if shape.len() == depth {
+                shape.push(rows.len());
+            } else if shape[depth] != rows.len() {
+                return Err(ArrayError::RaggedNesting);
+            }
+            for r in rows {
+                infer_shape(r, shape, depth + 1)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn flatten(n: &Nested, out: &mut Vec<Num>) {
+    match n {
+        Nested::Leaf(v) => out.push(*v),
+        Nested::Row(rows) => {
+            for r in rows {
+                flatten(r, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_3x4() -> NumArray {
+        NumArray::from_i64_shaped((0..12).collect(), &[3, 4]).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_shape() {
+        assert!(NumArray::from_i64_shaped(vec![1, 2, 3], &[2, 2]).is_err());
+        assert!(NumArray::from_i64_shaped(vec![1, 2, 3, 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn get_and_get1() {
+        let m = matrix_3x4();
+        assert_eq!(m.get(&[1, 2]).unwrap(), Num::Int(6));
+        assert_eq!(m.get1(&[2, 3]).unwrap(), Num::Int(6));
+        assert!(m.get1(&[0, 1]).is_err());
+        assert!(m.get1(&[4, 1]).is_err());
+    }
+
+    #[test]
+    fn subscript_then_slice_views_share_data() {
+        let m = matrix_3x4();
+        let row = m.subscript(0, 2).unwrap();
+        assert_eq!(
+            row.elements(),
+            vec![8.into(), 9.into(), 10.into(), 11.into()]
+        );
+        let part = row.slice(0, 1, 2, 3).unwrap();
+        assert_eq!(part.elements(), vec![Num::Int(9), Num::Int(11)]);
+        assert!(Arc::ptr_eq(m.data(), part.data()));
+    }
+
+    #[test]
+    fn dereference_mixed_subscripts() {
+        let m = matrix_3x4();
+        // SciSPARQL ?m[2, 2:2:4] -> row 2 (1-based), columns {2,4}.
+        let d = m
+            .dereference(&[
+                Subscript::Index(2),
+                Subscript::Range {
+                    lo: Some(2),
+                    stride: 2,
+                    hi: Some(4),
+                },
+            ])
+            .unwrap();
+        assert_eq!(d.shape(), vec![2]);
+        assert_eq!(d.elements(), vec![Num::Int(5), Num::Int(7)]);
+    }
+
+    #[test]
+    fn dereference_negative_from_end() {
+        let v = NumArray::from_i64(vec![10, 20, 30, 40]);
+        assert_eq!(
+            v.dereference(&[Subscript::Index(-1)])
+                .unwrap()
+                .scalar_value()
+                .unwrap(),
+            Num::Int(40)
+        );
+        let tail = v
+            .dereference(&[Subscript::Range {
+                lo: Some(-2),
+                stride: 1,
+                hi: None,
+            }])
+            .unwrap();
+        assert_eq!(tail.elements(), vec![Num::Int(30), Num::Int(40)]);
+    }
+
+    #[test]
+    fn dereference_partial_trailing_passthrough() {
+        let m = matrix_3x4();
+        let row = m.dereference(&[Subscript::Index(1)]).unwrap();
+        assert_eq!(row.shape(), vec![4]);
+    }
+
+    #[test]
+    fn dereference_all_keeps_dimension() {
+        let m = matrix_3x4();
+        let col = m
+            .dereference(&[Subscript::All, Subscript::Index(1)])
+            .unwrap();
+        assert_eq!(col.shape(), vec![3]);
+        assert_eq!(col.elements(), vec![Num::Int(0), Num::Int(4), Num::Int(8)]);
+    }
+
+    #[test]
+    fn materialize_compacts_strided_view() {
+        let m = matrix_3x4();
+        let col = m.subscript(1, 3).unwrap();
+        let mat = col.materialize();
+        assert!(mat.view().is_contiguous());
+        assert_eq!(mat.elements(), col.elements());
+        assert!(!Arc::ptr_eq(m.data(), mat.data()));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = matrix_3x4();
+        let t = m.transpose();
+        assert_eq!(t.shape(), vec![4, 3]);
+        assert_eq!(t.get(&[3, 0]).unwrap(), m.get(&[0, 3]).unwrap());
+        assert!(t.transpose().array_eq(&m));
+    }
+
+    #[test]
+    fn from_nested_2x2() {
+        let n = Nested::Row(vec![
+            Nested::Row(vec![Nested::Leaf(1.into()), Nested::Leaf(2.into())]),
+            Nested::Row(vec![Nested::Leaf(3.into()), Nested::Leaf(4.into())]),
+        ]);
+        let a = NumArray::from_nested(&n).unwrap();
+        assert_eq!(a.shape(), vec![2, 2]);
+        assert_eq!(a.get(&[1, 0]).unwrap(), Num::Int(3));
+    }
+
+    #[test]
+    fn from_nested_rejects_ragged() {
+        let n = Nested::Row(vec![
+            Nested::Row(vec![Nested::Leaf(1.into())]),
+            Nested::Row(vec![Nested::Leaf(2.into()), Nested::Leaf(3.into())]),
+        ]);
+        assert_eq!(
+            NumArray::from_nested(&n).unwrap_err(),
+            ArrayError::RaggedNesting
+        );
+    }
+
+    #[test]
+    fn from_nested_mixed_types_promotes() {
+        let n = Nested::Row(vec![Nested::Leaf(1.into()), Nested::Leaf(Num::Real(2.5))]);
+        let a = NumArray::from_nested(&n).unwrap();
+        assert_eq!(a.numeric_type(), NumericType::Real);
+    }
+
+    #[test]
+    fn array_eq_across_types() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let b = NumArray::from_f64(vec![1.0, 2.0, 3.0]);
+        assert!(a.array_eq(&b));
+        let c = NumArray::from_f64(vec![1.0, 2.0, 3.5]);
+        assert!(!a.array_eq(&c));
+        let d = NumArray::from_i64_shaped(vec![1, 2, 3], &[3, 1]).unwrap();
+        assert!(!a.array_eq(&d));
+    }
+
+    #[test]
+    fn from_shape_fn_row_major() {
+        let a = NumArray::from_shape_fn(&[2, 2], |ix| ((ix[0] * 10 + ix[1]) as i64).into());
+        assert_eq!(
+            a.elements(),
+            vec![Num::Int(0), Num::Int(1), Num::Int(10), Num::Int(11)]
+        );
+    }
+
+    #[test]
+    fn scalar_value() {
+        let a = NumArray::from_i64(vec![42]);
+        assert_eq!(a.scalar_value(), Some(Num::Int(42)));
+        let m = matrix_3x4();
+        assert_eq!(m.scalar_value(), None);
+    }
+}

@@ -1,0 +1,290 @@
+//! Element-wise array arithmetic and comparisons (thesis §4.1.4).
+//!
+//! SciSPARQL extends the scalar arithmetic of SPARQL to arrays:
+//! `A + B` combines same-shape arrays element-wise, `A + s` broadcasts a
+//! scalar, and comparison operators yield integer 0/1 arrays usable in
+//! filters (via their effective boolean value) or further arithmetic.
+
+use crate::data::ArrayData;
+use crate::dtype::Num;
+use crate::error::{ArrayError, Result};
+use crate::num_array::NumArray;
+
+/// A binary element-wise operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    /// Comparisons produce 0/1 integer elements.
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Apply to two scalars.
+    pub fn apply(self, a: Num, b: Num) -> Result<Num> {
+        Ok(match self {
+            BinOp::Add => a.checked_add(b)?,
+            BinOp::Sub => a.checked_sub(b)?,
+            BinOp::Mul => a.checked_mul(b)?,
+            BinOp::Div => a.checked_div(b)?,
+            BinOp::Rem => a.checked_rem(b)?,
+            BinOp::Pow => a.pow(b)?,
+            BinOp::Eq => Num::Int((a == b) as i64),
+            BinOp::Ne => Num::Int((a != b) as i64),
+            BinOp::Lt => Num::Int((a < b) as i64),
+            BinOp::Le => Num::Int((a <= b) as i64),
+            BinOp::Gt => Num::Int((a > b) as i64),
+            BinOp::Ge => Num::Int((a >= b) as i64),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        })
+    }
+
+    /// True for operators that are commutative on numerics.
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::Min | BinOp::Max
+        )
+    }
+}
+
+impl NumArray {
+    /// Element-wise combination of two same-shape arrays.
+    pub fn zip_with(&self, other: &NumArray, op: BinOp) -> Result<NumArray> {
+        let shape = self.shape();
+        if shape != other.shape() {
+            return Err(ArrayError::ShapeMismatch {
+                left: shape,
+                right: other.shape(),
+            });
+        }
+        let a = self.elements();
+        let b = other.elements();
+        let mut out = Vec::with_capacity(a.len());
+        for (x, y) in a.into_iter().zip(b) {
+            out.push(op.apply(x, y)?);
+        }
+        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+    }
+
+    /// Element-wise `self op scalar`.
+    pub fn scalar_op(&self, scalar: Num, op: BinOp) -> Result<NumArray> {
+        let shape = self.shape();
+        let mut out = Vec::with_capacity(self.element_count());
+        let mut err = None;
+        self.for_each(|x| {
+            if err.is_none() {
+                match op.apply(x, scalar) {
+                    Ok(v) => out.push(v),
+                    Err(e) => err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+    }
+
+    /// Element-wise `scalar op self` (for non-commutative operators).
+    pub fn scalar_op_rev(&self, scalar: Num, op: BinOp) -> Result<NumArray> {
+        let shape = self.shape();
+        let mut out = Vec::with_capacity(self.element_count());
+        let mut err = None;
+        self.for_each(|x| {
+            if err.is_none() {
+                match op.apply(scalar, x) {
+                    Ok(v) => out.push(v),
+                    Err(e) => err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+    }
+
+    /// Element-wise negation.
+    pub fn negate(&self) -> Result<NumArray> {
+        let shape = self.shape();
+        let mut out = Vec::with_capacity(self.element_count());
+        let mut err = None;
+        self.for_each(|x| {
+            if err.is_none() {
+                match x.checked_neg() {
+                    Ok(v) => out.push(v),
+                    Err(e) => err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+    }
+
+    pub fn add(&self, other: &NumArray) -> Result<NumArray> {
+        self.zip_with(other, BinOp::Add)
+    }
+
+    pub fn sub(&self, other: &NumArray) -> Result<NumArray> {
+        self.zip_with(other, BinOp::Sub)
+    }
+
+    pub fn mul(&self, other: &NumArray) -> Result<NumArray> {
+        self.zip_with(other, BinOp::Mul)
+    }
+
+    pub fn div(&self, other: &NumArray) -> Result<NumArray> {
+        self.zip_with(other, BinOp::Div)
+    }
+
+    pub fn scalar_add(&self, s: Num) -> Result<NumArray> {
+        self.scalar_op(s, BinOp::Add)
+    }
+
+    pub fn scalar_mul(&self, s: Num) -> Result<NumArray> {
+        self.scalar_op(s, BinOp::Mul)
+    }
+
+    /// Matrix product of two 2-D arrays (`A` is m×k, `B` is k×n).
+    /// Provided as a built-in array function (thesis §4.1.3).
+    pub fn matmul(&self, other: &NumArray) -> Result<NumArray> {
+        let (sa, sb) = (self.shape(), other.shape());
+        if sa.len() != 2 || sb.len() != 2 || sa[1] != sb[0] {
+            return Err(ArrayError::ShapeMismatch {
+                left: sa,
+                right: sb,
+            });
+        }
+        let (m, k, n) = (sa[0], sa[1], sb[1]);
+        let mut out = vec![0.0f64; m * n];
+        // Materialize operands so the inner loop reads contiguous buffers.
+        let a = self.materialize();
+        let b = other.materialize();
+        let av = a.elements();
+        let bv = b.elements();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = av[i * k + p].as_f64();
+                for j in 0..n {
+                    out[i * n + j] += aip * bv[p * n + j].as_f64();
+                }
+            }
+        }
+        NumArray::from_f64_shaped(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_same_shape() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let b = NumArray::from_i64(vec![10, 20, 30]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.elements(), vec![Num::Int(11), Num::Int(22), Num::Int(33)]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let b = NumArray::from_i64(vec![1, 2]);
+        assert!(matches!(a.add(&b), Err(ArrayError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let c = a.scalar_mul(Num::Real(0.5)).unwrap();
+        assert_eq!(
+            c.elements(),
+            vec![Num::Real(0.5), Num::Real(1.0), Num::Real(1.5)]
+        );
+    }
+
+    #[test]
+    fn scalar_rev_subtraction() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let c = a.scalar_op_rev(Num::Int(10), BinOp::Sub).unwrap();
+        assert_eq!(c.elements(), vec![Num::Int(9), Num::Int(8), Num::Int(7)]);
+    }
+
+    #[test]
+    fn comparison_yields_01() {
+        let a = NumArray::from_i64(vec![1, 5, 3]);
+        let c = a.scalar_op(Num::Int(3), BinOp::Ge).unwrap();
+        assert_eq!(c.elements(), vec![Num::Int(0), Num::Int(1), Num::Int(1)]);
+    }
+
+    #[test]
+    fn ops_respect_views() {
+        let m = NumArray::from_i64_shaped((0..12).collect(), &[3, 4]).unwrap();
+        let col0 = m.subscript(1, 0).unwrap(); // [0, 4, 8]
+        let col1 = m.subscript(1, 1).unwrap(); // [1, 5, 9]
+        let s = col0.add(&col1).unwrap();
+        assert_eq!(s.elements(), vec![Num::Int(1), Num::Int(9), Num::Int(17)]);
+    }
+
+    #[test]
+    fn negate() {
+        let a = NumArray::from_i64(vec![1, -2]);
+        assert_eq!(
+            a.negate().unwrap().elements(),
+            vec![Num::Int(-1), Num::Int(2)]
+        );
+    }
+
+    #[test]
+    fn int_overflow_propagates() {
+        let a = NumArray::from_i64(vec![i64::MAX]);
+        assert!(a.scalar_add(Num::Int(1)).is_err());
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = NumArray::from_i64_shaped(vec![1, 2, 3, 4], &[2, 2]).unwrap();
+        let b = NumArray::from_i64_shaped(vec![5, 6, 7, 8], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c.elements(),
+            vec![
+                Num::Real(19.0),
+                Num::Real(22.0),
+                Num::Real(43.0),
+                Num::Real(50.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn matmul_shape_check() {
+        let a = NumArray::from_i64_shaped(vec![1, 2, 3, 4], &[2, 2]).unwrap();
+        let v = NumArray::from_i64(vec![1, 2]);
+        assert!(a.matmul(&v).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_view() {
+        let a = NumArray::from_i64_shaped(vec![1, 2, 3, 4, 5, 6], &[2, 3]).unwrap();
+        let at = a.transpose(); // 3x2
+        let c = at.matmul(&a).unwrap(); // 3x3
+        assert_eq!(c.shape(), vec![3, 3]);
+        assert_eq!(c.get(&[0, 0]).unwrap(), Num::Real(17.0)); // 1*1+4*4
+    }
+}

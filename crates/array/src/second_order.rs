@@ -1,0 +1,183 @@
+//! Second-order array functions of the Array Algebra (thesis §4.3.1,
+//! and the SciSPARQL primitives introduced in the Rasdaman-integration
+//! work): `map`, `condense`, and `build` take functional values — in the
+//! query language, lexical closures — and apply them across arrays.
+
+use crate::data::ArrayData;
+use crate::dtype::Num;
+use crate::error::{ArrayError, Result};
+use crate::num_array::NumArray;
+
+/// A unary element function, as passed to `map`.
+pub type UnaryNumFn<'a> = dyn Fn(Num) -> Result<Num> + 'a;
+
+/// A binary combining function, as passed to `condense`.
+pub type BinaryNumFn<'a> = dyn Fn(Num, Num) -> Result<Num> + 'a;
+
+impl NumArray {
+    /// `MAP(f, A)`: apply `f` to every element, preserving shape.
+    pub fn map(&self, f: &UnaryNumFn<'_>) -> Result<NumArray> {
+        let shape = self.shape();
+        let mut out = Vec::with_capacity(self.element_count());
+        let mut err = None;
+        self.for_each(|x| {
+            if err.is_none() {
+                match f(x) {
+                    Ok(v) => out.push(v),
+                    Err(e) => err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+    }
+
+    /// `MAP(f, A, B)`: apply a binary `f` pairwise over two same-shape
+    /// arrays.
+    pub fn map2(&self, other: &NumArray, f: &BinaryNumFn<'_>) -> Result<NumArray> {
+        let shape = self.shape();
+        if shape != other.shape() {
+            return Err(ArrayError::ShapeMismatch {
+                left: shape,
+                right: other.shape(),
+            });
+        }
+        let a = self.elements();
+        let b = other.elements();
+        let mut out = Vec::with_capacity(a.len());
+        for (x, y) in a.into_iter().zip(b) {
+            out.push(f(x, y)?);
+        }
+        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+    }
+
+    /// `CONDENSE(f, A)`: fold all elements with the associative combiner
+    /// `f` (Array Algebra's condenser). Empty arrays are an error since
+    /// no identity element is supplied.
+    pub fn condense(&self, f: &BinaryNumFn<'_>) -> Result<Num> {
+        let mut acc: Option<Num> = None;
+        let mut err: Option<ArrayError> = None;
+        self.for_each(|x| {
+            if err.is_some() {
+                return;
+            }
+            acc = Some(match acc {
+                None => x,
+                Some(a) => match f(a, x) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        err = Some(e);
+                        a
+                    }
+                },
+            });
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        acc.ok_or_else(|| ArrayError::InvalidSlice("condense over empty array".into()))
+    }
+
+    /// `CONDENSE(f, A, init)`: fold with an explicit initial value, so
+    /// empty arrays yield `init`.
+    pub fn condense_with(&self, init: Num, f: &BinaryNumFn<'_>) -> Result<Num> {
+        let mut acc = init;
+        let mut err: Option<ArrayError> = None;
+        self.for_each(|x| {
+            if err.is_some() {
+                return;
+            }
+            match f(acc, x) {
+                Ok(v) => acc = v,
+                Err(e) => err = Some(e),
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(acc)
+    }
+
+    /// `ARRAY_BUILD(shape, f)`: construct an array by evaluating `f` at
+    /// every 1-based subscript tuple (the language-level counterpart of
+    /// [`NumArray::from_shape_fn`], which is 0-based).
+    pub fn build1(shape: &[usize], f: &dyn Fn(&[i64]) -> Result<Num>) -> Result<NumArray> {
+        let count: usize = shape.iter().product();
+        let mut values = Vec::with_capacity(count);
+        let mut ix: Vec<i64> = vec![1; shape.len()];
+        for _ in 0..count {
+            values.push(f(&ix)?);
+            for d in (0..shape.len()).rev() {
+                ix[d] += 1;
+                if ix[d] <= shape[d] as i64 {
+                    break;
+                }
+                ix[d] = 1;
+            }
+        }
+        NumArray::from_data(ArrayData::from_nums(&values), shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_square() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let sq = a.map(&|x| x.checked_mul(x)).unwrap();
+        assert_eq!(sq.elements(), vec![Num::Int(1), Num::Int(4), Num::Int(9)]);
+    }
+
+    #[test]
+    fn map_preserves_view_shape() {
+        let m = NumArray::from_i64_shaped((0..12).collect(), &[3, 4]).unwrap();
+        let sub = m.slice(0, 0, 2, 2).unwrap(); // rows {0,2}
+        let r = sub.map(&|x| Ok(Num::Real(x.as_f64() / 2.0))).unwrap();
+        assert_eq!(r.shape(), vec![2, 4]);
+        assert_eq!(r.get(&[1, 0]).unwrap(), Num::Real(4.0));
+    }
+
+    #[test]
+    fn map_error_propagates() {
+        let a = NumArray::from_i64(vec![1, 0, 3]);
+        let r = a.map(&|x| Num::Int(6).checked_div(x));
+        assert_eq!(r.unwrap_err(), ArrayError::DivisionByZero);
+    }
+
+    #[test]
+    fn map2_pairwise() {
+        let a = NumArray::from_i64(vec![1, 2, 3]);
+        let b = NumArray::from_i64(vec![4, 5, 6]);
+        let r = a.map2(&b, &|x, y| Ok(x.max(y))).unwrap();
+        assert_eq!(r.elements(), vec![Num::Int(4), Num::Int(5), Num::Int(6)]);
+    }
+
+    #[test]
+    fn condense_sum_matches_aggregate() {
+        let a = NumArray::from_f64(vec![0.5, 1.0, 1.5]);
+        let c = a.condense(&|x, y| x.checked_add(y)).unwrap();
+        assert_eq!(c, a.sum().unwrap());
+    }
+
+    #[test]
+    fn condense_empty() {
+        let a = NumArray::from_i64(vec![]);
+        assert!(a.condense(&|x, y| x.checked_add(y)).is_err());
+        assert_eq!(
+            a.condense_with(Num::Int(7), &|x, y| x.checked_add(y))
+                .unwrap(),
+            Num::Int(7)
+        );
+    }
+
+    #[test]
+    fn build1_is_one_based() {
+        let a = NumArray::build1(&[2, 3], &|ix| Ok(Num::Int(ix[0] * 10 + ix[1]))).unwrap();
+        assert_eq!(a.get(&[0, 0]).unwrap(), Num::Int(11));
+        assert_eq!(a.get(&[1, 2]).unwrap(), Num::Int(23));
+    }
+}

@@ -1,0 +1,356 @@
+//! Logical views over flat element buffers.
+//!
+//! An [`ArrayView`] maps logical subscripts to linear buffer addresses via
+//! an offset plus per-dimension strides. SSDM represents every derived
+//! array (slice, projection, transposition) as such a descriptor over the
+//! original storage, deferring element access (thesis §5.2.2, "Array
+//! Transformations"). The same descriptor type is reused by the storage
+//! layer's array proxies, where the "buffer" is an external chunked store.
+
+use crate::error::{ArrayError, Result};
+
+/// One logical dimension of a view: its extent and the linear-address
+/// step between consecutive logical subscripts along it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dim {
+    pub size: usize,
+    pub stride: isize,
+}
+
+/// Maps logical subscripts to linear addresses: `addr = offset + Σ ixᵢ·strideᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayView {
+    offset: usize,
+    dims: Vec<Dim>,
+}
+
+impl ArrayView {
+    /// A contiguous row-major view of the given shape starting at address 0.
+    pub fn contiguous(shape: &[usize]) -> Self {
+        let mut dims = vec![Dim { size: 0, stride: 0 }; shape.len()];
+        let mut stride: isize = 1;
+        for (i, &size) in shape.iter().enumerate().rev() {
+            dims[i] = Dim { size, stride };
+            stride *= size as isize;
+        }
+        ArrayView { offset: 0, dims }
+    }
+
+    /// A zero-dimensional view addressing the single element at `offset`.
+    pub fn scalar_at(offset: usize) -> Self {
+        ArrayView {
+            offset,
+            dims: Vec::new(),
+        }
+    }
+
+    pub fn from_parts(offset: usize, dims: Vec<Dim>) -> Self {
+        ArrayView { offset, dims }
+    }
+
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn shape(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.size).collect()
+    }
+
+    /// Number of logical elements addressed by the view.
+    pub fn element_count(&self) -> usize {
+        self.dims.iter().map(|d| d.size).product()
+    }
+
+    /// True when logical order coincides with a gap-free ascending linear
+    /// range (so the view can be read with one sequential scan).
+    pub fn is_contiguous(&self) -> bool {
+        let mut expected: isize = 1;
+        for d in self.dims.iter().rev() {
+            if d.size > 1 && d.stride != expected {
+                return false;
+            }
+            expected *= d.size as isize;
+        }
+        true
+    }
+
+    /// Linear address of the element at the given logical subscripts
+    /// (0-based). Errors on rank or bounds violations.
+    pub fn address(&self, ix: &[usize]) -> Result<usize> {
+        if ix.len() != self.dims.len() {
+            return Err(ArrayError::DimensionMismatch {
+                expected: self.dims.len(),
+                got: ix.len(),
+            });
+        }
+        let mut addr = self.offset as isize;
+        for (dim, (&i, d)) in ix.iter().zip(&self.dims).enumerate() {
+            if i >= d.size {
+                return Err(ArrayError::IndexOutOfBounds {
+                    dim,
+                    index: i as i64,
+                    size: d.size,
+                });
+            }
+            addr += i as isize * d.stride;
+        }
+        debug_assert!(addr >= 0, "view address underflow");
+        Ok(addr as usize)
+    }
+
+    /// Fix dimension `dim` at subscript `index`, reducing rank by one.
+    pub fn subscript(&self, dim: usize, index: usize) -> Result<ArrayView> {
+        let d = self.check_dim(dim)?;
+        if index >= d.size {
+            return Err(ArrayError::IndexOutOfBounds {
+                dim,
+                index: index as i64,
+                size: d.size,
+            });
+        }
+        let mut dims = self.dims.clone();
+        dims.remove(dim);
+        Ok(ArrayView {
+            offset: (self.offset as isize + index as isize * d.stride) as usize,
+            dims,
+        })
+    }
+
+    /// Restrict dimension `dim` to `lo..=hi` stepping by `stride`
+    /// (0-based, inclusive bounds — the SciSPARQL `lo:stride:hi` range
+    /// after 1-based adjustment). Rank is preserved.
+    pub fn slice(&self, dim: usize, lo: usize, stride: usize, hi: usize) -> Result<ArrayView> {
+        let d = self.check_dim(dim)?;
+        if stride == 0 {
+            return Err(ArrayError::InvalidSlice("stride must be positive".into()));
+        }
+        if lo > hi {
+            return Err(ArrayError::InvalidSlice(format!(
+                "lower bound {lo} exceeds upper bound {hi}"
+            )));
+        }
+        if hi >= d.size {
+            return Err(ArrayError::IndexOutOfBounds {
+                dim,
+                index: hi as i64,
+                size: d.size,
+            });
+        }
+        let new_size = (hi - lo) / stride + 1;
+        let mut dims = self.dims.clone();
+        dims[dim] = Dim {
+            size: new_size,
+            stride: d.stride * stride as isize,
+        };
+        Ok(ArrayView {
+            offset: (self.offset as isize + lo as isize * d.stride) as usize,
+            dims,
+        })
+    }
+
+    /// Reorder dimensions according to `perm` (a permutation of `0..ndims`).
+    pub fn permute(&self, perm: &[usize]) -> Result<ArrayView> {
+        if perm.len() != self.dims.len() {
+            return Err(ArrayError::DimensionMismatch {
+                expected: self.dims.len(),
+                got: perm.len(),
+            });
+        }
+        let mut seen = vec![false; perm.len()];
+        let mut dims = Vec::with_capacity(perm.len());
+        for &p in perm {
+            if p >= self.dims.len() || seen[p] {
+                return Err(ArrayError::InvalidSlice(format!(
+                    "invalid permutation {perm:?}"
+                )));
+            }
+            seen[p] = true;
+            dims.push(self.dims[p]);
+        }
+        Ok(ArrayView {
+            offset: self.offset,
+            dims,
+        })
+    }
+
+    /// Swap the two trailing dimensions (matrix transposition). On a
+    /// vector this is the identity.
+    pub fn transpose(&self) -> ArrayView {
+        let mut dims = self.dims.clone();
+        let n = dims.len();
+        if n >= 2 {
+            dims.swap(n - 2, n - 1);
+        }
+        ArrayView {
+            offset: self.offset,
+            dims,
+        }
+    }
+
+    /// Iterate logical subscripts in row-major (odometer) order, calling
+    /// `f(linear_address)` for each element.
+    pub fn for_each_address(&self, mut f: impl FnMut(usize)) {
+        if self.dims.iter().any(|d| d.size == 0) {
+            return;
+        }
+        if self.dims.is_empty() {
+            f(self.offset);
+            return;
+        }
+        let mut ix = vec![0usize; self.dims.len()];
+        let mut addr = self.offset as isize;
+        loop {
+            f(addr as usize);
+            // Odometer increment with address maintenance.
+            let mut d = self.dims.len();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                ix[d] += 1;
+                addr += self.dims[d].stride;
+                if ix[d] < self.dims[d].size {
+                    break;
+                }
+                addr -= self.dims[d].size as isize * self.dims[d].stride;
+                ix[d] = 0;
+            }
+        }
+    }
+
+    /// All linear addresses in logical order. Convenience for small views
+    /// and for the storage layer's proxy resolution.
+    pub fn addresses(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.element_count());
+        self.for_each_address(|a| out.push(a));
+        out
+    }
+
+    fn check_dim(&self, dim: usize) -> Result<Dim> {
+        self.dims.get(dim).copied().ok_or({
+            ArrayError::DimensionMismatch {
+                expected: self.dims.len(),
+                got: dim + 1,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        let v = ArrayView::contiguous(&[2, 3, 4]);
+        let s: Vec<isize> = v.dims().iter().map(|d| d.stride).collect();
+        assert_eq!(s, vec![12, 4, 1]);
+        assert_eq!(v.element_count(), 24);
+        assert!(v.is_contiguous());
+    }
+
+    #[test]
+    fn address_computation() {
+        let v = ArrayView::contiguous(&[3, 4]);
+        assert_eq!(v.address(&[0, 0]).unwrap(), 0);
+        assert_eq!(v.address(&[2, 3]).unwrap(), 11);
+        assert_eq!(v.address(&[1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn address_bounds_checked() {
+        let v = ArrayView::contiguous(&[3, 4]);
+        assert!(matches!(
+            v.address(&[3, 0]),
+            Err(ArrayError::IndexOutOfBounds { dim: 0, .. })
+        ));
+        assert!(matches!(
+            v.address(&[0]),
+            Err(ArrayError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn subscript_reduces_rank() {
+        let v = ArrayView::contiguous(&[3, 4]);
+        let row = v.subscript(0, 1).unwrap();
+        assert_eq!(row.shape(), vec![4]);
+        assert_eq!(row.address(&[0]).unwrap(), 4);
+        let col = v.subscript(1, 2).unwrap();
+        assert_eq!(col.shape(), vec![3]);
+        assert_eq!(col.addresses(), vec![2, 6, 10]);
+        assert!(!col.is_contiguous());
+    }
+
+    #[test]
+    fn slice_with_stride() {
+        let v = ArrayView::contiguous(&[10]);
+        let s = v.slice(0, 1, 3, 9).unwrap();
+        assert_eq!(s.shape(), vec![3]);
+        assert_eq!(s.addresses(), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn slice_errors() {
+        let v = ArrayView::contiguous(&[10]);
+        assert!(v.slice(0, 0, 0, 5).is_err());
+        assert!(v.slice(0, 5, 1, 4).is_err());
+        assert!(v.slice(0, 0, 1, 10).is_err());
+    }
+
+    #[test]
+    fn nested_slice_then_subscript() {
+        let v = ArrayView::contiguous(&[4, 6]);
+        // rows 1..=3 step 2 -> rows {1,3}; then col slice 2..=5 step 3 -> {2,5}
+        let s = v.slice(0, 1, 2, 3).unwrap().slice(1, 2, 3, 5).unwrap();
+        assert_eq!(s.shape(), vec![2, 2]);
+        assert_eq!(s.addresses(), vec![8, 11, 20, 23]);
+    }
+
+    #[test]
+    fn transpose_swaps_trailing() {
+        let v = ArrayView::contiguous(&[2, 3]);
+        let t = v.transpose();
+        assert_eq!(t.shape(), vec![3, 2]);
+        assert_eq!(t.address(&[2, 1]).unwrap(), v.address(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn permute_validates() {
+        let v = ArrayView::contiguous(&[2, 3, 4]);
+        let p = v.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), vec![4, 2, 3]);
+        assert!(v.permute(&[0, 0, 1]).is_err());
+        assert!(v.permute(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_dimension_yields_no_addresses() {
+        let v = ArrayView::contiguous(&[0, 5]);
+        assert_eq!(v.addresses(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scalar_view() {
+        let v = ArrayView::scalar_at(7);
+        assert_eq!(v.element_count(), 1);
+        assert_eq!(v.addresses(), vec![7]);
+    }
+
+    #[test]
+    fn odometer_order_is_row_major() {
+        let v = ArrayView::contiguous(&[2, 3]);
+        assert_eq!(v.addresses(), vec![0, 1, 2, 3, 4, 5]);
+        let t = v.transpose();
+        assert_eq!(t.addresses(), vec![0, 3, 1, 4, 2, 5]);
+    }
+}

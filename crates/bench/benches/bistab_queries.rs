@@ -1,0 +1,45 @@
+//! Criterion bench tracking Experiment 4: the BISTAB application
+//! queries per storage configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdm::bistab::{self, BistabConfig};
+use ssdm::{Backend, Ssdm};
+
+fn bench_bistab(c: &mut Criterion) {
+    let config = BistabConfig {
+        tasks: 100,
+        realizations: 4,
+        trajectory_len: 512,
+        seed: 5,
+    };
+    type MakeDb = Box<dyn Fn() -> Ssdm>;
+    let setups: Vec<(&str, MakeDb)> = vec![
+        ("resident", Box::new(|| Ssdm::open(Backend::Memory))),
+        (
+            "relational",
+            Box::new(|| {
+                let mut db = Ssdm::open(Backend::Relational);
+                db.set_externalize_threshold(128, 2048);
+                db
+            }),
+        ),
+    ];
+    for (sname, make) in setups {
+        let mut db = make();
+        bistab::load_bistab(&mut db, &config).expect("load");
+        let mut group = c.benchmark_group(format!("bistab/{sname}"));
+        for (qname, q) in bistab::queries() {
+            group.bench_function(qname, |b| {
+                b.iter(|| std::hint::black_box(db.query(&q).expect("query")))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_bistab
+}
+criterion_main!(benches);

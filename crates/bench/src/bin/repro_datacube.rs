@@ -1,0 +1,103 @@
+//! Experiment 6 (thesis §5.3.3): Data Cube consolidation.
+//!
+//! Sweeps the number of observations in a generated RDF Data Cube and
+//! measures (a) triple counts before/after consolidation and (b) the
+//! time of a representative cell lookup in each form — the "drastically
+//! reducing the graph size ... speeding up pattern-matching queries"
+//! claim.
+
+use std::time::Instant;
+
+use ssdm::datacube::{consolidate_datacube, generate_datacube};
+use ssdm::{Backend, Ssdm};
+use ssdm_bench::fmt_ms;
+use ssdm_bench::runner::print_table;
+
+fn main() {
+    println!("Experiment 6: Data Cube consolidation (thesis §5.3.3)");
+    let shapes: [&[usize]; 5] = [&[4, 4], &[8, 8], &[16, 16], &[16, 16, 4], &[32, 32, 4]];
+
+    let header: Vec<String> = [
+        "cube",
+        "cells",
+        "triples before",
+        "triples after",
+        "reduction",
+        "consolidate ms",
+        "obs lookup ms",
+        "array lookup ms",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut table = Vec::new();
+
+    for dims in shapes {
+        let cells: usize = dims.iter().product();
+        let turtle = generate_datacube(dims);
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle(&turtle).expect("load");
+        let before = db.dataset.graph.len();
+
+        // Observation-form lookup of a middle cell.
+        let coord: Vec<usize> = dims.iter().map(|&d| d / 2).collect();
+        let dim_conds: String = coord
+            .iter()
+            .enumerate()
+            .map(|(d, c)| format!("ex:dim{} {} ; ", d + 1, c))
+            .collect();
+        let obs_q = format!(
+            "PREFIX qb: <http://purl.org/linked-data/cube#>
+             PREFIX ex: <http://example.org/cube/>
+             SELECT ?m WHERE {{ ?o {dim_conds} qb:measure ?m }}"
+        );
+        let t = Instant::now();
+        let obs_rows = db.query(&obs_q).expect("obs query").into_rows().unwrap();
+        let obs_time = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let report = consolidate_datacube(&mut db.dataset.graph);
+        let cons_time = t.elapsed().as_secs_f64();
+        assert_eq!(report.datasets, 1, "cube must consolidate");
+        let after = db.dataset.graph.len();
+
+        let subs: String = coord
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let arr_q = format!(
+            "PREFIX ex: <http://example.org/cube/>
+             SELECT (?a[{subs}] AS ?m)
+             WHERE {{ ex:ds <urn:ssdm:datacube:measureArray> ?a }}"
+        );
+        let t = Instant::now();
+        let arr_rows = db.query(&arr_q).expect("array query").into_rows().unwrap();
+        let arr_time = t.elapsed().as_secs_f64();
+        assert_eq!(
+            obs_rows[0][0].as_ref().unwrap().to_string(),
+            arr_rows[0][0].as_ref().unwrap().to_string(),
+            "lookups must agree"
+        );
+
+        table.push(vec![
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            cells.to_string(),
+            before.to_string(),
+            after.to_string(),
+            format!("{}x", before / after.max(1)),
+            fmt_ms(cons_time),
+            fmt_ms(obs_time),
+            fmt_ms(arr_time),
+        ]);
+    }
+    print_table("Data Cube: graph size and lookup time", &header, &table);
+    println!(
+        "\nReading: the observation form grows with cells x (dims+2) while the \
+         consolidated form stays constant-size; cell lookups in the array form \
+         are O(1) dereferences instead of multi-way joins."
+    );
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness for the SciSPARQL evaluation (thesis ch. 6).
+//!
+//! [`workload`] implements the array mini-benchmark's query generator
+//! (§6.3.1): parameterized access patterns over stored 2-D arrays.
+//! [`runner`] executes a pattern against an [`ssdm_storage::ArrayStore`]
+//! under a chosen retrieval strategy and collects the measurements the
+//! thesis reports: wall time, back-end statements, chunks and bytes
+//! fetched. The `repro_*` binaries print one table or figure each; the
+//! Criterion benches track the same code paths over time.
+
+pub mod runner;
+pub mod workload;
+
+/// Format a f64 duration in milliseconds with sensible precision.
+pub fn fmt_ms(seconds: f64) -> String {
+    let ms = seconds * 1e3;
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.4}")
+    }
+}

@@ -1,0 +1,413 @@
+//! The query-execution substrate: an RDF-with-Arrays graph plus an
+//! array store and a function registry.
+//!
+//! [`Dataset`] is the core of what the thesis calls an SSDM instance
+//! (§5.1): the in-memory RDF graph, the external array storage behind
+//! the ASEI, the registry of defined/foreign functions, and the query
+//! entry points. The higher-level `ssdm` crate layers data loaders and
+//! workflow APIs on top.
+
+use std::fmt;
+
+use ssdm_array::ArrayError;
+use ssdm_rdf::{Graph, Namespaces, RdfError, Term};
+use ssdm_storage::{
+    ArrayProxy, ArrayStore, ChunkStore, MemoryChunkStore, RetrievalStrategy, StorageError,
+};
+
+use crate::ast::Statement;
+use crate::functions::FunctionRegistry;
+use crate::value::Value;
+
+/// Errors raised by SciSPARQL parsing and evaluation.
+#[derive(Debug)]
+pub enum QueryError {
+    Parse {
+        line: usize,
+        col: usize,
+        msg: String,
+    },
+    /// Static analysis errors (unknown function, bad aggregate use...).
+    Translation(String),
+    /// Runtime evaluation error that is not recoverable as "unbound".
+    Eval(String),
+    Rdf(RdfError),
+    Array(ArrayError),
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { line, col, msg } => {
+                write!(f, "syntax error at {line}:{col}: {msg}")
+            }
+            QueryError::Translation(m) => write!(f, "translation error: {m}"),
+            QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+            QueryError::Rdf(e) => write!(f, "RDF error: {e}"),
+            QueryError::Array(e) => write!(f, "array error: {e}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<RdfError> for QueryError {
+    fn from(e: RdfError) -> Self {
+        QueryError::Rdf(e)
+    }
+}
+
+impl From<ArrayError> for QueryError {
+    fn from(e: ArrayError) -> Self {
+        QueryError::Array(e)
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// The result of executing a statement.
+// Variant sizes differ by design: Solutions carries the data.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum QueryResult {
+    /// SELECT: column names and rows of optional values.
+    Solutions {
+        vars: Vec<String>,
+        rows: Vec<Vec<Option<Value>>>,
+    },
+    /// ASK.
+    Boolean(bool),
+    /// CONSTRUCT: a new graph.
+    Graph(Graph),
+    /// Updates and DEFINE FUNCTION.
+    Updated { inserted: usize, deleted: usize },
+    /// EXPLAIN output: the rendered operator tree.
+    Text(String),
+}
+
+impl QueryResult {
+    /// The solution rows of a SELECT result.
+    pub fn into_rows(self) -> Option<Vec<Vec<Option<Value>>>> {
+        match self {
+            QueryResult::Solutions { rows, .. } => Some(rows),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render a SELECT result as an aligned text table (for examples
+    /// and the CLI).
+    pub fn to_table(&self) -> String {
+        match self {
+            QueryResult::Solutions { vars, rows } => {
+                let mut widths: Vec<usize> = vars.iter().map(|v| v.len() + 1).collect();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(|c| match c {
+                                Some(v) => v.to_string(),
+                                None => String::new(),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                for r in &rendered {
+                    for (i, c) in r.iter().enumerate() {
+                        widths[i] = widths[i].max(c.len());
+                    }
+                }
+                let mut out = String::new();
+                for (i, v) in vars.iter().enumerate() {
+                    out.push_str(&format!("?{:<w$} ", v, w = widths[i]));
+                }
+                out.push('\n');
+                for r in rendered {
+                    for (i, c) in r.iter().enumerate() {
+                        out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+                    }
+                    out.push('\n');
+                }
+                out
+            }
+            QueryResult::Boolean(b) => format!("{b}\n"),
+            QueryResult::Graph(g) => format!("graph with {} triples\n", g.len()),
+            QueryResult::Updated { inserted, deleted } => {
+                format!("inserted {inserted}, deleted {deleted}\n")
+            }
+            QueryResult::Text(t) => t.clone(),
+        }
+    }
+}
+
+/// A boxed back-end so one dataset type serves all storage choices.
+/// The `ChunkStore` impl for `Box<dyn ChunkStore>` lives in `ssdm-storage`.
+pub type DynChunkStore = Box<dyn ChunkStore>;
+
+/// Default chunk size for externalized arrays (64 KiB, the sweet spot
+/// found in experiment E3).
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// An SSDM dataset: graph + arrays + functions.
+pub struct Dataset {
+    /// The default graph.
+    pub graph: Graph,
+    /// Named graphs (thesis §3.3.4). Each has its own dictionary.
+    pub named_graphs: std::collections::HashMap<String, Graph>,
+    /// The graph currently being matched (set by GRAPH patterns and
+    /// FROM clauses during evaluation).
+    pub(crate) active_graph: Option<String>,
+    /// When set (by FROM NAMED), restricts which graphs `GRAPH ?g`
+    /// iterates over.
+    pub(crate) visible_named: Option<Vec<String>>,
+    pub arrays: ArrayStore<DynChunkStore>,
+    pub registry: FunctionRegistry,
+    pub namespaces: Namespaces,
+    /// Strategy used when queries resolve array proxies.
+    pub strategy: RetrievalStrategy,
+    /// Arrays larger than this many elements are stored externally on
+    /// load; smaller ones stay resident in the graph.
+    pub externalize_threshold: usize,
+    /// Chunk size for externalized arrays; 0 selects the auto-tuning
+    /// heuristic per array.
+    pub chunk_bytes: usize,
+}
+
+impl Dataset {
+    /// A dataset whose external arrays live in an in-process store.
+    pub fn in_memory() -> Self {
+        Dataset::with_backend(Box::new(MemoryChunkStore::new()))
+    }
+
+    /// A dataset over an arbitrary ASEI back-end.
+    pub fn with_backend(backend: DynChunkStore) -> Self {
+        Dataset {
+            graph: Graph::new(),
+            named_graphs: std::collections::HashMap::new(),
+            active_graph: None,
+            visible_named: None,
+            arrays: ArrayStore::new(backend),
+            registry: FunctionRegistry::with_builtins(),
+            namespaces: Namespaces::new(),
+            strategy: RetrievalStrategy::SpdRange {
+                options: Default::default(),
+            },
+            externalize_threshold: usize::MAX,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+
+    /// The graph scans currently target: a named graph while a GRAPH
+    /// pattern or FROM clause is active, else the default graph.
+    pub fn active(&self) -> &Graph {
+        static EMPTY: std::sync::OnceLock<Graph> = std::sync::OnceLock::new();
+        match &self.active_graph {
+            Some(name) => self
+                .named_graphs
+                .get(name)
+                .unwrap_or_else(|| EMPTY.get_or_init(Graph::new)),
+            None => &self.graph,
+        }
+    }
+
+    /// Load Turtle into a named graph (creating it if needed).
+    pub fn load_turtle_named(&mut self, name: &str, text: &str) -> Result<usize, QueryError> {
+        let graph = self.named_graphs.entry(name.to_string()).or_default();
+        Ok(ssdm_rdf::turtle::parse_into(graph, text)?)
+    }
+
+    /// Names of the graphs a `GRAPH ?g` pattern ranges over, sorted for
+    /// deterministic iteration.
+    pub(crate) fn iterable_graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = match &self.visible_named {
+            Some(allowed) => allowed
+                .iter()
+                .filter(|n| self.named_graphs.contains_key(*n))
+                .cloned()
+                .collect(),
+            None => self.named_graphs.keys().cloned().collect(),
+        };
+        names.sort();
+        names
+    }
+
+    /// Parse and execute one SciSPARQL statement.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, QueryError> {
+        let stmt = crate::parser::parse(text)?;
+        self.execute(stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute(&mut self, stmt: Statement) -> Result<QueryResult, QueryError> {
+        match stmt {
+            Statement::Select(q) => crate::eval::execute_select(self, &q),
+            Statement::Ask(q) => crate::eval::execute_ask(self, &q),
+            Statement::Construct(q) => crate::eval::execute_construct(self, &q),
+            Statement::Explain(q) => {
+                let plan =
+                    crate::algebra::optimize(crate::algebra::translate(&q.pattern), &self.graph);
+                Ok(QueryResult::Text(crate::algebra::explain(
+                    &plan,
+                    &self.graph,
+                )))
+            }
+            Statement::Describe(targets) => {
+                let mut out = Graph::new();
+                for target in targets {
+                    if let Some(s) = self.graph.dictionary().lookup(&target) {
+                        for t in self.graph.match_pattern(Some(s), None, None) {
+                            out.insert(
+                                self.graph.term(t.s).clone(),
+                                self.graph.term(t.p).clone(),
+                                self.graph.term(t.o).clone(),
+                            );
+                        }
+                    }
+                }
+                Ok(QueryResult::Graph(out))
+            }
+            Statement::DefineFunction(def) => {
+                self.registry.define(def)?;
+                Ok(QueryResult::Updated {
+                    inserted: 0,
+                    deleted: 0,
+                })
+            }
+            Statement::InsertData(triples) => crate::update::insert_data(self, triples),
+            Statement::DeleteData(triples) => crate::update::delete_data(self, triples),
+            Statement::Modify {
+                delete,
+                insert,
+                pattern,
+            } => crate::update::modify(self, delete, insert, &pattern),
+        }
+    }
+
+    /// Load Turtle text into the graph (collections consolidate to
+    /// arrays; large arrays are externalized per the threshold).
+    pub fn load_turtle(&mut self, text: &str) -> Result<usize, QueryError> {
+        let n = ssdm_rdf::turtle::parse_into(&mut self.graph, text)?;
+        self.externalize_large_arrays()?;
+        Ok(n)
+    }
+
+    /// Move every resident array above the threshold out to the ASEI
+    /// back-end, replacing its term with an [`Term::ArrayRef`].
+    pub fn externalize_large_arrays(&mut self) -> Result<usize, QueryError> {
+        if self.externalize_threshold == usize::MAX {
+            return Ok(0);
+        }
+        let threshold = self.externalize_threshold;
+        let chunk_bytes = self.chunk_bytes;
+        // Collect triples whose object is a large resident array.
+        let todo: Vec<(ssdm_rdf::TermId, ssdm_rdf::TermId, ssdm_rdf::TermId)> = self
+            .graph
+            .iter()
+            .filter(
+                |t| matches!(self.graph.term(t.o), Term::Array(a) if a.element_count() > threshold),
+            )
+            .map(|t| (t.s, t.p, t.o))
+            .collect();
+        let mut moved = 0;
+        for (s, p, o) in todo {
+            let Term::Array(a) = self.graph.term(o).clone() else {
+                continue;
+            };
+            let cb = if chunk_bytes == 0 {
+                ssdm_storage::auto_chunk_bytes(a.element_count())
+            } else {
+                chunk_bytes
+            };
+            let proxy = self.arrays.store_array(&a, cb)?;
+            let new_o = self.graph.intern(Term::ArrayRef(proxy.array_id()));
+            self.graph.remove_ids(s, p, o);
+            self.graph.insert_ids(s, p, new_o);
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// Resolve a term to a runtime value (array refs become proxies).
+    pub fn term_to_value(&self, term: &Term) -> Value {
+        match term {
+            Term::ArrayRef(id) => match self.arrays.proxy(*id) {
+                Ok(p) => Value::Proxy(p),
+                Err(_) => Value::Term(term.clone()),
+            },
+            other => Value::Term(other.clone()),
+        }
+    }
+
+    /// Force a value to a resident array, resolving proxies through the
+    /// APR with the dataset's retrieval strategy.
+    pub fn force_array(&mut self, v: &Value) -> Result<ssdm_array::NumArray, QueryError> {
+        match v {
+            Value::Term(Term::Array(a)) => Ok(a.clone()),
+            Value::Proxy(p) => Ok(self.arrays.resolve(p, self.strategy)?),
+            other => Err(QueryError::Eval(format!("not an array: {other}"))),
+        }
+    }
+
+    /// A proxy for a stored array id.
+    pub fn array_proxy(&self, id: u64) -> Result<ArrayProxy, QueryError> {
+        Ok(self.arrays.proxy(id)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn externalization_threshold() {
+        let mut ds = Dataset::in_memory();
+        ds.externalize_threshold = 4;
+        ds.chunk_bytes = 16;
+        ds.load_turtle(
+            "<http://s> <http://small> (1 2 3) .
+             <http://s> <http://big> (1 2 3 4 5 6 7 8) .",
+        )
+        .unwrap();
+        let small = ds
+            .graph
+            .dictionary()
+            .lookup(&Term::uri("http://small"))
+            .unwrap();
+        let big = ds
+            .graph
+            .dictionary()
+            .lookup(&Term::uri("http://big"))
+            .unwrap();
+        let small_o = ds
+            .graph
+            .match_pattern(None, Some(small), None)
+            .next()
+            .unwrap()
+            .o;
+        let big_o = ds
+            .graph
+            .match_pattern(None, Some(big), None)
+            .next()
+            .unwrap()
+            .o;
+        assert!(matches!(ds.graph.term(small_o), Term::Array(_)));
+        assert!(matches!(ds.graph.term(big_o), Term::ArrayRef(_)));
+        // The proxy resolves back to the original content.
+        let v = ds.term_to_value(&ds.graph.term(big_o).clone());
+        let arr = ds.force_array(&v).unwrap();
+        assert_eq!(arr.element_count(), 8);
+        assert_eq!(arr.get(&[7]).unwrap().as_i64(), 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Grouping and aggregation (thesis §3.5).
+//!
+//! Solutions are partitioned by the GROUP BY key expressions; aggregate
+//! calls inside projection and HAVING expressions evaluate over each
+//! partition. With no GROUP BY but aggregates present, all solutions
+//! form one implicit group.
+
+use std::collections::HashMap;
+
+use ssdm_array::Num;
+use ssdm_rdf::Term;
+
+use crate::ast::{AggKind, Expr, ProjectionItem};
+use crate::dataset::{Dataset, QueryError};
+use crate::eval::expr::eval_expr;
+use crate::eval::Row;
+use crate::value::Value;
+
+/// Evaluate a projection with aggregates over grouped solutions.
+/// Returns projected rows (HAVING applied).
+pub fn grouped_projection(
+    ds: &mut Dataset,
+    items: &[ProjectionItem],
+    group_by: &[Expr],
+    having: &Option<Expr>,
+    solutions: &[Row],
+) -> Result<Vec<Vec<Option<Value>>>, QueryError> {
+    // Partition by rendered group key (value_eq-compatible for the
+    // term kinds group keys take in practice).
+    let mut groups: Vec<(Vec<Option<Value>>, Vec<Row>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    if group_by.is_empty() {
+        groups.push((Vec::new(), solutions.to_vec()));
+    } else {
+        for row in solutions.iter().cloned() {
+            let mut key_vals = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                key_vals.push(eval_expr(ds, &row, g)?);
+            }
+            let key_str = key_vals
+                .iter()
+                .map(|v| v.as_ref().map(|x| x.to_string()).unwrap_or_default())
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            match index.get(&key_str) {
+                Some(&i) => groups[i].1.push(row),
+                None => {
+                    index.insert(key_str, groups.len());
+                    groups.push((key_vals, vec![row]));
+                }
+            }
+        }
+        // SPARQL: grouping an empty solution set yields no groups.
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, rows) in &groups {
+        if group_by.is_empty() && rows.is_empty() && !items.iter().any(|i| i.expr.has_aggregate()) {
+            continue;
+        }
+        // Representative row for non-aggregate expressions.
+        let representative = rows.first().cloned().unwrap_or_default();
+        if let Some(h) = having {
+            let keep = eval_agg_expr(ds, h, rows, &representative)?
+                .and_then(|v| v.effective_bool())
+                .unwrap_or(false);
+            if !keep {
+                continue;
+            }
+        }
+        let mut cells = Vec::with_capacity(items.len());
+        for item in items {
+            cells.push(eval_agg_expr(ds, &item.expr, rows, &representative)?);
+        }
+        out.push(cells);
+    }
+    Ok(out)
+}
+
+/// Evaluate an expression in group context: aggregate sub-expressions
+/// fold over the group's rows; everything else sees the representative.
+fn eval_agg_expr(
+    ds: &mut Dataset,
+    expr: &Expr,
+    rows: &[Row],
+    representative: &Row,
+) -> Result<Option<Value>, QueryError> {
+    if !expr.has_aggregate() {
+        return eval_expr(ds, representative, expr);
+    }
+    match expr {
+        Expr::Aggregate {
+            kind,
+            distinct,
+            arg,
+            separator,
+        } => compute_aggregate(ds, *kind, *distinct, arg.as_deref(), separator, rows),
+        Expr::Not(e) => Ok(eval_agg_expr(ds, e, rows, representative)?
+            .and_then(|v| v.effective_bool())
+            .map(|b| Value::boolean(!b))),
+        Expr::Neg(e) => {
+            let v = eval_agg_expr(ds, e, rows, representative)?;
+            match v.and_then(|v| v.as_num()) {
+                Some(n) => Ok(n.checked_neg().ok().map(Value::number)),
+                None => Ok(None),
+            }
+        }
+        Expr::And(a, b) => {
+            let av = eval_agg_expr(ds, a, rows, representative)?.and_then(|v| v.effective_bool());
+            let bv = eval_agg_expr(ds, b, rows, representative)?.and_then(|v| v.effective_bool());
+            Ok(match (av, bv) {
+                (Some(false), _) | (_, Some(false)) => Some(Value::boolean(false)),
+                (Some(true), Some(true)) => Some(Value::boolean(true)),
+                _ => None,
+            })
+        }
+        Expr::Or(a, b) => {
+            let av = eval_agg_expr(ds, a, rows, representative)?.and_then(|v| v.effective_bool());
+            let bv = eval_agg_expr(ds, b, rows, representative)?.and_then(|v| v.effective_bool());
+            Ok(match (av, bv) {
+                (Some(true), _) | (_, Some(true)) => Some(Value::boolean(true)),
+                (Some(false), Some(false)) => Some(Value::boolean(false)),
+                _ => None,
+            })
+        }
+        Expr::Cmp(op, a, b) => {
+            let (Some(av), Some(bv)) = (
+                eval_agg_expr(ds, a, rows, representative)?,
+                eval_agg_expr(ds, b, rows, representative)?,
+            ) else {
+                return Ok(None);
+            };
+            crate::eval::expr::compare(ds, *op, av, bv)
+        }
+        Expr::Arith(op, a, b) => {
+            let (Some(av), Some(bv)) = (
+                eval_agg_expr(ds, a, rows, representative)?,
+                eval_agg_expr(ds, b, rows, representative)?,
+            ) else {
+                return Ok(None);
+            };
+            crate::eval::expr::arith(ds, *op, av, bv)
+        }
+        Expr::Call { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                match eval_agg_expr(ds, a, rows, representative)? {
+                    Some(v) => vals.push(v),
+                    None => return Ok(None),
+                }
+            }
+            crate::eval::expr::apply_function(ds, name, &vals)
+        }
+        other => eval_expr(ds, representative, other),
+    }
+}
+
+fn compute_aggregate(
+    ds: &mut Dataset,
+    kind: AggKind,
+    distinct: bool,
+    arg: Option<&Expr>,
+    separator: &Option<String>,
+    rows: &[Row],
+) -> Result<Option<Value>, QueryError> {
+    // Collect the argument values (bound, post-DISTINCT).
+    let mut values: Vec<Value> = Vec::new();
+    for row in rows {
+        match arg {
+            Some(e) => {
+                if let Some(v) = eval_expr(ds, row, e)? {
+                    values.push(v);
+                }
+            }
+            None => values.push(Value::integer(1)), // COUNT(*)
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.to_string()));
+    }
+    match kind {
+        AggKind::Count => Ok(Some(Value::integer(values.len() as i64))),
+        AggKind::Sample => Ok(values.into_iter().next()),
+        AggKind::GroupConcat => {
+            let sep = separator.as_deref().unwrap_or(" ");
+            let parts: Vec<String> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Term(Term::Str(s)) => s.clone(),
+                    other => other.to_string(),
+                })
+                .collect();
+            Ok(Some(Value::string(parts.join(sep))))
+        }
+        AggKind::Sum | AggKind::Avg => {
+            if values.is_empty() {
+                return Ok(match kind {
+                    AggKind::Sum => Some(Value::integer(0)),
+                    _ => None,
+                });
+            }
+            // Arrays sum element-wise when every value is an array.
+            if values.iter().all(Value::is_array) {
+                let mut acc = ds.force_array(&values[0])?;
+                for v in &values[1..] {
+                    let next = ds.force_array(v)?;
+                    match acc.add(&next) {
+                        Ok(r) => acc = r,
+                        Err(_) => return Ok(None),
+                    }
+                }
+                if kind == AggKind::Avg {
+                    return Ok(acc
+                        .scalar_op(Num::Int(values.len() as i64), ssdm_array::BinOp::Div)
+                        .ok()
+                        .map(Value::array));
+                }
+                return Ok(Some(Value::array(acc)));
+            }
+            let mut acc = Num::Int(0);
+            let n = values.len();
+            for v in values {
+                let Some(x) = v.as_num() else {
+                    return Ok(None);
+                };
+                match acc.checked_add(x) {
+                    Ok(r) => acc = r,
+                    Err(_) => return Ok(None),
+                }
+            }
+            Ok(Some(match kind {
+                AggKind::Avg => Value::number(Num::Real(acc.as_f64() / n as f64)),
+                _ => Value::number(acc),
+            }))
+        }
+        AggKind::Min | AggKind::Max => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match v.order_cmp(&b) {
+                            std::cmp::Ordering::Less => kind == AggKind::Min,
+                            std::cmp::Ordering::Greater => kind == AggKind::Max,
+                            std::cmp::Ordering::Equal => false,
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best)
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Expression evaluation with SPARQL error semantics.
+//!
+//! `eval_expr` returns `Ok(None)` for *expression errors* — type
+//! mismatches, unbound variables, out-of-bounds subscripts — which
+//! filters treat as false and projections as unbound (thesis §3.6),
+//! while infrastructure failures (storage I/O) propagate as `Err`.
+//!
+//! Array semantics (thesis §4.1): dereference applies lazily to array
+//! proxies (only shrinking the pending view), arithmetic operators map
+//! element-wise over arrays and broadcast scalars, and comparison of
+//! arrays is element-wise with `=`/`!=` comparing whole contents.
+
+use ssdm_array::{BinOp, Num, Subscript};
+use ssdm_rdf::Term;
+
+use crate::ast::{ArithOp, CmpOp, Expr, SubscriptExpr};
+use crate::dataset::{Dataset, QueryError};
+use crate::eval::{builtins, Row};
+use crate::functions::Closure;
+use crate::value::Value;
+
+/// Evaluate an expression in a row context.
+pub fn eval_expr(ds: &mut Dataset, row: &Row, expr: &Expr) -> Result<Option<Value>, QueryError> {
+    match expr {
+        Expr::Var(v) => Ok(row.get(v).cloned()),
+        Expr::Const(t) => Ok(Some(ds.term_to_value(t))),
+        Expr::Not(e) => {
+            let v = eval_expr(ds, row, e)?;
+            Ok(v.and_then(|v| v.effective_bool())
+                .map(|b| Value::boolean(!b)))
+        }
+        Expr::Neg(e) => {
+            let Some(v) = eval_expr(ds, row, e)? else {
+                return Ok(None);
+            };
+            negate_value(ds, v)
+        }
+        Expr::And(a, b) => {
+            let av = eval_expr(ds, row, a)?.and_then(|v| v.effective_bool());
+            let bv = eval_expr(ds, row, b)?.and_then(|v| v.effective_bool());
+            // SPARQL three-valued logic: false dominates errors.
+            Ok(match (av, bv) {
+                (Some(false), _) | (_, Some(false)) => Some(Value::boolean(false)),
+                (Some(true), Some(true)) => Some(Value::boolean(true)),
+                _ => None,
+            })
+        }
+        Expr::Or(a, b) => {
+            let av = eval_expr(ds, row, a)?.and_then(|v| v.effective_bool());
+            let bv = eval_expr(ds, row, b)?.and_then(|v| v.effective_bool());
+            Ok(match (av, bv) {
+                (Some(true), _) | (_, Some(true)) => Some(Value::boolean(true)),
+                (Some(false), Some(false)) => Some(Value::boolean(false)),
+                _ => None,
+            })
+        }
+        Expr::Cmp(op, a, b) => {
+            let (Some(av), Some(bv)) = (eval_expr(ds, row, a)?, eval_expr(ds, row, b)?) else {
+                return Ok(None);
+            };
+            compare(ds, *op, av, bv)
+        }
+        Expr::Arith(op, a, b) => {
+            let (Some(av), Some(bv)) = (eval_expr(ds, row, a)?, eval_expr(ds, row, b)?) else {
+                return Ok(None);
+            };
+            arith(ds, *op, av, bv)
+        }
+        Expr::ArrayDeref { base, subscripts } => {
+            let Some(basev) = eval_expr(ds, row, base)? else {
+                return Ok(None);
+            };
+            let mut subs = Vec::with_capacity(subscripts.len());
+            for s in subscripts {
+                match eval_subscript(ds, row, s)? {
+                    Some(sub) => subs.push(sub),
+                    None => return Ok(None),
+                }
+            }
+            dereference(ds, basev, &subs)
+        }
+        Expr::Call { name, args } => eval_call(ds, row, name, args),
+        Expr::FunctionRef { name, bound } => {
+            let mut bound_vals = Vec::with_capacity(bound.len());
+            for b in bound {
+                match b {
+                    Some(e) => match eval_expr(ds, row, e)? {
+                        Some(v) => bound_vals.push(Some(v)),
+                        None => return Ok(None),
+                    },
+                    None => bound_vals.push(None),
+                }
+            }
+            if bound_vals.is_empty() {
+                Ok(Some(Value::Closure(Closure::reference(name.clone()))))
+            } else {
+                Ok(Some(Value::Closure(Closure::partial(
+                    name.clone(),
+                    bound_vals,
+                ))))
+            }
+        }
+        Expr::Exists { pattern, negated } => {
+            let rows = crate::eval::eval_pattern(ds, pattern, vec![row.clone()])?;
+            let exists = !rows.is_empty();
+            Ok(Some(Value::boolean(exists != *negated)))
+        }
+        Expr::InList {
+            needle,
+            haystack,
+            negated,
+        } => {
+            let Some(n) = eval_expr(ds, row, needle)? else {
+                return Ok(None);
+            };
+            let mut saw_error = false;
+            for h in haystack {
+                match eval_expr(ds, row, h)? {
+                    Some(v) => {
+                        let eq = match compare(ds, CmpOp::Eq, n.clone(), v)? {
+                            Some(b) => b.effective_bool().unwrap_or(false),
+                            None => false,
+                        };
+                        if eq {
+                            return Ok(Some(Value::boolean(!negated)));
+                        }
+                    }
+                    None => saw_error = true,
+                }
+            }
+            if saw_error {
+                Ok(None) // SPARQL: IN propagates errors when no match
+            } else {
+                Ok(Some(Value::boolean(*negated)))
+            }
+        }
+        Expr::Aggregate { .. } => Err(QueryError::Translation(
+            "aggregate used outside GROUP BY context".into(),
+        )),
+    }
+}
+
+fn eval_subscript(
+    ds: &mut Dataset,
+    row: &Row,
+    s: &SubscriptExpr,
+) -> Result<Option<Subscript>, QueryError> {
+    let eval_i64 = |ds: &mut Dataset, e: &Expr| -> Result<Option<i64>, QueryError> {
+        Ok(eval_expr(ds, row, e)?
+            .and_then(|v| v.as_num())
+            .map(|n| n.as_i64()))
+    };
+    Ok(match s {
+        SubscriptExpr::Index(e) => eval_i64(ds, e)?.map(Subscript::Index),
+        SubscriptExpr::Range { lo, stride, hi } => {
+            let lo = match lo {
+                Some(e) => match eval_i64(ds, e)? {
+                    Some(v) => Some(v),
+                    None => return Ok(None),
+                },
+                None => None,
+            };
+            let stride = match stride {
+                Some(e) => match eval_i64(ds, e)? {
+                    Some(v) => v,
+                    None => return Ok(None),
+                },
+                None => 1,
+            };
+            let hi = match hi {
+                Some(e) => match eval_i64(ds, e)? {
+                    Some(v) => Some(v),
+                    None => return Ok(None),
+                },
+                None => None,
+            };
+            Some(Subscript::Range { lo, stride, hi })
+        }
+        SubscriptExpr::All => Some(Subscript::All),
+    })
+}
+
+/// Apply a dereference to an array value. Proxies stay lazy unless the
+/// result is a single element (then one chunk fetch yields a scalar).
+pub fn dereference(
+    ds: &mut Dataset,
+    base: Value,
+    subs: &[Subscript],
+) -> Result<Option<Value>, QueryError> {
+    match base {
+        Value::Term(Term::Array(a)) => match a.dereference(subs) {
+            Ok(d) => {
+                if d.ndims() == 0
+                    || (d.is_scalar() && subs.iter().all(|s| matches!(s, Subscript::Index(_))))
+                {
+                    Ok(d.scalar_value().map(Value::number))
+                } else {
+                    Ok(Some(Value::array(d)))
+                }
+            }
+            Err(_) => Ok(None),
+        },
+        Value::Proxy(p) => match p.dereference(subs) {
+            Ok(d) => {
+                if d.element_count() == 1
+                    && subs.iter().all(|s| matches!(s, Subscript::Index(_)))
+                    && d.ndims() == 0
+                {
+                    let resolved = ds.arrays.resolve(&d, ds.strategy)?;
+                    Ok(resolved.scalar_value().map(Value::number))
+                } else {
+                    Ok(Some(Value::Proxy(d)))
+                }
+            }
+            Err(_) => Ok(None),
+        },
+        _ => Ok(None),
+    }
+}
+
+fn negate_value(ds: &mut Dataset, v: Value) -> Result<Option<Value>, QueryError> {
+    if let Some(n) = v.as_num() {
+        return Ok(n.checked_neg().ok().map(Value::number));
+    }
+    if v.is_array() {
+        let a = ds.force_array(&v)?;
+        return Ok(a.negate().ok().map(Value::array));
+    }
+    Ok(None)
+}
+
+/// Comparison with numeric, string, boolean and array semantics.
+pub fn compare(
+    ds: &mut Dataset,
+    op: CmpOp,
+    a: Value,
+    b: Value,
+) -> Result<Option<Value>, QueryError> {
+    use std::cmp::Ordering;
+    // Array equality compares full contents (thesis §4.1.6).
+    if a.is_array() || b.is_array() {
+        return match op {
+            CmpOp::Eq | CmpOp::Ne => {
+                if !(a.is_array() && b.is_array()) {
+                    return Ok(Some(Value::boolean(op == CmpOp::Ne)));
+                }
+                let fa = ds.force_array(&a)?;
+                let fb = ds.force_array(&b)?;
+                let eq = fa.array_eq(&fb);
+                Ok(Some(Value::boolean(if op == CmpOp::Eq { eq } else { !eq })))
+            }
+            _ => Ok(None),
+        };
+    }
+    let ord: Option<Ordering> = match (&a, &b) {
+        (Value::Term(Term::Number(x)), Value::Term(Term::Number(y))) => x.partial_cmp(y),
+        (Value::Term(Term::Str(x)), Value::Term(Term::Str(y))) => Some(x.cmp(y)),
+        (Value::Term(Term::Bool(x)), Value::Term(Term::Bool(y))) => Some(x.cmp(y)),
+        (Value::Term(Term::Uri(x)), Value::Term(Term::Uri(y))) => Some(x.cmp(y)),
+        (
+            Value::Term(Term::LangStr { value: x, .. }),
+            Value::Term(Term::LangStr { value: y, .. }),
+        ) => Some(x.cmp(y)),
+        _ => {
+            // Cross-kind: only equality/inequality are defined.
+            return match op {
+                CmpOp::Eq => Ok(Some(Value::boolean(a.value_eq(&b)))),
+                CmpOp::Ne => Ok(Some(Value::boolean(!a.value_eq(&b)))),
+                _ => Ok(None),
+            };
+        }
+    };
+    let Some(ord) = ord else {
+        return Ok(None); // NaN comparisons are errors.
+    };
+    let result = match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    };
+    Ok(Some(Value::boolean(result)))
+}
+
+/// Arithmetic over scalars and arrays (element-wise, scalar broadcast).
+pub fn arith(
+    ds: &mut Dataset,
+    op: ArithOp,
+    a: Value,
+    b: Value,
+) -> Result<Option<Value>, QueryError> {
+    let bin = match op {
+        ArithOp::Add => BinOp::Add,
+        ArithOp::Sub => BinOp::Sub,
+        ArithOp::Mul => BinOp::Mul,
+        ArithOp::Div => BinOp::Div,
+        ArithOp::Rem => BinOp::Rem,
+        ArithOp::Pow => BinOp::Pow,
+    };
+    match (a.is_array(), b.is_array()) {
+        (false, false) => {
+            let (Some(x), Some(y)) = (a.as_num(), b.as_num()) else {
+                return Ok(None);
+            };
+            Ok(bin.apply(x, y).ok().map(Value::number))
+        }
+        (true, false) => {
+            let Some(s) = b.as_num() else {
+                return Ok(None);
+            };
+            let arr = ds.force_array(&a)?;
+            Ok(arr.scalar_op(s, bin).ok().map(Value::array))
+        }
+        (false, true) => {
+            let Some(s) = a.as_num() else {
+                return Ok(None);
+            };
+            let arr = ds.force_array(&b)?;
+            Ok(arr.scalar_op_rev(s, bin).ok().map(Value::array))
+        }
+        (true, true) => {
+            let x = ds.force_array(&a)?;
+            let y = ds.force_array(&b)?;
+            Ok(x.zip_with(&y, bin).ok().map(Value::array))
+        }
+    }
+}
+
+/// Function-call dispatch: special forms, built-ins, defined views,
+/// foreign functions.
+fn eval_call(
+    ds: &mut Dataset,
+    row: &Row,
+    name: &str,
+    args: &[Expr],
+) -> Result<Option<Value>, QueryError> {
+    let lname = name.to_ascii_lowercase();
+    // Special forms that see unevaluated arguments.
+    match lname.as_str() {
+        "bound" => {
+            let Some(Expr::Var(v)) = args.first() else {
+                return Err(QueryError::Translation("BOUND expects a variable".into()));
+            };
+            return Ok(Some(Value::boolean(row.contains_key(v))));
+        }
+        "if" => {
+            if args.len() != 3 {
+                return Err(QueryError::Translation("IF expects 3 arguments".into()));
+            }
+            let c = eval_expr(ds, row, &args[0])?.and_then(|v| v.effective_bool());
+            return match c {
+                Some(true) => eval_expr(ds, row, &args[1]),
+                Some(false) => eval_expr(ds, row, &args[2]),
+                None => Ok(None),
+            };
+        }
+        "coalesce" => {
+            for a in args {
+                if let Some(v) = eval_expr(ds, row, a)? {
+                    return Ok(Some(v));
+                }
+            }
+            return Ok(None);
+        }
+        _ => {}
+    }
+    // Evaluate arguments strictly.
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        match eval_expr(ds, row, a)? {
+            Some(v) => vals.push(v),
+            None => return Ok(None),
+        }
+    }
+    apply_function(ds, name, &vals)
+}
+
+/// Call a function by name with evaluated arguments (also used by the
+/// second-order builtins to apply closures).
+pub fn apply_function(
+    ds: &mut Dataset,
+    name: &str,
+    args: &[Value],
+) -> Result<Option<Value>, QueryError> {
+    let lname = name.to_ascii_lowercase();
+    if let Some(result) = builtins::call_builtin(ds, &lname, args) {
+        return result;
+    }
+    if let Some(def) = ds.registry.lookup_defined(name) {
+        if def.params.len() != args.len() {
+            return Err(QueryError::Eval(format!(
+                "function {name} expects {} argument(s), got {}",
+                def.params.len(),
+                args.len()
+            )));
+        }
+        let mut initial = Row::new();
+        for (p, v) in def.params.iter().zip(args) {
+            initial.insert(p.clone(), v.clone());
+        }
+        let (_, rows) = crate::eval::select_solutions(ds, &def.body, initial)?;
+        // DAPLEX-style scalar context: the first column of the first
+        // solution is the call's value; no solutions is an error value.
+        return Ok(rows
+            .into_iter()
+            .next()
+            .and_then(|r| r.into_iter().next())
+            .flatten());
+    }
+    if let Some(f) = ds.registry.lookup_foreign(name) {
+        if f.arity != args.len() {
+            return Err(QueryError::Eval(format!(
+                "foreign function {name} expects {} argument(s), got {}",
+                f.arity,
+                args.len()
+            )));
+        }
+        let imp = f.imp.clone();
+        return match imp(args) {
+            Ok(v) => Ok(Some(v)),
+            Err(QueryError::Eval(_)) => Ok(None),
+            Err(other) => Err(other),
+        };
+    }
+    Err(QueryError::Translation(format!(
+        "unknown function '{name}'"
+    )))
+}
+
+/// Apply a closure value to arguments.
+pub fn apply_closure(
+    ds: &mut Dataset,
+    c: &Closure,
+    args: &[Value],
+) -> Result<Option<Value>, QueryError> {
+    let full = c.complete_args(args)?;
+    apply_function(ds, c.name(), &full)
+}
+
+/// Convenience used by builtins: coerce a value to a scalar number.
+pub fn want_num(v: &Value) -> Option<Num> {
+    v.as_num()
+}

@@ -1,0 +1,267 @@
+//! Property-path evaluation (thesis §3.4).
+//!
+//! Non-trivial paths (sequence, alternative, inverse, closures) are
+//! evaluated by set-oriented expansion over the graph: bound endpoints
+//! seed the search, `*`/`+` run a breadth-first fixpoint, and the
+//! resulting `(subject, object)` pairs join into the binding stream.
+
+use std::collections::{HashSet, VecDeque};
+
+use ssdm_rdf::TermId;
+
+use crate::ast::{Path, TermPattern, TriplePattern};
+use crate::dataset::{Dataset, QueryError};
+use crate::eval::{value_to_graph_id, Row};
+
+/// Evaluate a path-scan for each input row.
+pub fn eval_path_scan(
+    ds: &mut Dataset,
+    t: &TriplePattern,
+    input: Vec<Row>,
+) -> Result<Vec<Row>, QueryError> {
+    let mut out = Vec::new();
+    for row in input {
+        let s_bound = endpoint(ds, &row, &t.subject);
+        let o_bound = endpoint(ds, &row, &t.object);
+        // A bound endpoint that doesn't denote a graph node matches nothing.
+        if matches!(s_bound, Endpoint::Dead) || matches!(o_bound, Endpoint::Dead) {
+            continue;
+        }
+        let s_id = s_bound.id();
+        let o_id = o_bound.id();
+        let pairs = path_pairs(ds.active(), &t.path, s_id, o_id)?;
+        for (s, o) in pairs {
+            let mut extended = row.clone();
+            let mut ok = true;
+            if let TermPattern::Var(v) = &t.subject {
+                let val = ds.term_to_value(ds.active().term(s));
+                match extended.get(v.as_str()) {
+                    Some(existing) => ok = existing.value_eq(&val),
+                    None => {
+                        extended.insert(v.clone(), val);
+                    }
+                }
+            }
+            if ok {
+                if let TermPattern::Var(v) = &t.object {
+                    let val = ds.term_to_value(ds.active().term(o));
+                    match extended.get(v.as_str()) {
+                        Some(existing) => ok = existing.value_eq(&val),
+                        None => {
+                            extended.insert(v.clone(), val);
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push(extended);
+            }
+        }
+    }
+    Ok(out)
+}
+
+enum Endpoint {
+    Free,
+    Bound(TermId),
+    /// Bound to a value that is not a node of this graph.
+    Dead,
+}
+
+impl Endpoint {
+    fn id(&self) -> Option<TermId> {
+        match self {
+            Endpoint::Bound(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+fn endpoint(ds: &Dataset, row: &Row, tp: &TermPattern) -> Endpoint {
+    match tp {
+        TermPattern::Term(t) => match ds.active().dictionary().lookup(t) {
+            Some(id) => Endpoint::Bound(id),
+            None => Endpoint::Dead,
+        },
+        TermPattern::Var(v) => match row.get(v.as_str()) {
+            Some(val) => match value_to_graph_id(ds, val) {
+                Some(id) => Endpoint::Bound(id),
+                None => Endpoint::Dead,
+            },
+            None => Endpoint::Free,
+        },
+    }
+}
+
+/// All `(s, o)` pairs connected by `path`, restricted by optional bound
+/// endpoints.
+pub fn path_pairs(
+    graph: &ssdm_rdf::Graph,
+    path: &Path,
+    s: Option<TermId>,
+    o: Option<TermId>,
+) -> Result<Vec<(TermId, TermId)>, QueryError> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for pair in raw_pairs(graph, path, s, o)? {
+        if seen.insert(pair) {
+            out.push(pair);
+        }
+    }
+    Ok(out)
+}
+
+fn raw_pairs(
+    graph: &ssdm_rdf::Graph,
+    path: &Path,
+    s: Option<TermId>,
+    o: Option<TermId>,
+) -> Result<Vec<(TermId, TermId)>, QueryError> {
+    match path {
+        Path::Pred(TermPattern::Term(t)) => {
+            let Some(p) = graph.dictionary().lookup(t) else {
+                return Ok(Vec::new());
+            };
+            Ok(graph
+                .match_pattern(s, Some(p), o)
+                .map(|tr| (tr.s, tr.o))
+                .collect())
+        }
+        Path::Pred(TermPattern::Var(_)) => Err(QueryError::Translation(
+            "variable predicates are not allowed inside path operators".into(),
+        )),
+        Path::Inv(inner) => {
+            let pairs = raw_pairs(graph, inner, o, s)?;
+            Ok(pairs.into_iter().map(|(a, b)| (b, a)).collect())
+        }
+        Path::Alt(a, b) => {
+            let mut out = raw_pairs(graph, a, s, o)?;
+            out.extend(raw_pairs(graph, b, s, o)?);
+            Ok(out)
+        }
+        Path::Seq(a, b) => {
+            // Evaluate the more-bound side first.
+            let first = raw_pairs(graph, a, s, None)?;
+            let mut out = Vec::new();
+            let mut mids: HashSet<TermId> = HashSet::new();
+            for &(_, m) in &first {
+                mids.insert(m);
+            }
+            // For each distinct midpoint, continue with b.
+            let mut continuations: std::collections::HashMap<TermId, Vec<TermId>> =
+                std::collections::HashMap::new();
+            for m in mids {
+                let second = raw_pairs(graph, b, Some(m), o)?;
+                continuations.insert(m, second.into_iter().map(|(_, e)| e).collect());
+            }
+            for (start, m) in first {
+                if let Some(ends) = continuations.get(&m) {
+                    for &e in ends {
+                        out.push((start, e));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Path::Opt(inner) => {
+            let mut out = raw_pairs(graph, inner, s, o)?;
+            // Zero-length matches: every candidate node pairs with itself.
+            for n in identity_nodes(graph, s, o) {
+                out.push((n, n));
+            }
+            Ok(out)
+        }
+        Path::Star(inner) => {
+            let mut out: Vec<(TermId, TermId)> = identity_nodes(graph, s, o)
+                .into_iter()
+                .map(|n| (n, n))
+                .collect();
+            out.extend(closure_pairs(graph, inner, s, o)?);
+            Ok(out)
+        }
+        Path::Plus(inner) => closure_pairs(graph, inner, s, o)?
+            .into_iter()
+            .map(Ok)
+            .collect(),
+    }
+}
+
+/// Candidate nodes for zero-length path matches.
+fn identity_nodes(graph: &ssdm_rdf::Graph, s: Option<TermId>, o: Option<TermId>) -> Vec<TermId> {
+    match (s, o) {
+        (Some(a), Some(b)) => {
+            if a == b {
+                vec![a]
+            } else {
+                Vec::new()
+            }
+        }
+        (Some(a), None) => vec![a],
+        (None, Some(b)) => vec![b],
+        (None, None) => {
+            // All nodes occurring in the graph.
+            let mut set = HashSet::new();
+            for t in graph.iter() {
+                set.insert(t.s);
+                set.insert(t.o);
+            }
+            set.into_iter().collect()
+        }
+    }
+}
+
+/// Transitive closure (one or more steps) of `inner`.
+fn closure_pairs(
+    graph: &ssdm_rdf::Graph,
+    inner: &Path,
+    s: Option<TermId>,
+    o: Option<TermId>,
+) -> Result<Vec<(TermId, TermId)>, QueryError> {
+    // Choose the bound side as the BFS origin; invert if only o is bound.
+    if s.is_none() {
+        if let Some(oid) = o {
+            let inv = Path::Inv(Box::new(inner.clone()));
+            let pairs = closure_pairs(graph, &inv, Some(oid), None)?;
+            return Ok(pairs.into_iter().map(|(a, b)| (b, a)).collect());
+        }
+    }
+    let starts: Vec<TermId> = match s {
+        Some(id) => vec![id],
+        None => {
+            // All possible start nodes: subjects (and objects, for
+            // inverse steps) of the base path.
+            let mut set = HashSet::new();
+            for (a, _) in raw_pairs(graph, inner, None, None)? {
+                set.insert(a);
+            }
+            set.into_iter().collect()
+        }
+    };
+    let mut out = Vec::new();
+    for start in starts {
+        let mut visited: HashSet<TermId> = HashSet::new();
+        let mut queue: VecDeque<TermId> = VecDeque::new();
+        queue.push_back(start);
+        // BFS over one-step expansions; `visited` holds reached nodes
+        // (excluding the zero-step start unless reachable).
+        let mut frontier_guard = 0usize;
+        while let Some(node) = queue.pop_front() {
+            frontier_guard += 1;
+            if frontier_guard > graph.len() + graph.dictionary().len() + 1 {
+                break; // safety bound; cycles are caught by `visited`
+            }
+            for (_, next) in raw_pairs(graph, inner, Some(node), None)? {
+                if visited.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        for reached in visited {
+            match o {
+                Some(oid) if oid != reached => {}
+                _ => out.push((start, reached)),
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,162 @@
+//! Runtime values of SciSPARQL queries.
+//!
+//! A query variable binds to an RDF term, to an array — resident
+//! ([`ssdm_array::NumArray`]) or lazy ([`ssdm_storage::ArrayProxy`]) — or
+//! to a functional value (a [`Closure`], thesis §4.3). Proxies keep
+//! pending view transformations and are only materialized when element
+//! values are demanded.
+
+use std::fmt;
+
+use ssdm_array::{Num, NumArray};
+use ssdm_rdf::Term;
+use ssdm_storage::ArrayProxy;
+
+use crate::functions::Closure;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An RDF term (URIs, literals, resident arrays...).
+    Term(Term),
+    /// A lazy view over an externally stored array.
+    Proxy(ArrayProxy),
+    /// A functional value: a (partially applied) function reference.
+    Closure(Closure),
+}
+
+impl Value {
+    pub fn integer(i: i64) -> Value {
+        Value::Term(Term::integer(i))
+    }
+
+    pub fn double(r: f64) -> Value {
+        Value::Term(Term::double(r))
+    }
+
+    pub fn number(n: Num) -> Value {
+        Value::Term(Term::Number(n))
+    }
+
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::Term(Term::Str(s.into()))
+    }
+
+    pub fn boolean(b: bool) -> Value {
+        Value::Term(Term::Bool(b))
+    }
+
+    pub fn array(a: NumArray) -> Value {
+        Value::Term(Term::Array(a))
+    }
+
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            Value::Term(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<Num> {
+        match self {
+            Value::Term(Term::Number(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// True when the value is an array of either flavour.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Term(Term::Array(_)) | Value::Proxy(_))
+    }
+
+    /// Shape without materializing.
+    pub fn array_shape(&self) -> Option<Vec<usize>> {
+        match self {
+            Value::Term(Term::Array(a)) => Some(a.shape()),
+            Value::Proxy(p) => Some(p.shape()),
+            _ => None,
+        }
+    }
+
+    /// SPARQL Effective Boolean Value.
+    pub fn effective_bool(&self) -> Option<bool> {
+        match self {
+            Value::Term(t) => t.effective_bool(),
+            Value::Proxy(_) => Some(true),
+            Value::Closure(_) => Some(true),
+        }
+    }
+
+    /// Equality for joins and `=` filters. Proxies compare by identity
+    /// of the stored array and view (comparing elements would force
+    /// I/O inside a join; the executor materializes first when a filter
+    /// demands content equality across flavours).
+    pub fn value_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Term(a), Value::Term(b)) => a.value_eq(b),
+            (Value::Proxy(a), Value::Proxy(b)) => {
+                a.array_id() == b.array_id() && a.view() == b.view()
+            }
+            (Value::Closure(a), Value::Closure(b)) => a.same_function(b),
+            _ => false,
+        }
+    }
+
+    /// Total order for ORDER BY.
+    pub fn order_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Term(a), Value::Term(b)) => a.order_cmp(b),
+            (Value::Term(_), _) => Ordering::Less,
+            (_, Value::Term(_)) => Ordering::Greater,
+            (Value::Proxy(a), Value::Proxy(b)) => a
+                .array_id()
+                .cmp(&b.array_id())
+                .then_with(|| a.view().offset().cmp(&b.view().offset())),
+            (Value::Proxy(_), Value::Closure(_)) => Ordering::Less,
+            (Value::Closure(_), Value::Proxy(_)) => Ordering::Greater,
+            (Value::Closure(a), Value::Closure(b)) => a.name().cmp(b.name()),
+        }
+    }
+}
+
+impl From<Term> for Value {
+    fn from(t: Term) -> Self {
+        Value::Term(t)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Term(t) => write!(f, "{t}"),
+            Value::Proxy(p) => write!(f, "@proxy(array {}, shape {:?})", p.array_id(), p.shape()),
+            Value::Closure(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_value_eq_across_types() {
+        assert!(Value::integer(2).value_eq(&Value::double(2.0)));
+        assert!(!Value::integer(2).value_eq(&Value::string("2")));
+    }
+
+    #[test]
+    fn array_shape_resident() {
+        let v = Value::array(NumArray::from_i64_shaped(vec![1, 2, 3, 4], &[2, 2]).unwrap());
+        assert_eq!(v.array_shape(), Some(vec![2, 2]));
+        assert!(v.is_array());
+    }
+
+    #[test]
+    fn effective_bool_of_terms() {
+        assert_eq!(Value::integer(0).effective_bool(), Some(false));
+        assert_eq!(Value::string("").effective_bool(), Some(false));
+        assert_eq!(Value::boolean(true).effective_bool(), Some(true));
+    }
+}

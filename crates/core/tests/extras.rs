@@ -1,0 +1,251 @@
+//! Tests for the IN/NOT IN operator, DESCRIBE, and assorted language
+//! corners (error handling per thesis §3.6, OPTIONAL semantics per
+//! §5.4.2).
+
+use scisparql::{Dataset, QueryResult};
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:a ex:v 1 ; ex:name "a" .
+           ex:b ex:v 2 ; ex:name "b" .
+           ex:c ex:v 3 ; ex:name "c" ."#,
+    )
+    .unwrap();
+    ds
+}
+
+fn rows(ds: &mut Dataset, q: &str) -> Vec<Vec<Option<scisparql::Value>>> {
+    ds.query(q).unwrap().into_rows().unwrap()
+}
+
+#[test]
+fn in_list_membership() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n WHERE { ?s ex:v ?v ; ex:name ?n FILTER (?v IN (1, 3, 99)) }
+           ORDER BY ?n"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "\"a\"");
+    assert_eq!(r[1][0].as_ref().unwrap().to_string(), "\"c\"");
+}
+
+#[test]
+fn not_in_list() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n WHERE { ?s ex:v ?v ; ex:name ?n FILTER (?v NOT IN (1, 3)) }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "\"b\"");
+}
+
+#[test]
+fn in_list_with_expressions_and_strings() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n WHERE { ?s ex:v ?v ; ex:name ?n FILTER (?n IN ("a", concat("b", ""))) }"#,
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn describe_returns_subject_triples() {
+    let mut ds = dataset();
+    let QueryResult::Graph(g) = ds.query("PREFIX ex: <http://e#> DESCRIBE ex:a").unwrap() else {
+        panic!()
+    };
+    assert_eq!(g.len(), 2);
+    let QueryResult::Graph(g2) = ds
+        .query("PREFIX ex: <http://e#> DESCRIBE ex:a ex:b")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(g2.len(), 4);
+}
+
+#[test]
+fn describe_unknown_is_empty() {
+    let mut ds = dataset();
+    let QueryResult::Graph(g) = ds
+        .query("PREFIX ex: <http://e#> DESCRIBE ex:nothing")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(g.is_empty());
+}
+
+/// The thesis' §5.4.2 discussion: OPTIONAL is a left join evaluated in
+/// pattern order (operational semantics). This test pins our behaviour
+/// on the classic non-commutative example so it is explicit, not
+/// accidental.
+#[test]
+fn optional_order_is_operational() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:x ex:p 1 .
+           ex:x ex:q 2 .
+           ex:y ex:p 1 ."#,
+    )
+    .unwrap();
+    // OPTIONAL after the base pattern: both subjects survive, ?o bound
+    // only for ex:x.
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?s ?o WHERE { ?s ex:p 1 OPTIONAL { ?s ex:q ?o } } ORDER BY ?s"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert!(r[0][1].is_some());
+    assert!(r[1][1].is_none());
+}
+
+#[test]
+fn nested_optionals() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:a ex:p 1 ; ex:q 2 .
+           ex:b ex:p 1 ."#,
+    )
+    .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?s ?q ?r WHERE {
+             ?s ex:p 1
+             OPTIONAL { ?s ex:q ?q OPTIONAL { ?s ex:r ?r } }
+           } ORDER BY ?s"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert!(r[0][1].is_some() && r[0][2].is_none());
+    assert!(r[1][1].is_none() && r[1][2].is_none());
+}
+
+#[test]
+fn order_by_unbound_sorts_first() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:a ex:p 1 . ex:b ex:p 1 ; ex:q 5 ."#,
+    )
+    .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?s ?q WHERE { ?s ex:p 1 OPTIONAL { ?s ex:q ?q } } ORDER BY ?q"#,
+    );
+    assert!(r[0][1].is_none(), "unbound sorts before bound");
+    assert!(r[1][1].is_some());
+}
+
+#[test]
+fn having_without_group_by() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (SUM(?v) AS ?s) WHERE { ?x ex:v ?v } HAVING (SUM(?v) > 100)"#,
+    );
+    assert!(r.is_empty());
+    let r2 = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (SUM(?v) AS ?s) WHERE { ?x ex:v ?v } HAVING (SUM(?v) > 1)"#,
+    );
+    assert_eq!(r2.len(), 1);
+    assert_eq!(r2[0][0].as_ref().unwrap().to_string(), "6");
+}
+
+#[test]
+fn count_distinct() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:a ex:tag "x" . ex:b ex:tag "x" . ex:c ex:tag "y" ."#,
+    )
+    .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s ex:tag ?t }"#,
+    );
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "2");
+}
+
+#[test]
+fn values_joins_against_pattern_bindings() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n ?w WHERE {
+             ?s ex:v ?v ; ex:name ?n .
+             VALUES (?v ?w) { (1 "one") (2 "two") }
+           } ORDER BY ?v"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][1].as_ref().unwrap().to_string(), "\"one\"");
+    assert_eq!(r[1][1].as_ref().unwrap().to_string(), "\"two\"");
+}
+
+#[test]
+fn deref_of_non_array_is_unbound() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (?v[1] AS ?x) WHERE { ex:a ex:v ?v }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert!(
+        r[0][0].is_none(),
+        "subscripting a scalar is an error → unbound"
+    );
+}
+
+#[test]
+fn negative_stride_is_error_unbound() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle("@prefix ex: <http://e#> . ex:s ex:a (1 2 3 4) .")
+        .unwrap();
+    let r = rows(
+        &mut ds,
+        "PREFIX ex: <http://e#> SELECT (?a[1:0-1:4] AS ?x) WHERE { ex:s ex:a ?a }",
+    );
+    assert!(r[0][0].is_none());
+}
+
+#[test]
+fn string_comparisons() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n WHERE { ?s ex:name ?n FILTER (?n >= "b") } ORDER BY ?n"#,
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn arithmetic_type_error_filters_row() {
+    let mut ds = dataset();
+    // ?n is a string; ?n + 1 errors → filter false → no rows.
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n WHERE { ?s ex:name ?n FILTER (?n + 1 > 0) }"#,
+    );
+    assert!(r.is_empty());
+}

@@ -1,0 +1,104 @@
+//! Intra-array computations (thesis §4.1.5): conditions relating
+//! elements of the same array, expressed with subscript arithmetic and
+//! subscript-variable enumeration; plus reshape.
+
+use scisparql::Dataset;
+
+fn rows(ds: &mut Dataset, q: &str) -> Vec<Vec<Option<scisparql::Value>>> {
+    ds.query(q).unwrap().into_rows().unwrap()
+}
+
+#[test]
+fn neighbour_comparison_finds_local_maxima() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle("@prefix ex: <http://e#> . ex:s ex:signal (1 5 2 8 3 9 1) .")
+        .unwrap();
+    // Positions i (2..n-1) where a[i] > a[i-1] and a[i] > a[i+1].
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?i WHERE {
+             ex:s ex:signal ?a BIND (?a[?i] AS ?x)
+             FILTER (?i > 1 && ?i < array_count(?a)
+                     && ?x > ?a[?i - 1] && ?x > ?a[?i + 1])
+           } ORDER BY ?i"#,
+    );
+    let peaks: Vec<String> = r
+        .iter()
+        .map(|row| row[0].as_ref().unwrap().to_string())
+        .collect();
+    assert_eq!(peaks, vec!["2", "4", "6"]);
+}
+
+#[test]
+fn monotonicity_check_via_not_exists_violation() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:up ex:series (1 2 3 4) .
+           ex:bump ex:series (1 3 2 4) ."#,
+    )
+    .unwrap();
+    // Series with no descending adjacent pair are monotone.
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?s WHERE {
+             ?s ex:series ?a
+             FILTER NOT EXISTS {
+               ?s ex:series ?b BIND (?b[?i] AS ?x)
+               FILTER (?i < array_count(?b) && ?x > ?b[?i + 1])
+             }
+           }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "<http://e#up>");
+}
+
+#[test]
+fn row_vs_column_comparison_in_matrix() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle("@prefix ex: <http://e#> . ex:m ex:grid ((1 9) (3 4)) .")
+        .unwrap();
+    // Diagonal-dominance check per row: |a[i,i]| vs the off-diagonal.
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?i WHERE {
+             ex:m ex:grid ?a BIND (?a[?i, ?i] AS ?d)
+             FILTER (?d >= array_max(?a[?i]) )
+           }"#,
+    );
+    // Row 2: a[2,2]=4 >= max(3,4)=4 ✓; row 1: 1 >= 9 ✗.
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "2");
+}
+
+#[test]
+fn reshape_builtin() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle("@prefix ex: <http://e#> . ex:v ex:data (1 2 3 4 5 6) .")
+        .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (array_reshape(?a, array(2, 3)) AS ?m)
+                  (array_reshape(?a, array(3, 2))[2, 1] AS ?e)
+           WHERE { ex:v ex:data ?a }"#,
+    );
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "((1 2 3) (4 5 6))");
+    assert_eq!(r[0][1].as_ref().unwrap().to_string(), "3");
+}
+
+#[test]
+fn reshape_with_wrong_count_is_unbound() {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle("@prefix ex: <http://e#> . ex:v ex:data (1 2 3) .")
+        .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (array_reshape(?a, array(2, 2)) AS ?m) WHERE { ex:v ex:data ?a }"#,
+    );
+    assert!(r[0][0].is_none());
+}

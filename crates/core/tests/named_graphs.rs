@@ -1,0 +1,176 @@
+//! Named-graph queries (thesis §3.3.4): GRAPH patterns, FROM and
+//! FROM NAMED dataset clauses.
+
+use scisparql::Dataset;
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:alice ex:name "Alice" ."#,
+    )
+    .unwrap();
+    ds.load_turtle_named(
+        "http://graphs/math",
+        r#"@prefix ex: <http://e#> .
+           ex:alice ex:score (90 85 99) .
+           ex:bob ex:score (60 70 65) ."#,
+    )
+    .unwrap();
+    ds.load_turtle_named(
+        "http://graphs/bio",
+        r#"@prefix ex: <http://e#> .
+           ex:alice ex:score (40 50 45) ."#,
+    )
+    .unwrap();
+    ds
+}
+
+fn rows(ds: &mut Dataset, q: &str) -> Vec<Vec<Option<scisparql::Value>>> {
+    ds.query(q).unwrap().into_rows().unwrap()
+}
+
+#[test]
+fn graph_with_fixed_name() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (array_avg(?s) AS ?m) WHERE {
+             GRAPH <http://graphs/bio> { ex:alice ex:score ?s }
+           }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "45.0");
+}
+
+#[test]
+fn graph_variable_iterates_and_binds() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?g (array_max(?s) AS ?best) WHERE {
+             GRAPH ?g { ex:alice ex:score ?s }
+           } ORDER BY ?g"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "<http://graphs/bio>");
+    assert_eq!(r[0][1].as_ref().unwrap().to_string(), "50");
+    assert_eq!(
+        r[1][0].as_ref().unwrap().to_string(),
+        "<http://graphs/math>"
+    );
+    assert_eq!(r[1][1].as_ref().unwrap().to_string(), "99");
+}
+
+#[test]
+fn default_graph_not_visible_inside_graph_pattern() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n WHERE { GRAPH ?g { ex:alice ex:name ?n } }"#,
+    );
+    assert!(r.is_empty(), "name lives only in the default graph");
+}
+
+#[test]
+fn combine_default_and_named() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n (array_avg(?s) AS ?m) WHERE {
+             ?p ex:name ?n .
+             GRAPH <http://graphs/math> { ?p ex:score ?s }
+           }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "\"Alice\"");
+}
+
+#[test]
+fn from_retargets_default_graph() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p FROM <http://graphs/math> WHERE { ?p ex:score ?s }"#,
+    );
+    assert_eq!(r.len(), 2);
+    // The default-graph name triple is not visible under FROM.
+    let r2 = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?n FROM <http://graphs/math> WHERE { ?p ex:name ?n }"#,
+    );
+    assert!(r2.is_empty());
+}
+
+#[test]
+fn from_named_restricts_graph_variable() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?g FROM NAMED <http://graphs/bio> WHERE {
+             GRAPH ?g { ex:alice ex:score ?s }
+           }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "<http://graphs/bio>");
+}
+
+#[test]
+fn unknown_graph_matches_nothing() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?s WHERE { GRAPH <http://graphs/nope> { ?x ex:score ?s } }"#,
+    );
+    assert!(r.is_empty());
+}
+
+#[test]
+fn graph_var_prebound_by_values() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p WHERE {
+             VALUES ?g { <http://graphs/math> }
+             GRAPH ?g { ?p ex:score ?s }
+           }"#,
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn aggregates_across_graphs() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT (COUNT(?s) AS ?n) WHERE { GRAPH ?g { ?p ex:score ?s } }"#,
+    );
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "3");
+}
+
+#[test]
+fn nested_exists_sees_active_graph() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?g WHERE {
+             GRAPH ?g { ?p ex:score ?s FILTER EXISTS { ex:bob ex:score ?x } }
+           }"#,
+    );
+    // Only the math graph contains bob.
+    assert!(r
+        .iter()
+        .all(|row| row[0].as_ref().unwrap().to_string() == "<http://graphs/math>"));
+    assert_eq!(r.len(), 2);
+}

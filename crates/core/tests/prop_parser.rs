@@ -1,0 +1,89 @@
+//! Parser robustness: arbitrary input must never panic — only return
+//! `Ok` or a positioned parse error — and valid queries survive a
+//! parse → execute cycle without engine panics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII garbage never panics the lexer/parser.
+    #[test]
+    fn garbage_never_panics(input in "[ -~\\n\\t]{0,200}") {
+        let _ = scisparql::parser::parse(&input);
+    }
+
+    /// Garbage built from SPARQL-ish tokens never panics either (this
+    /// reaches deeper into the grammar than pure noise).
+    #[test]
+    fn tokeny_garbage_never_panics(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("SELECT".to_string()),
+            Just("WHERE".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just("?x".to_string()),
+            Just("?a".to_string()),
+            Just("FILTER".to_string()),
+            Just("OPTIONAL".to_string()),
+            Just("UNION".to_string()),
+            Just("GRAPH".to_string()),
+            Just("BIND".to_string()),
+            Just("AS".to_string()),
+            Just(".".to_string()),
+            Just(";".to_string()),
+            Just(",".to_string()),
+            Just(":".to_string()),
+            Just("*".to_string()),
+            Just("+".to_string()),
+            Just("/".to_string()),
+            Just("^".to_string()),
+            Just("|".to_string()),
+            Just("<http://p>".to_string()),
+            Just("\"str\"".to_string()),
+            Just("42".to_string()),
+            Just("3.5".to_string()),
+            Just("a".to_string()),
+            Just("COUNT".to_string()),
+            Just("GROUP".to_string()),
+            Just("BY".to_string()),
+            Just("ORDER".to_string()),
+            Just("LIMIT".to_string()),
+        ],
+        0..40,
+    )) {
+        let input = tokens.join(" ");
+        let _ = scisparql::parser::parse(&input);
+    }
+
+    /// Queries that do parse execute without panicking against a small
+    /// dataset (they may legitimately error or return empty results).
+    #[test]
+    fn parsed_queries_execute_safely(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("?s".to_string()),
+            Just("?o".to_string()),
+            Just("?v".to_string()),
+            Just("<http://p>".to_string()),
+            Just("<http://q>".to_string()),
+            Just("1".to_string()),
+            Just("\"x\"".to_string()),
+            Just(".".to_string()),
+        ],
+        3..12,
+    )) {
+        let body = tokens.join(" ");
+        let q = format!("SELECT * WHERE {{ {body} }}");
+        if let Ok(stmt) = scisparql::parser::parse(&q) {
+            let mut ds = scisparql::Dataset::in_memory();
+            ds.load_turtle(
+                "<http://s> <http://p> 1 . <http://s> <http://q> (1 2 3) .",
+            ).unwrap();
+            let _ = ds.execute(stmt);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Subqueries, MINUS, and bag-valued view calls (DAPLEX semantics,
+//! thesis §2.6 / §4.2).
+
+use scisparql::Dataset;
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::in_memory();
+    ds.load_turtle(
+        r#"@prefix ex: <http://e#> .
+           ex:a ex:dept "cs" ; ex:salary 100 .
+           ex:b ex:dept "cs" ; ex:salary 200 .
+           ex:c ex:dept "math" ; ex:salary 150 .
+           ex:d ex:dept "math" ; ex:salary 50 ."#,
+    )
+    .unwrap();
+    ds
+}
+
+fn rows(ds: &mut Dataset, q: &str) -> Vec<Vec<Option<scisparql::Value>>> {
+    ds.query(q).unwrap().into_rows().unwrap()
+}
+
+#[test]
+fn subquery_aggregates_then_joins() {
+    // Classic: employees earning above their department's average —
+    // requires an aggregating subquery.
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p ?s WHERE {
+             ?p ex:dept ?d ; ex:salary ?s .
+             { SELECT ?d (AVG(?x) AS ?avg) WHERE { ?q ex:dept ?d ; ex:salary ?x } GROUP BY ?d }
+             FILTER (?s > ?avg)
+           } ORDER BY ?p"#,
+    );
+    let names: Vec<String> = r
+        .iter()
+        .map(|row| row[0].as_ref().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["<http://e#b>", "<http://e#c>"]);
+}
+
+#[test]
+fn subquery_with_limit_restricts_outer() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p WHERE {
+             { SELECT ?p WHERE { ?p ex:salary ?s } ORDER BY DESC(?s) LIMIT 2 }
+             ?p ex:dept "cs" .
+           } ORDER BY ?p"#,
+    );
+    // Top-2 earners are b (200) and c (150); only b is in cs.
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "<http://e#b>");
+}
+
+#[test]
+fn minus_removes_compatible_solutions() {
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p WHERE {
+             ?p ex:salary ?s
+             MINUS { ?p ex:dept "cs" }
+           } ORDER BY ?p"#,
+    );
+    let names: Vec<String> = r
+        .iter()
+        .map(|row| row[0].as_ref().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["<http://e#c>", "<http://e#d>"]);
+}
+
+#[test]
+fn minus_with_disjoint_domains_removes_nothing() {
+    // SPARQL semantics: MINUS with no shared variables keeps everything.
+    let mut ds = dataset();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p WHERE { ?p ex:salary ?s MINUS { ?x ex:dept "cs" } }"#,
+    );
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn bag_valued_view_call_fans_out() {
+    // DAPLEX: a view returning a bag enumerates in BIND.
+    let mut ds = dataset();
+    ds.query(
+        r#"PREFIX ex: <http://e#>
+           DEFINE FUNCTION members(?d) AS SELECT ?p WHERE { ?p ex:dept ?d }"#,
+    )
+    .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?m WHERE { BIND (members("cs") AS ?m) } ORDER BY ?m"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "<http://e#a>");
+    assert_eq!(r[1][0].as_ref().unwrap().to_string(), "<http://e#b>");
+}
+
+#[test]
+fn bag_valued_call_joins_with_outer_bindings() {
+    let mut ds = dataset();
+    ds.query(
+        r#"PREFIX ex: <http://e#>
+           DEFINE FUNCTION members(?d) AS SELECT ?p WHERE { ?p ex:dept ?d }"#,
+    )
+    .unwrap();
+    // For each department, enumerate members and fetch their salaries.
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?d (SUM(?s) AS ?total) WHERE {
+             VALUES ?d { "cs" "math" }
+             BIND (members(?d) AS ?m)
+             ?m ex:salary ?s
+           } GROUP BY ?d ORDER BY ?d"#,
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][1].as_ref().unwrap().to_string(), "300"); // cs
+    assert_eq!(r[1][1].as_ref().unwrap().to_string(), "200"); // math
+}
+
+#[test]
+fn scalar_context_still_takes_first_solution() {
+    // In expressions (not BIND), view calls stay scalar.
+    let mut ds = dataset();
+    ds.query(
+        r#"PREFIX ex: <http://e#>
+           DEFINE FUNCTION top_salary() AS
+           SELECT ?s WHERE { ?p ex:salary ?s } ORDER BY DESC(?s) LIMIT 1"#,
+    )
+    .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?p WHERE { ?p ex:salary ?s FILTER (?s = top_salary()) }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].as_ref().unwrap().to_string(), "<http://e#b>");
+}
+
+#[test]
+fn empty_view_bag_leaves_bind_unbound() {
+    let mut ds = dataset();
+    ds.query(
+        r#"PREFIX ex: <http://e#>
+           DEFINE FUNCTION members(?d) AS SELECT ?p WHERE { ?p ex:dept ?d }"#,
+    )
+    .unwrap();
+    let r = rows(
+        &mut ds,
+        r#"PREFIX ex: <http://e#>
+           SELECT ?m WHERE { BIND (members("physics") AS ?m) }"#,
+    );
+    assert_eq!(r.len(), 1);
+    assert!(r[0][0].is_none());
+}

@@ -1,0 +1,342 @@
+//! The in-memory triple store.
+//!
+//! Triples of interned term ids are kept in three sorted indexes (SPO,
+//! POS, OSP) so any pattern with bound components resolves to a range
+//! scan — the standard native-RDF-store layout (thesis §2.2.3). The
+//! store maintains per-predicate statistics (triple count, distinct
+//! subjects/objects) that drive the SciSPARQL cost-based optimizer the
+//! way RDF-3X-style histograms do (§2.3.1).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::Bound;
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::term::Term;
+
+/// One RDF statement as interned ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    pub s: TermId,
+    pub p: TermId,
+    pub o: TermId,
+}
+
+/// Statistics for one predicate, used for selectivity estimation.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateStats {
+    pub count: usize,
+    pub distinct_subjects: usize,
+    pub distinct_objects: usize,
+}
+
+/// Whole-graph statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    pub triples: usize,
+    pub predicates: usize,
+}
+
+/// An RDF-with-Arrays graph: dictionary plus indexed triples.
+#[derive(Debug, Default)]
+pub struct Graph {
+    dict: Dictionary,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+    pred_subjects: HashMap<TermId, HashSet<TermId>>,
+    pred_objects: HashMap<TermId, HashSet<TermId>>,
+    pred_counts: HashMap<TermId, usize>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Intern a term into this graph's dictionary.
+    pub fn intern(&mut self, t: Term) -> TermId {
+        self.dict.intern(t)
+    }
+
+    /// Resolve an id to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// Insert a triple of already-interned ids. Returns false if present.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        if !self.spo.insert((s, p, o)) {
+            return false;
+        }
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        *self.pred_counts.entry(p).or_default() += 1;
+        self.pred_subjects.entry(p).or_default().insert(s);
+        self.pred_objects.entry(p).or_default().insert(o);
+        true
+    }
+
+    /// Intern terms and insert the triple.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.dict.intern(s);
+        let p = self.dict.intern(p);
+        let o = self.dict.intern(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Remove a triple. Returns true if it was present.
+    pub fn remove_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        if !self.spo.remove(&(s, p, o)) {
+            return false;
+        }
+        self.pos.remove(&(p, o, s));
+        self.osp.remove(&(o, s, p));
+        if let Some(c) = self.pred_counts.get_mut(&p) {
+            *c -= 1;
+        }
+        // Distinct-value stats are maintained lazily: recompute on demand.
+        if !self.spo.range(range_sp_any(s, p)).any(|_| true) {
+            if let Some(set) = self.pred_subjects.get_mut(&p) {
+                set.remove(&s);
+            }
+        }
+        if !self
+            .pos
+            .range((
+                Bound::Included((p, o, TermId(0))),
+                Bound::Included((p, o, TermId(u32::MAX))),
+            ))
+            .any(|_| true)
+        {
+            if let Some(set) = self.pred_objects.get_mut(&p) {
+                set.remove(&o);
+            }
+        }
+        true
+    }
+
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// All triples matching a pattern with optional bound components.
+    /// Chooses the index whose prefix covers the bound positions.
+    pub fn match_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = Triple> + '_> {
+        const MIN: TermId = TermId(0);
+        const MAX: TermId = TermId(u32::MAX);
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let hit = self.spo.contains(&(s, p, o));
+                Box::new(hit.then_some(Triple { s, p, o }).into_iter())
+            }
+            (Some(s), Some(p), None) => Box::new(
+                self.spo
+                    .range((Bound::Included((s, p, MIN)), Bound::Included((s, p, MAX))))
+                    .map(|&(s, p, o)| Triple { s, p, o }),
+            ),
+            (Some(s), None, None) => Box::new(
+                self.spo
+                    .range((
+                        Bound::Included((s, MIN, MIN)),
+                        Bound::Included((s, MAX, MAX)),
+                    ))
+                    .map(|&(s, p, o)| Triple { s, p, o }),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((Bound::Included((p, o, MIN)), Bound::Included((p, o, MAX))))
+                    .map(|&(p, o, s)| Triple { s, p, o }),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((
+                        Bound::Included((p, MIN, MIN)),
+                        Bound::Included((p, MAX, MAX)),
+                    ))
+                    .map(|&(p, o, s)| Triple { s, p, o }),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((
+                        Bound::Included((o, MIN, MIN)),
+                        Bound::Included((o, MAX, MAX)),
+                    ))
+                    .map(|&(o, s, p)| Triple { s, p, o }),
+            ),
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((Bound::Included((o, s, MIN)), Bound::Included((o, s, MAX))))
+                    .map(|&(o, s, p)| Triple { s, p, o }),
+            ),
+            (None, None, None) => Box::new(self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })),
+        }
+    }
+
+    /// Estimated number of matches for a pattern, without scanning.
+    /// Drives join-order selection in the optimizer.
+    pub fn estimate_pattern(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> f64 {
+        let total = self.spo.len() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        match (s, p, o) {
+            (Some(_), Some(_), Some(_)) => 1.0,
+            (_, Some(p), _) => {
+                let st = self.predicate_stats(p);
+                let mut est = st.count as f64;
+                if s.is_some() {
+                    est /= (st.distinct_subjects.max(1)) as f64;
+                }
+                if o.is_some() {
+                    est /= (st.distinct_objects.max(1)) as f64;
+                }
+                est.max(if st.count == 0 { 0.0 } else { 1.0 })
+            }
+            (Some(_), None, Some(_)) => (total / self.dict.len().max(1) as f64).max(1.0),
+            (Some(_), None, None) | (None, None, Some(_)) => {
+                (total / self.dict.len().max(1) as f64).max(1.0) * 3.0
+            }
+            (None, None, None) => total,
+        }
+    }
+
+    pub fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        PredicateStats {
+            count: self.pred_counts.get(&p).copied().unwrap_or(0),
+            distinct_subjects: self.pred_subjects.get(&p).map(|s| s.len()).unwrap_or(0),
+            distinct_objects: self.pred_objects.get(&p).map(|s| s.len()).unwrap_or(0),
+        }
+    }
+
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            triples: self.spo.len(),
+            predicates: self.pred_counts.iter().filter(|(_, &c)| c > 0).count(),
+        }
+    }
+
+    /// All triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+    }
+}
+
+type TripleRange = (
+    Bound<(TermId, TermId, TermId)>,
+    Bound<(TermId, TermId, TermId)>,
+);
+
+fn range_sp_any(s: TermId, p: TermId) -> TripleRange {
+    (
+        Bound::Included((s, p, TermId(0))),
+        Bound::Included((s, p, TermId(u32::MAX))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Term::blank("a"), Term::uri("foaf:name"), Term::str("Alice"));
+        g.insert(Term::blank("a"), Term::uri("foaf:knows"), Term::blank("b"));
+        g.insert(Term::blank("a"), Term::uri("foaf:knows"), Term::blank("d"));
+        g.insert(Term::blank("b"), Term::uri("foaf:name"), Term::str("Bob"));
+        g.insert(
+            Term::blank("d"),
+            Term::uri("foaf:name"),
+            Term::str("Daniel"),
+        );
+        g
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut g = Graph::new();
+        assert!(g.insert(Term::blank("x"), Term::uri("p"), Term::integer(1)));
+        assert!(!g.insert(Term::blank("x"), Term::uri("p"), Term::integer(1)));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn pattern_spo_bound_combinations() {
+        let g = sample();
+        let name = g.dictionary().lookup(&Term::uri("foaf:name")).unwrap();
+        let knows = g.dictionary().lookup(&Term::uri("foaf:knows")).unwrap();
+        let a = g.dictionary().lookup(&Term::blank("a")).unwrap();
+        let alice = g.dictionary().lookup(&Term::str("Alice")).unwrap();
+
+        assert_eq!(g.match_pattern(None, None, None).count(), 5);
+        assert_eq!(g.match_pattern(None, Some(name), None).count(), 3);
+        assert_eq!(g.match_pattern(Some(a), None, None).count(), 3);
+        assert_eq!(g.match_pattern(Some(a), Some(knows), None).count(), 2);
+        assert_eq!(g.match_pattern(None, Some(name), Some(alice)).count(), 1);
+        assert_eq!(g.match_pattern(None, None, Some(alice)).count(), 1);
+        assert_eq!(g.match_pattern(Some(a), Some(name), Some(alice)).count(), 1);
+        assert_eq!(g.match_pattern(Some(a), None, Some(alice)).count(), 1);
+    }
+
+    #[test]
+    fn remove_maintains_indexes() {
+        let mut g = sample();
+        let name = g.dictionary().lookup(&Term::uri("foaf:name")).unwrap();
+        let a = g.dictionary().lookup(&Term::blank("a")).unwrap();
+        let alice = g.dictionary().lookup(&Term::str("Alice")).unwrap();
+        assert!(g.remove_ids(a, name, alice));
+        assert!(!g.remove_ids(a, name, alice));
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.match_pattern(None, Some(name), None).count(), 2);
+        assert_eq!(g.match_pattern(None, None, Some(alice)).count(), 0);
+    }
+
+    #[test]
+    fn predicate_stats_track_distincts() {
+        let g = sample();
+        let knows = g.dictionary().lookup(&Term::uri("foaf:knows")).unwrap();
+        let st = g.predicate_stats(knows);
+        assert_eq!(st.count, 2);
+        assert_eq!(st.distinct_subjects, 1);
+        assert_eq!(st.distinct_objects, 2);
+    }
+
+    #[test]
+    fn estimates_are_ordered_sensibly() {
+        let g = sample();
+        let name = g.dictionary().lookup(&Term::uri("foaf:name")).unwrap();
+        let full = g.estimate_pattern(None, None, None);
+        let by_p = g.estimate_pattern(None, Some(name), None);
+        let by_po = g.estimate_pattern(None, Some(name), Some(TermId(0)));
+        assert!(by_p <= full);
+        assert!(by_po <= by_p);
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let g = sample();
+        let st = g.stats();
+        assert_eq!(st.triples, 5);
+        assert_eq!(st.predicates, 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: random RDF-with-Arrays graphs survive
+//! serialize → parse round trips through both Turtle and N-Triples
+//! (with consolidation restoring arrays).
+
+use proptest::prelude::*;
+use ssdm_array::NumArray;
+use ssdm_rdf::{consolidate_collections, ntriples, turtle, Graph, Namespaces, Term};
+
+/// Strategy: a random RDF term usable as an object.
+fn objects() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z][a-z0-9]{0,8}".prop_map(|s| Term::uri(format!("http://t/{s}"))),
+        any::<i64>().prop_map(Term::integer),
+        // Finite reals only: NaN breaks value round-trip comparison.
+        (-1.0e12f64..1.0e12).prop_map(Term::double),
+        "[ -~]{0,20}".prop_map(Term::str),
+        any::<bool>().prop_map(Term::Bool),
+        prop::collection::vec(-1000i64..1000, 1..8)
+            .prop_map(|v| Term::Array(NumArray::from_i64(v))),
+        (1usize..4, prop::collection::vec(-100i64..100, 1..4)).prop_map(|(rows, base)| {
+            let cols = base.len();
+            let data: Vec<i64> = (0..rows * cols)
+                .map(|i| base[i % cols] + i as i64)
+                .collect();
+            Term::Array(NumArray::from_i64_shaped(data, &[rows, cols]).unwrap())
+        }),
+    ]
+}
+
+fn graphs() -> impl Strategy<Value = Vec<(String, String, Term)>> {
+    prop::collection::vec(
+        ("[a-z][a-z0-9]{0,6}", "[a-z][a-z0-9]{0,6}", objects()),
+        1..25,
+    )
+}
+
+fn build(triples: &[(String, String, Term)]) -> Graph {
+    let mut g = Graph::new();
+    for (s, p, o) in triples {
+        g.insert(
+            Term::uri(format!("http://s/{s}")),
+            Term::uri(format!("http://p/{p}")),
+            o.clone(),
+        );
+    }
+    g
+}
+
+fn graphs_equivalent(a: &Graph, b: &Graph) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|t| {
+        let (s, p, o) = (a.term(t.s), a.term(t.p), a.term(t.o));
+        b.iter()
+            .any(|u| b.term(u.s).value_eq(s) && b.term(u.p).value_eq(p) && b.term(u.o).value_eq(o))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn turtle_round_trip(triples in graphs()) {
+        let g = build(&triples);
+        let text = turtle::serialize(&g, &Namespaces::new());
+        let mut back = Graph::new();
+        turtle::parse_into(&mut back, &text).unwrap();
+        prop_assert!(graphs_equivalent(&g, &back), "turtle:\n{text}");
+    }
+
+    #[test]
+    fn ntriples_round_trip_with_consolidation(triples in graphs()) {
+        let g = build(&triples);
+        let text = ntriples::serialize(&g);
+        let mut back = Graph::new();
+        turtle::parse_into(&mut back, &text).unwrap();
+        consolidate_collections(&mut back);
+        prop_assert!(graphs_equivalent(&g, &back), "ntriples:\n{text}");
+    }
+
+    /// Pattern matching agrees with a linear scan of the triple list.
+    #[test]
+    fn match_pattern_equals_scan(triples in graphs(), probe in 0usize..25) {
+        let g = build(&triples);
+        prop_assume!(!triples.is_empty());
+        let (s, p, _) = &triples[probe % triples.len()];
+        let sid = g.dictionary().lookup(&Term::uri(format!("http://s/{s}")));
+        let pid = g.dictionary().lookup(&Term::uri(format!("http://p/{p}")));
+        let via_index = g.match_pattern(sid, pid, None).count();
+        let via_scan = g
+            .iter()
+            .filter(|t| Some(t.s) == sid && Some(t.p) == pid)
+            .count();
+        prop_assert_eq!(via_index, via_scan);
+    }
+}

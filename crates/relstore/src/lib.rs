@@ -1,0 +1,36 @@
+//! An embedded page-based relational storage substrate.
+//!
+//! The SciSPARQL evaluation (thesis §6.2–6.3) stores array chunks in a
+//! relational back-end table keyed `(array_id, chunk_id)` with a
+//! clustered index, and compares retrieval strategies that differ in how
+//! many SQL statements they issue (one per chunk, an `IN`-list, or range
+//! queries produced by the Sequence Pattern Detector). This crate
+//! reproduces that substrate without an external RDBMS:
+//!
+//! * [`Pager`] — page storage, in memory or in a file;
+//! * [`BufferPool`] — an LRU page cache with hit/miss statistics;
+//! * [`BPlusTree`] — a clustered B+-tree of 16-byte keys with
+//!   overflow-chain values (chunks may exceed the page size);
+//! * [`Db`] — the "SQL" surface: point, `IN`-list and range lookups,
+//!   each counted as one *statement* and charged a configurable
+//!   per-statement latency that models the client–server round trip of
+//!   the paper's MySQL setup.
+//!
+//! The observable quantities the paper's experiments depend on —
+//! statements issued, rows fetched, pages touched, buffer hit rate,
+//! sequential-vs-random access cost — are all first-class here.
+
+mod btree;
+mod buffer;
+mod db;
+mod latency;
+mod pager;
+
+pub use btree::BPlusTree;
+pub use buffer::{BufferPool, PoolStats};
+pub use db::{Db, DbOptions, Key, StatementStats};
+pub use latency::LatencyModel;
+pub use pager::{PageId, Pager, StoreError, PAGE_SIZE};
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,110 @@
+//! Behavioural tests of the buffer pool under realistic access
+//! patterns: these properties are what make the buffer-size experiment
+//! (E2) and the sequential-vs-random comparison meaningful.
+
+use relstore::{Db, DbOptions, Key, LatencyModel};
+
+fn filled_db(pool_pages: usize, rows: u64, value_len: usize) -> Db {
+    let mut db = Db::open_memory(DbOptions {
+        pool_pages,
+        latency: LatencyModel::none(),
+    })
+    .unwrap();
+    let payload = vec![7u8; value_len];
+    for k in 0..rows {
+        db.put(Key::new(1, k), &payload).unwrap();
+    }
+    db.flush().unwrap();
+    db
+}
+
+#[test]
+fn sequential_scan_beats_random_on_physical_reads() {
+    // A pool big enough for the working set of a scan but far smaller
+    // than the whole table.
+    let rows = 4000u64;
+    let mut db = filled_db(32, rows, 64);
+    db.reset_stats();
+
+    // Sequential: one range scan.
+    db.get_range(1, 0, rows - 1).unwrap();
+    let seq = db.pool_stats();
+
+    // Random: same number of rows touched by shuffled point lookups.
+    let mut db2 = filled_db(32, rows, 64);
+    db2.reset_stats();
+    let mut k = 1u64;
+    for _ in 0..rows {
+        k = (k * 48271) % rows;
+        db2.get(Key::new(1, k)).unwrap();
+    }
+    let rnd = db2.pool_stats();
+
+    assert!(
+        rnd.misses as f64 > seq.misses as f64 * 1.5,
+        "random access must fault more: seq {} vs rnd {}",
+        seq.misses,
+        rnd.misses
+    );
+}
+
+#[test]
+fn bigger_pool_means_fewer_misses() {
+    let rows = 2000u64;
+    let mut misses = Vec::new();
+    for pool in [4usize, 16, 64, 256, 4096] {
+        let mut db = filled_db(pool, rows, 32);
+        db.reset_stats();
+        // A repeated scan workload with some locality.
+        for _ in 0..3 {
+            db.get_range(1, 0, 499).unwrap();
+        }
+        misses.push(db.pool_stats().misses);
+    }
+    assert!(
+        misses.windows(2).all(|w| w[0] >= w[1]),
+        "misses must be non-increasing in pool size: {misses:?}"
+    );
+    // With a pool covering the working set, repeat scans hit entirely.
+    assert!(misses.last().unwrap() < misses.first().unwrap());
+}
+
+#[test]
+fn repeated_point_lookups_hit_cache() {
+    let mut db = filled_db(128, 100, 32);
+    db.get(Key::new(1, 42)).unwrap();
+    db.reset_stats();
+    for _ in 0..50 {
+        db.get(Key::new(1, 42)).unwrap();
+    }
+    let s = db.pool_stats();
+    assert_eq!(s.misses, 0, "hot key must stay resident");
+    assert!(s.hits > 0);
+}
+
+#[test]
+fn hit_rate_reporting() {
+    let mut db = filled_db(1024, 10, 16);
+    db.reset_stats();
+    db.get(Key::new(1, 3)).unwrap();
+    db.get(Key::new(1, 3)).unwrap();
+    let s = db.pool_stats();
+    assert!(s.hit_rate() > 0.0 && s.hit_rate() <= 1.0);
+}
+
+#[test]
+fn overwrites_do_not_corrupt_neighbours() {
+    let mut db = filled_db(8, 500, 48);
+    // Overwrite every 7th row with a distinct payload.
+    for k in (0..500u64).step_by(7) {
+        db.put(Key::new(1, k), &k.to_le_bytes()).unwrap();
+    }
+    for k in 0..500u64 {
+        let v = db.get(Key::new(1, k)).unwrap().unwrap();
+        if k % 7 == 0 {
+            assert_eq!(v, k.to_le_bytes().to_vec());
+        } else {
+            assert_eq!(v, vec![7u8; 48]);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-based property tests: the chunk database must behave exactly
+//! like a `BTreeMap<(u64, u64), Vec<u8>>` under random operation mixes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use relstore::{Db, DbOptions, Key, LatencyModel};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, u64, Vec<u8>),
+    Get(u64, u64),
+    Delete(u64, u64),
+    Range(u64, u64, u64),
+    In(u64, Vec<u64>),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (
+            0u64..4,
+            0u64..64,
+            prop::collection::vec(any::<u8>(), 0..200)
+        )
+            .prop_map(|(a, c, v)| Op::Put(a, c, v)),
+        (0u64..4, 0u64..64).prop_map(|(a, c)| Op::Get(a, c)),
+        (0u64..4, 0u64..64).prop_map(|(a, c)| Op::Delete(a, c)),
+        (0u64..4, 0u64..64, 0u64..64).prop_map(|(a, l, h)| Op::Range(a, l.min(h), l.max(h))),
+        (0u64..4, prop::collection::vec(0u64..64, 0..10)).prop_map(|(a, cs)| Op::In(a, cs)),
+    ];
+    prop::collection::vec(op, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn db_matches_btreemap_model(ops in ops(), pool_pages in 2usize..64) {
+        let mut db = Db::open_memory(DbOptions {
+            pool_pages,
+            latency: LatencyModel::none(),
+        }).unwrap();
+        let mut model: BTreeMap<(u64, u64), Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put(a, c, v) => {
+                    db.put(Key::new(a, c), &v).unwrap();
+                    model.insert((a, c), v);
+                }
+                Op::Get(a, c) => {
+                    let got = db.get(Key::new(a, c)).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&(a, c)));
+                }
+                Op::Delete(a, c) => {
+                    let existed = db.delete(Key::new(a, c)).unwrap();
+                    prop_assert_eq!(existed, model.remove(&(a, c)).is_some());
+                }
+                Op::Range(a, lo, hi) => {
+                    let got = db.get_range(a, lo, hi).unwrap();
+                    let want: Vec<((u64, u64), Vec<u8>)> = model
+                        .range((a, lo)..=(a, hi))
+                        .map(|(k, v)| (*k, v.clone()))
+                        .collect();
+                    prop_assert_eq!(got.len(), want.len());
+                    for ((k, v), (wk, wv)) in got.iter().zip(&want) {
+                        prop_assert_eq!((k.array_id, k.chunk_id), *wk);
+                        prop_assert_eq!(v, wv);
+                    }
+                }
+                Op::In(a, cs) => {
+                    let got = db.get_in(a, &cs).unwrap();
+                    let want: Vec<(u64, Vec<u8>)> = cs
+                        .iter()
+                        .filter_map(|&c| model.get(&(a, c)).map(|v| (c, v.clone())))
+                        .collect();
+                    prop_assert_eq!(got.len(), want.len());
+                    for ((k, v), (wc, wv)) in got.iter().zip(&want) {
+                        prop_assert_eq!(k.chunk_id, *wc);
+                        prop_assert_eq!(v, wv);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bulk sequential load then full scan: order and contents intact
+    /// across leaf splits, including values larger than one page.
+    #[test]
+    fn bulk_load_scan(n in 1usize..600, value_len in 0usize..9000) {
+        let mut db = Db::open_memory(DbOptions::default()).unwrap();
+        let payload: Vec<u8> = (0..value_len).map(|i| (i % 251) as u8).collect();
+        for c in 0..n as u64 {
+            let mut v = payload.clone();
+            v.extend_from_slice(&c.to_le_bytes());
+            db.put(Key::new(1, c), &v).unwrap();
+        }
+        let rows = db.get_range(1, 0, n as u64).unwrap();
+        prop_assert_eq!(rows.len(), n);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            prop_assert_eq!(k.chunk_id, i as u64);
+            prop_assert_eq!(&v[value_len..], &(i as u64).to_le_bytes());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The SSDM command-line shell: load RDF-with-Arrays data and run
+//! SciSPARQL statements interactively or from files.
+//!
+//! ```text
+//! ssdm-cli [--backend memory|relational|file:DIR] [--load FILE.ttl]...
+//!          [--threshold N --chunk BYTES] [--exec 'QUERY'] [--snapshot FILE]
+//! ```
+//!
+//! Without `--exec`, reads statements from stdin; a statement ends at a
+//! line containing only `;;` (queries may span lines). Meta-commands:
+//! `.load FILE`, `.save FILE`, `.stats`, `.help`, `.quit`.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use ssdm::{Backend, Ssdm};
+use ssdm_storage::ChunkStore;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ssdm-cli [--backend memory|relational|file:DIR]\n\
+         \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
+         \x20               [--snapshot FILE] [--exec 'STATEMENT']"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut backend = Backend::Memory;
+    let mut loads: Vec<PathBuf> = Vec::new();
+    let mut threshold: Option<usize> = None;
+    let mut chunk: usize = 64 * 1024;
+    let mut exec: Vec<String> = Vec::new();
+    let mut snapshot: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                backend = match v.as_str() {
+                    "memory" => Backend::Memory,
+                    "relational" => Backend::Relational,
+                    other => match other.strip_prefix("file:") {
+                        Some(dir) => Backend::File(PathBuf::from(dir)),
+                        None => usage(),
+                    },
+                };
+            }
+            "--load" => loads.push(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--threshold" => {
+                threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--chunk" => {
+                chunk = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--exec" => exec.push(args.next().unwrap_or_else(|| usage())),
+            "--snapshot" => snapshot = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    let mut db = Ssdm::open(backend);
+    if let Some(t) = threshold {
+        db.set_externalize_threshold(t, chunk);
+    }
+    if let Some(snap) = &snapshot {
+        if snap.exists() {
+            match db.load_snapshot(snap) {
+                Ok(()) => eprintln!("loaded snapshot {}", snap.display()),
+                Err(e) => {
+                    eprintln!("cannot load snapshot: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    for path in &loads {
+        match db.load_turtle_file(path) {
+            Ok(n) => eprintln!("loaded {n} triples from {}", path.display()),
+            Err(e) => {
+                eprintln!("error loading {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !exec.is_empty() {
+        for statement in exec {
+            run(&mut db, &statement);
+        }
+        save_snapshot_if(&db, &snapshot);
+        return;
+    }
+
+    // Interactive / piped mode.
+    eprintln!("SSDM shell — end statements with a line ';;', '.help' for commands");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            let mut parts = trimmed.splitn(2, ' ');
+            match (parts.next().unwrap_or(""), parts.next()) {
+                (".quit", _) | (".exit", _) => break,
+                (".help", _) => eprintln!(
+                    ".load FILE   load a Turtle file\n\
+                     .save FILE   write a snapshot\n\
+                     .stats       graph and back-end statistics\n\
+                     .quit        exit"
+                ),
+                (".load", Some(f)) => match db.load_turtle_file(std::path::Path::new(f)) {
+                    Ok(n) => eprintln!("loaded {n} triples"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                (".save", Some(f)) => match db.save_snapshot(std::path::Path::new(f)) {
+                    Ok(()) => eprintln!("snapshot written to {f}"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                (".stats", _) => {
+                    let st = db.dataset.graph.stats();
+                    let io = db.dataset.arrays.backend().io_stats();
+                    eprintln!(
+                        "graph: {} triples, {} predicates; named graphs: {}; \
+                         back-end: {} statements, {} chunks, {} bytes",
+                        st.triples,
+                        st.predicates,
+                        db.dataset.named_graphs.len(),
+                        io.statements,
+                        io.chunks_returned,
+                        io.bytes_returned
+                    );
+                }
+                other => eprintln!("unknown command {other:?}; try .help"),
+            }
+            continue;
+        }
+        if trimmed == ";;" {
+            if !buffer.trim().is_empty() {
+                run(&mut db, &buffer);
+            }
+            buffer.clear();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+    }
+    if !buffer.trim().is_empty() {
+        run(&mut db, &buffer);
+    }
+    save_snapshot_if(&db, &snapshot);
+}
+
+fn run(db: &mut Ssdm, statement: &str) {
+    match db.query(statement) {
+        Ok(result) => {
+            print!("{}", result.to_table());
+            std::io::stdout().flush().ok();
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn save_snapshot_if(db: &Ssdm, snapshot: &Option<PathBuf>) {
+    if let Some(snap) = snapshot {
+        match db.save_snapshot(snap) {
+            Ok(()) => eprintln!("snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write snapshot: {e}"),
+        }
+    }
+}

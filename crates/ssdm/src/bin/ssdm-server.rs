@@ -1,0 +1,98 @@
+//! The SSDM TCP server: serve SciSPARQL over the framed wire protocol
+//! (thesis §5.1 client-server deployment; the ch. 7 Matlab client's
+//! peer).
+//!
+//! ```text
+//! ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]
+//!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
+//! ```
+//!
+//! Send the statement `SHUTDOWN` to stop the server.
+
+use std::path::PathBuf;
+
+use ssdm::server::Server;
+use ssdm::{Backend, Ssdm};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]\n\
+         \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:8580".to_string();
+    let mut backend = Backend::Memory;
+    let mut loads: Vec<PathBuf> = Vec::new();
+    let mut threshold: Option<usize> = None;
+    let mut chunk: usize = 64 * 1024;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                backend = match v.as_str() {
+                    "memory" => Backend::Memory,
+                    "relational" => Backend::Relational,
+                    other => match other.strip_prefix("file:") {
+                        Some(dir) => Backend::File(PathBuf::from(dir)),
+                        None => usage(),
+                    },
+                };
+            }
+            "--load" => loads.push(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--threshold" => {
+                threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--chunk" => {
+                chunk = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    let mut db = Ssdm::open(backend);
+    if let Some(t) = threshold {
+        db.set_externalize_threshold(t, chunk);
+    }
+    for path in &loads {
+        match db.load_turtle_file(path) {
+            Ok(n) => eprintln!("loaded {n} triples from {}", path.display()),
+            Err(e) => {
+                eprintln!("error loading {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let server = match Server::bind(&listen, db) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "SSDM server listening on {}",
+        server.local_addr().map(|a| a.to_string()).unwrap_or(listen)
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("server shut down");
+}

@@ -1,0 +1,107 @@
+//! SSDM — the Scientific SPARQL Database Manager.
+//!
+//! The user-facing layer of the system (thesis ch. 5–7): an [`Ssdm`]
+//! instance owns a [`scisparql::Dataset`] configured with one of the
+//! storage back-ends, and adds:
+//!
+//! * **data loaders** ([`loaders`]): Turtle files with collection
+//!   consolidation, linking of pre-existing binary array files into the
+//!   graph (*file links*, the mediator scenario), and RDF Data Cube
+//!   consolidation ([`datacube`], thesis §5.3.3);
+//! * the **BISTAB** synthetic application ([`bistab`]) reproducing the
+//!   computational-biology evaluation of §6.4;
+//! * a **workflow client API** ([`workflow`]) mirroring the Matlab
+//!   integration of ch. 7: store numeric results under a URI, annotate
+//!   them with metadata triples, and query them back with SciSPARQL.
+//!
+//! # Choosing a back-end
+//!
+//! ```
+//! use ssdm::{Backend, Ssdm};
+//!
+//! let mut db = Ssdm::open(Backend::Memory);
+//! db.load_turtle("@prefix ex: <http://example.org/> . ex:a ex:v (1 2 3) .").unwrap();
+//! let rows = db.query("PREFIX ex: <http://example.org/> \
+//!                      SELECT (array_sum(?v) AS ?s) WHERE { ex:a ex:v ?v }").unwrap()
+//!     .into_rows().unwrap();
+//! assert_eq!(rows[0][0].as_ref().unwrap().to_string(), "6");
+//! ```
+
+pub mod bistab;
+pub mod datacube;
+pub mod loaders;
+pub mod server;
+pub mod snapshot;
+pub mod tabular;
+pub mod workflow;
+
+use std::path::PathBuf;
+
+use scisparql::{Dataset, QueryError, QueryResult};
+use ssdm_storage::{FileChunkStore, MemoryChunkStore, RelChunkStore};
+
+/// Storage back-end selection for externalized arrays.
+pub enum Backend {
+    /// In-process chunk map (the resident baseline).
+    Memory,
+    /// Binary files under a directory (one file per array).
+    File(PathBuf),
+    /// The embedded relational substrate, in memory.
+    Relational,
+    /// The embedded relational substrate, file-backed, with options.
+    RelationalFile(PathBuf, relstore::DbOptions),
+}
+
+/// An SSDM instance.
+pub struct Ssdm {
+    /// The underlying dataset; public for advanced use (registry,
+    /// strategy, thresholds).
+    pub dataset: Dataset,
+}
+
+impl Ssdm {
+    /// Open an instance over the chosen back-end.
+    pub fn open(backend: Backend) -> Self {
+        let store: scisparql::dataset::DynChunkStore = match backend {
+            Backend::Memory => Box::new(MemoryChunkStore::new()),
+            Backend::File(dir) => {
+                Box::new(FileChunkStore::new(dir).expect("cannot create array directory"))
+            }
+            Backend::Relational => Box::new(RelChunkStore::open_memory().expect("in-memory store")),
+            Backend::RelationalFile(path, options) => Box::new(
+                RelChunkStore::create_file(&path, options).expect("cannot create database file"),
+            ),
+        };
+        Ssdm {
+            dataset: Dataset::with_backend(store),
+        }
+    }
+
+    /// Parse and execute one SciSPARQL statement.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, QueryError> {
+        self.dataset.query(text)
+    }
+
+    /// Load Turtle text (collections consolidate into arrays; arrays
+    /// above the externalization threshold move to the back-end).
+    pub fn load_turtle(&mut self, text: &str) -> Result<usize, QueryError> {
+        self.dataset.load_turtle(text)
+    }
+
+    /// Set how many elements an array may have before it is stored
+    /// externally instead of residing in the graph.
+    pub fn set_externalize_threshold(&mut self, elements: usize, chunk_bytes: usize) {
+        self.dataset.externalize_threshold = elements;
+        self.dataset.chunk_bytes = chunk_bytes;
+    }
+
+    /// Load Turtle text into a named graph (thesis §3.3.4).
+    pub fn load_turtle_named(&mut self, name: &str, text: &str) -> Result<usize, QueryError> {
+        self.dataset.load_turtle_named(name, text)
+    }
+
+    /// Set the retrieval strategy for array-proxy resolution.
+    pub fn set_strategy(&mut self, strategy: ssdm_storage::RetrievalStrategy) {
+        self.dataset.strategy = strategy;
+    }
+}

@@ -1,0 +1,159 @@
+//! Data loaders (thesis §5.3).
+//!
+//! * Turtle documents and files, with nested-collection consolidation
+//!   into arrays (§5.3.2) — both at parse time (condensed syntax) and
+//!   as a post-pass over `rdf:first`/`rdf:rest` lists;
+//! * **file links** (§5.3.1): arrays already sitting in external binary
+//!   files are *linked* into the RDF graph as proxies without loading
+//!   their elements — the mediator scenario of ch. 6.
+
+use std::path::Path;
+
+use scisparql::QueryError;
+use ssdm_array::NumericType;
+use ssdm_rdf::{consolidate_collections, ConsolidationReport, Term};
+use ssdm_storage::{ArrayMeta, Chunking};
+
+use crate::Ssdm;
+
+impl Ssdm {
+    /// Load a Turtle file from disk.
+    pub fn load_turtle_file(&mut self, path: &Path) -> Result<usize, QueryError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| QueryError::Eval(format!("cannot read {}: {e}", path.display())))?;
+        self.load_turtle(&text)
+    }
+
+    /// Run the collection-consolidation pass over the loaded graph:
+    /// numeric rectangular `rdf:first`/`rdf:rest` lists become array
+    /// values. Useful after importing N-Triples exports.
+    pub fn consolidate_collections(&mut self) -> ConsolidationReport {
+        let report = consolidate_collections(&mut self.dataset.graph);
+        // Newly created arrays may exceed the externalization threshold.
+        let _ = self.dataset.externalize_large_arrays();
+        report
+    }
+
+    /// Link an array that already exists in the back-end (written by an
+    /// external tool) into the graph: `subject predicate -> proxy`.
+    /// The elements are never loaded; queries resolve them lazily.
+    pub fn link_external_array(
+        &mut self,
+        subject: Term,
+        predicate: Term,
+        array_id: u64,
+        numeric_type: NumericType,
+        shape: Vec<usize>,
+        chunk_bytes: usize,
+    ) -> Result<(), QueryError> {
+        let total: usize = shape.iter().product();
+        let meta = ArrayMeta {
+            array_id,
+            numeric_type,
+            shape,
+            chunking: Chunking::new(chunk_bytes, total),
+        };
+        let proxy = self.dataset.arrays.link_external(meta);
+        self.dataset
+            .graph
+            .insert(subject, predicate, Term::ArrayRef(proxy.array_id()));
+        Ok(())
+    }
+
+    /// Store a resident array in the back-end and link it under
+    /// `subject predicate`. Returns the array id.
+    pub fn store_linked_array(
+        &mut self,
+        subject: Term,
+        predicate: Term,
+        array: &ssdm_array::NumArray,
+    ) -> Result<u64, QueryError> {
+        let chunk_bytes = self.dataset.chunk_bytes;
+        let proxy = self.dataset.arrays.store_array(array, chunk_bytes)?;
+        let id = proxy.array_id();
+        self.dataset
+            .graph
+            .insert(subject, predicate, Term::ArrayRef(id));
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use ssdm_array::NumArray;
+    use ssdm_storage::ChunkStore;
+
+    #[test]
+    fn consolidation_pass_after_ntriples_import() {
+        let mut db = Ssdm::open(Backend::Memory);
+        // Simulate an N-Triples import: expanded list form.
+        let mut g = ssdm_rdf::Graph::new();
+        ssdm_rdf::turtle::parse_into_with(
+            &mut g,
+            "<http://s> <http://p> (1 2 3 4) .",
+            ssdm_rdf::turtle::ParseOptions {
+                consolidate_arrays: false,
+            },
+        )
+        .unwrap();
+        let text = ssdm_rdf::ntriples::serialize(&g);
+        db.load_turtle(&text).unwrap();
+        assert!(db.dataset.graph.len() > 1);
+        let report = db.consolidate_collections();
+        assert_eq!(report.arrays, 1);
+        assert_eq!(db.dataset.graph.len(), 1);
+    }
+
+    #[test]
+    fn file_link_mediator_scenario() {
+        let dir = std::env::temp_dir().join(format!("ssdm-link-{}", std::process::id()));
+        let mut db = Ssdm::open(Backend::File(dir.clone()));
+        // An external tool wrote array 42 directly into the store.
+        let chunking = Chunking::new(16, 6);
+        db.dataset.arrays.backend_mut().begin_array(42, 16).unwrap();
+        for c in 0..chunking.chunk_count() {
+            let (s, e) = chunking.chunk_span(c);
+            let bytes: Vec<u8> = (s..e)
+                .flat_map(|i| ((i * i) as i64).to_le_bytes())
+                .collect();
+            db.dataset
+                .arrays
+                .backend_mut()
+                .put_chunk(42, c, &bytes)
+                .unwrap();
+        }
+        db.link_external_array(
+            Term::uri("http://exp1"),
+            Term::uri("http://result"),
+            42,
+            NumericType::Int,
+            vec![6],
+            16,
+        )
+        .unwrap();
+        let rows = db
+            .query("SELECT (?r[3] AS ?v) (array_sum(?r) AS ?s) WHERE { <http://exp1> <http://result> ?r }")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0][0].as_ref().unwrap().to_string(), "4");
+        assert_eq!(rows[0][1].as_ref().unwrap().to_string(), "55");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_linked_array_round_trip() {
+        let mut db = Ssdm::open(Backend::Relational);
+        let a = NumArray::from_f64((0..50).map(|i| i as f64 / 2.0).collect());
+        db.store_linked_array(Term::uri("http://r"), Term::uri("http://v"), &a)
+            .unwrap();
+        let rows = db
+            .query("SELECT (array_max(?v) AS ?m) WHERE { <http://r> <http://v> ?v }")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0][0].as_ref().unwrap().to_string(), "24.5");
+    }
+}

@@ -1,0 +1,283 @@
+//! Client–server deployment over TCP (thesis §5.1, ch. 7).
+//!
+//! SSDM "can be utilized as a stand-alone system, a client-server
+//! system, or a cluster of processes"; the Matlab integration of ch. 7
+//! speaks to an SSDM server over TCP. This module implements that wire
+//! layer with a minimal framed protocol:
+//!
+//! * request: `u32` length (LE) + UTF-8 SciSPARQL statement;
+//! * response: `u8` status (0 = ok, 1 = error) + `u32` length + UTF-8
+//!   payload. SELECT results serialize as TSV (header line of variable
+//!   names, then one row per solution, arrays in collection notation);
+//!   ASK returns `true`/`false`; updates return `inserted N deleted M`.
+//!
+//! The server owns its [`Ssdm`] instance and serializes queries — the
+//! concurrency model of a main-memory DBMS with a single query engine.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use scisparql::{QueryError, QueryResult};
+
+use crate::Ssdm;
+
+/// Protocol limit: 64 MiB per message.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A running SSDM server.
+pub struct Server {
+    listener: TcpListener,
+    db: Ssdm,
+}
+
+impl Server {
+    /// Bind to an address (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, db: Ssdm) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            db,
+        })
+    }
+
+    /// The bound address (to hand to clients).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve connections until a client sends the statement `SHUTDOWN`.
+    /// Connections are handled sequentially; each carries any number of
+    /// statements until the peer closes it.
+    pub fn serve(mut self) -> std::io::Result<()> {
+        loop {
+            let (stream, _peer) = self.listener.accept()?;
+            if self.handle_connection(stream)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Returns true when a SHUTDOWN was received.
+    fn handle_connection(&mut self, mut stream: TcpStream) -> std::io::Result<bool> {
+        loop {
+            let Some(request) = read_frame(&mut stream)? else {
+                return Ok(false); // peer closed
+            };
+            let text = match String::from_utf8(request) {
+                Ok(t) => t,
+                Err(_) => {
+                    write_response(&mut stream, 1, "request is not UTF-8")?;
+                    continue;
+                }
+            };
+            if text.trim().eq_ignore_ascii_case("SHUTDOWN") {
+                write_response(&mut stream, 0, "bye")?;
+                return Ok(true);
+            }
+            match self.db.query(&text) {
+                Ok(result) => write_response(&mut stream, 0, &render(&result))?,
+                Err(e) => write_response(&mut stream, 1, &e.to_string())?,
+            }
+        }
+    }
+}
+
+/// Serialize a result for the wire.
+fn render(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Solutions { vars, rows } => {
+            let mut out = vars.join("\t");
+            out.push('\n');
+            for row in rows {
+                let cells: Vec<String> = row
+                    .iter()
+                    .map(|c| c.as_ref().map(|v| v.to_string()).unwrap_or_default())
+                    .collect();
+                out.push_str(&cells.join("\t"));
+                out.push('\n');
+            }
+            out
+        }
+        QueryResult::Boolean(b) => format!("{b}\n"),
+        QueryResult::Graph(g) => ssdm_rdf::ntriples::serialize(g),
+        QueryResult::Updated { inserted, deleted } => {
+            format!("inserted {inserted} deleted {deleted}\n")
+        }
+        QueryResult::Text(t) => t.clone(),
+    }
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+fn write_response(stream: &mut TcpStream, status: u8, payload: &str) -> std::io::Result<()> {
+    stream.write_all(&[status])?;
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// A client connection to an SSDM server — what the Matlab interface of
+/// ch. 7 uses under the hood.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send one statement; returns the rendered payload or the server's
+    /// error message.
+    pub fn query(&mut self, text: &str) -> Result<String, QueryError> {
+        let send = |stream: &mut TcpStream| -> std::io::Result<(u8, String)> {
+            stream.write_all(&(text.len() as u32).to_le_bytes())?;
+            stream.write_all(text.as_bytes())?;
+            stream.flush()?;
+            let mut status = [0u8; 1];
+            stream.read_exact(&mut status)?;
+            let mut len_buf = [0u8; 4];
+            stream.read_exact(&mut len_buf)?;
+            let len = u32::from_le_bytes(len_buf);
+            if len > MAX_FRAME {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "response too large",
+                ));
+            }
+            let mut buf = vec![0u8; len as usize];
+            stream.read_exact(&mut buf)?;
+            Ok((
+                status[0],
+                String::from_utf8(buf).unwrap_or_else(|_| "<binary>".into()),
+            ))
+        };
+        match send(&mut self.stream) {
+            Ok((0, payload)) => Ok(payload),
+            Ok((_, message)) => Err(QueryError::Eval(message)),
+            Err(e) => Err(QueryError::Eval(format!("connection error: {e}"))),
+        }
+    }
+
+    /// TSV convenience: parse a SELECT payload into (vars, rows).
+    pub fn query_rows(
+        &mut self,
+        text: &str,
+    ) -> Result<(Vec<String>, Vec<Vec<String>>), QueryError> {
+        let payload = self.query(text)?;
+        let mut lines = payload.lines();
+        let vars: Vec<String> = lines
+            .next()
+            .unwrap_or_default()
+            .split('\t')
+            .map(str::to_string)
+            .collect();
+        let rows = lines
+            .map(|l| l.split('\t').map(str::to_string).collect())
+            .collect();
+        Ok((vars, rows))
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), QueryError> {
+        self.query("SHUTDOWN").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+
+    fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle(
+            r#"@prefix ex: <http://e#> .
+               ex:a ex:v (1 2 3) ; ex:name "alpha" .
+               ex:b ex:v (4 5 6) ; ex:name "beta" ."#,
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", db).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn select_over_the_wire() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect(addr).unwrap();
+        let (vars, rows) = client
+            .query_rows(
+                "PREFIX ex: <http://e#>
+                 SELECT ?name (array_sum(?v) AS ?s) WHERE { ?x ex:name ?name ; ex:v ?v }
+                 ORDER BY ?name",
+            )
+            .unwrap();
+        assert_eq!(vars, vec!["name", "s"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["\"alpha\"", "6"]);
+        assert_eq!(rows[1], vec!["\"beta\"", "15"]);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn updates_and_errors_over_the_wire() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect(addr).unwrap();
+        let r = client
+            .query("PREFIX ex: <http://e#> INSERT DATA { ex:c ex:name \"gamma\" . }")
+            .unwrap();
+        assert!(r.contains("inserted 1"));
+        // The update persists across statements on the same session.
+        let (_, rows) = client
+            .query_rows("PREFIX ex: <http://e#> SELECT ?n WHERE { ?x ex:name ?n }")
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        // A bad query returns an error, not a dead connection.
+        let err = client.query("SELECT garbage").unwrap_err();
+        assert!(err.to_string().contains("error"));
+        let (_, rows) = client
+            .query_rows("PREFIX ex: <http://e#> SELECT ?n WHERE { ?x ex:name ?n }")
+            .unwrap();
+        assert_eq!(rows.len(), 3, "connection survives query errors");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sequential_clients() {
+        let (addr, handle) = spawn_server();
+        {
+            let mut c1 = Client::connect(addr).unwrap();
+            c1.query("PREFIX ex: <http://e#> INSERT DATA { ex:z ex:name \"zeta\" . }")
+                .unwrap();
+        } // c1 disconnects
+        let mut c2 = Client::connect(addr).unwrap();
+        let (_, rows) = c2
+            .query_rows("PREFIX ex: <http://e#> SELECT ?n WHERE { ?x ex:name ?n }")
+            .unwrap();
+        assert_eq!(rows.len(), 3, "state persists across connections");
+        c2.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}

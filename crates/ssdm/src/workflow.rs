@@ -1,0 +1,167 @@
+//! The workflow client API (thesis ch. 7).
+//!
+//! Chapter 7 integrates SciSPARQL into Matlab: computational results
+//! (matrices) are *stored* under URIs together with Semantic-Web
+//! metadata, then later *found* by querying the metadata and *fetched*
+//! lazily. [`Session`] reproduces that client surface for algorithmic
+//! languages (here Rust standing in for Matlab; §4.5 "Calling SciSPARQL
+//! from algorithmic languages"): `store` ≈ writing a `.mat` file +
+//! annotation, `query` ≈ the Matlab `ssdm_query` call, and `fetch`
+//! materializes a result array on demand.
+
+use scisparql::{QueryError, QueryResult, Value};
+use ssdm_array::NumArray;
+use ssdm_rdf::Term;
+
+use crate::Ssdm;
+
+/// A client session against an SSDM instance (in-process; the thesis
+/// version speaks the same protocol over TCP to the server).
+pub struct Session<'a> {
+    db: &'a mut Ssdm,
+}
+
+impl<'a> Session<'a> {
+    pub fn connect(db: &'a mut Ssdm) -> Self {
+        Session { db }
+    }
+
+    /// Store a numeric result under `uri` and annotate it with
+    /// `(property, value)` metadata triples — the ch. 7 workflow's
+    /// "save + annotate" step. The array is linked via the back-end,
+    /// not copied into the graph.
+    pub fn store(
+        &mut self,
+        uri: &str,
+        array: &NumArray,
+        metadata: &[(Term, Term)],
+    ) -> Result<u64, QueryError> {
+        let subject = Term::uri(uri);
+        let id = self
+            .db
+            .store_linked_array(subject.clone(), Term::uri("urn:ssdm:value"), array)?;
+        for (p, o) in metadata {
+            self.db
+                .dataset
+                .graph
+                .insert(subject.clone(), p.clone(), o.clone());
+        }
+        Ok(id)
+    }
+
+    /// Run a SciSPARQL query (select/ask/construct/update/define).
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, QueryError> {
+        self.db.query(text)
+    }
+
+    /// Fetch the array stored under `uri`, materializing it.
+    pub fn fetch(&mut self, uri: &str) -> Result<NumArray, QueryError> {
+        let subject = Term::uri(uri);
+        let value_p = Term::uri("urn:ssdm:value");
+        let (Some(s), Some(p)) = (
+            self.db.dataset.graph.dictionary().lookup(&subject),
+            self.db.dataset.graph.dictionary().lookup(&value_p),
+        ) else {
+            return Err(QueryError::Eval(format!("no stored array at <{uri}>")));
+        };
+        let Some(t) = self
+            .db
+            .dataset
+            .graph
+            .match_pattern(Some(s), Some(p), None)
+            .next()
+        else {
+            return Err(QueryError::Eval(format!("no stored array at <{uri}>")));
+        };
+        let term = self.db.dataset.graph.term(t.o).clone();
+        let value = self.db.dataset.term_to_value(&term);
+        self.db.dataset.force_array(&value)
+    }
+
+    /// Find stored-result URIs whose metadata matches a SciSPARQL
+    /// WHERE fragment binding `?r` (the "search by annotation" step).
+    pub fn find(&mut self, where_fragment: &str) -> Result<Vec<String>, QueryError> {
+        let q = format!("SELECT ?r WHERE {{ {where_fragment} }}");
+        let rows = self
+            .db
+            .query(&q)?
+            .into_rows()
+            .ok_or_else(|| QueryError::Eval("find: expected SELECT".into()))?;
+        Ok(rows
+            .into_iter()
+            .filter_map(|r| match r.into_iter().next().flatten() {
+                Some(Value::Term(Term::Uri(u))) => Some(u),
+                _ => None,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+
+    #[test]
+    fn store_annotate_find_fetch_workflow() {
+        let mut db = Ssdm::open(Backend::Relational);
+        db.dataset.chunk_bytes = 64;
+        let mut session = Session::connect(&mut db);
+
+        // A "Matlab user" saves two computation results with metadata.
+        let a = NumArray::from_f64_shaped((0..100).map(|i| i as f64).collect(), &[10, 10]).unwrap();
+        session
+            .store(
+                "http://results/run1",
+                &a,
+                &[
+                    (Term::uri("http://meta/method"), Term::str("jacobi")),
+                    (Term::uri("http://meta/tolerance"), Term::double(1e-6)),
+                ],
+            )
+            .unwrap();
+        let b = NumArray::from_f64(vec![9.0, 8.0, 7.0]);
+        session
+            .store(
+                "http://results/run2",
+                &b,
+                &[(Term::uri("http://meta/method"), Term::str("gauss"))],
+            )
+            .unwrap();
+
+        // A collaborator searches by metadata...
+        let found = session.find(r#"?r <http://meta/method> "jacobi""#).unwrap();
+        assert_eq!(found, vec!["http://results/run1"]);
+
+        // ...queries over the stored array without fetching it all...
+        let rows = session
+            .query(
+                r#"SELECT (array_avg(?v[1]) AS ?m) WHERE {
+                     ?r <http://meta/method> "jacobi" ; urn_value ?v
+                   }"#,
+            )
+            .err(); // urn scheme needs angle brackets; use full form below
+        assert!(rows.is_some());
+        let rows = session
+            .query(
+                r#"SELECT (array_avg(?v) AS ?m) WHERE {
+                     ?r <http://meta/method> "jacobi" ; <urn:ssdm:value> ?v
+                   }"#,
+            )
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0][0].as_ref().unwrap().to_string(), "49.5");
+
+        // ...and finally fetches the full matrix.
+        let fetched = session.fetch("http://results/run1").unwrap();
+        assert!(fetched.array_eq(&a));
+    }
+
+    #[test]
+    fn fetch_missing_is_error() {
+        let mut db = Ssdm::open(Backend::Memory);
+        let mut session = Session::connect(&mut db);
+        assert!(session.fetch("http://nothing").is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! Array-proxy resolution (APR) and the retrieval strategies.
+//!
+//! APR is the physical-algebra operator SSDM inserts where a query needs
+//! the *elements* behind an array proxy (thesis §6.1.1). It computes the
+//! linear addresses the proxy's view touches, maps them to chunk ids,
+//! fetches those chunks from the back-end with a [`RetrievalStrategy`],
+//! and assembles a resident [`NumArray`]. The aggregate variant (AAPR)
+//! folds elements chunk-by-chunk without materializing the whole view —
+//! the "costly array processing, e.g. filtering and aggregation, is thus
+//! performed on the server" behaviour of the abstract.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use ssdm_array::{AggregateOp, ArrayData, LinearRuns, Num, NumArray, NumericType};
+
+use crate::chunks::Chunking;
+use crate::meta::{ArrayMeta, ArrayProxy};
+use crate::spd::{self, FetchOp, SpdOptions};
+use crate::store::{ChunkStore, IoStats, StorageError};
+use crate::Result;
+
+/// How the APR turns a set of needed chunk ids into back-end statements
+/// (the strategies compared in thesis §6.3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetrievalStrategy {
+    /// One statement per chunk — the naive baseline whose cost is
+    /// dominated by per-statement round trips.
+    Single,
+    /// Buffer up to `buffer_size` ids and issue one `IN`-list statement
+    /// per batch (§6.2.4).
+    BufferedIn { buffer_size: usize },
+    /// Run the Sequence Pattern Detector over the id sequence and issue
+    /// range statements for regular patterns (§6.2.5).
+    SpdRange { options: SpdOptions },
+    /// Fetch the whole array with one range statement regardless of the
+    /// view — the degenerate strategy, optimal only for dense views.
+    WholeArray,
+}
+
+impl RetrievalStrategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RetrievalStrategy::Single => "SINGLE",
+            RetrievalStrategy::BufferedIn { .. } => "BUFFERED-IN",
+            RetrievalStrategy::SpdRange { .. } => "SPD-RANGE",
+            RetrievalStrategy::WholeArray => "WHOLE-ARRAY",
+        }
+    }
+}
+
+/// Per-resolution statistics (deltas of the back-end counters).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AprStats {
+    pub statements: u64,
+    pub chunks_fetched: u64,
+    pub bytes_fetched: u64,
+    pub elements_resolved: u64,
+}
+
+/// The array catalog plus its chunk back-end: SSDM's handle on
+/// externally stored arrays.
+pub struct ArrayStore<S: ChunkStore> {
+    backend: S,
+    catalog: HashMap<u64, Arc<ArrayMeta>>,
+    next_id: u64,
+    last_stats: AprStats,
+}
+
+impl<S: ChunkStore> ArrayStore<S> {
+    pub fn new(backend: S) -> Self {
+        ArrayStore {
+            backend,
+            catalog: HashMap::new(),
+            next_id: 1,
+            last_stats: AprStats::default(),
+        }
+    }
+
+    pub fn backend(&self) -> &S {
+        &self.backend
+    }
+
+    pub fn backend_mut(&mut self) -> &mut S {
+        &mut self.backend
+    }
+
+    /// Statistics of the most recent resolve call.
+    pub fn last_stats(&self) -> AprStats {
+        self.last_stats
+    }
+
+    /// Linearize and store an array in chunks of `chunk_bytes`,
+    /// returning a whole-array proxy.
+    pub fn store_array(&mut self, array: &NumArray, chunk_bytes: usize) -> Result<ArrayProxy> {
+        let array_id = self.next_id;
+        self.next_id += 1;
+        let materialized;
+        let dense = if array.view().is_contiguous() && array.view().offset() == 0 {
+            array
+        } else {
+            materialized = array.materialize();
+            &materialized
+        };
+        let shape = dense.shape();
+        let chunking = Chunking::new(chunk_bytes, dense.element_count());
+        self.backend.begin_array(array_id, chunk_bytes)?;
+        for c in 0..chunking.chunk_count() {
+            let (start, end) = chunking.chunk_span(c);
+            let payload = dense.data().serialize_range(start, end);
+            self.backend.put_chunk(array_id, c, &payload)?;
+        }
+        let meta = Arc::new(ArrayMeta {
+            array_id,
+            numeric_type: dense.numeric_type(),
+            shape,
+            chunking,
+        });
+        self.catalog.insert(array_id, Arc::clone(&meta));
+        Ok(ArrayProxy::whole(meta))
+    }
+
+    /// A whole-array proxy for a cataloged array.
+    pub fn proxy(&self, array_id: u64) -> Result<ArrayProxy> {
+        self.catalog
+            .get(&array_id)
+            .map(|m| ArrayProxy::whole(Arc::clone(m)))
+            .ok_or(StorageError::MissingArray(array_id))
+    }
+
+    /// Register an array that already lives in the back-end (the
+    /// *mediator scenario*, thesis §6: linking external arrays into an
+    /// RDF graph without loading them).
+    pub fn link_external(&mut self, meta: ArrayMeta) -> ArrayProxy {
+        let id = meta.array_id;
+        self.next_id = self.next_id.max(id + 1);
+        let meta = Arc::new(meta);
+        self.catalog.insert(id, Arc::clone(&meta));
+        ArrayProxy::whole(meta)
+    }
+
+    /// Iterate the catalog entries (for snapshots and inspection).
+    pub fn catalog(&self) -> impl Iterator<Item = &Arc<ArrayMeta>> {
+        self.catalog.values()
+    }
+
+    /// Drop an array from the catalog and the back-end.
+    pub fn delete_array(&mut self, array_id: u64) -> Result<()> {
+        let meta = self
+            .catalog
+            .remove(&array_id)
+            .ok_or(StorageError::MissingArray(array_id))?;
+        self.backend
+            .delete_array(array_id, meta.chunking.chunk_count())
+    }
+
+    /// Resolve a proxy to a resident array (the APR operator).
+    pub fn resolve(&mut self, proxy: &ArrayProxy, strategy: RetrievalStrategy) -> Result<NumArray> {
+        let before = self.backend.io_stats();
+        let meta = proxy.meta();
+        let chunking = meta.chunking;
+        let addresses = proxy.view().addresses();
+        let needed = needed_chunks(proxy, &chunking);
+        let chunks = self.fetch(meta.array_id, &chunking, &needed, strategy)?;
+        let nums = gather(
+            &chunks,
+            &chunking,
+            meta.numeric_type,
+            &addresses,
+            meta.array_id,
+        )?;
+        self.finish_stats(before, addresses.len());
+        let data = match meta.numeric_type {
+            NumericType::Int => ArrayData::from_i64(nums.iter().map(|n| n.as_i64()).collect()),
+            NumericType::Real => ArrayData::from_f64(nums.iter().map(|n| n.as_f64()).collect()),
+        };
+        Ok(NumArray::from_data(data, &proxy.shape())?)
+    }
+
+    /// Streamed aggregate over a proxy (the AAPR operator): chunks are
+    /// fetched batch-wise and folded immediately, so peak memory is one
+    /// batch regardless of the view size.
+    pub fn resolve_aggregate(
+        &mut self,
+        proxy: &ArrayProxy,
+        op: AggregateOp,
+        strategy: RetrievalStrategy,
+    ) -> Result<Num> {
+        let before = self.backend.io_stats();
+        let meta = proxy.meta();
+        let chunking = meta.chunking;
+        // Group needed addresses by chunk so each fetched chunk is
+        // consumed once and dropped.
+        let mut by_chunk: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut count = 0u64;
+        proxy.view().for_each_address(|a| {
+            by_chunk.entry(chunking.chunk_of(a)).or_default().push(a);
+            count += 1;
+        });
+        if count == 0 {
+            self.finish_stats(before, 0);
+            return match op {
+                AggregateOp::Count => Ok(Num::Int(0)),
+                AggregateOp::Sum => Ok(Num::Int(0)),
+                AggregateOp::Prod => Ok(Num::Int(1)),
+                _ => Err(StorageError::Backend(
+                    "aggregate over empty array view".into(),
+                )),
+            };
+        }
+        if op == AggregateOp::Count {
+            self.finish_stats(before, 0);
+            return Ok(Num::Int(count as i64));
+        }
+        let needed: Vec<u64> = by_chunk.keys().copied().collect();
+        let plan = make_plan(&needed, &chunking, strategy);
+        let mut acc: Option<Num> = None;
+        let mut n = 0u64;
+        for fetch_op in plan {
+            let rows = self.execute(meta.array_id, &fetch_op)?;
+            for (cid, payload) in rows {
+                let Some(addrs) = by_chunk.get(&cid) else {
+                    continue; // overfetched by a covering range
+                };
+                let (chunk_start, _) = chunking.chunk_span(cid);
+                for &a in addrs {
+                    let v = decode_element(&payload, a - chunk_start, meta.numeric_type).ok_or(
+                        StorageError::MissingChunk {
+                            array_id: meta.array_id,
+                            chunk_id: cid,
+                        },
+                    )?;
+                    n += 1;
+                    acc = Some(match acc {
+                        None => v,
+                        Some(prev) => fold(op, prev, v)?,
+                    });
+                }
+            }
+        }
+        self.finish_stats(before, n as usize);
+        let total = acc.ok_or(StorageError::Backend("no elements resolved".into()))?;
+        Ok(match op {
+            AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
+            _ => total,
+        })
+    }
+
+    fn fetch(
+        &mut self,
+        array_id: u64,
+        chunking: &Chunking,
+        needed: &[u64],
+        strategy: RetrievalStrategy,
+    ) -> Result<HashMap<u64, Vec<u8>>> {
+        let mut out = HashMap::with_capacity(needed.len());
+        for op in make_plan(needed, chunking, strategy) {
+            for (cid, payload) in self.execute(array_id, &op)? {
+                out.insert(cid, payload);
+            }
+        }
+        Ok(out)
+    }
+
+    fn execute(&mut self, array_id: u64, op: &FetchOp) -> Result<Vec<(u64, Vec<u8>)>> {
+        match op {
+            FetchOp::Range { lo, hi } => self.backend.get_chunk_range(array_id, *lo, *hi),
+            FetchOp::In(ids) => {
+                if ids.len() == 1 {
+                    Ok(vec![(ids[0], self.backend.get_chunk(array_id, ids[0])?)])
+                } else {
+                    self.backend.get_chunks_in(array_id, ids)
+                }
+            }
+        }
+    }
+
+    fn finish_stats(&mut self, before: IoStats, elements: usize) {
+        let after = self.backend.io_stats();
+        self.last_stats = AprStats {
+            statements: after.statements - before.statements,
+            chunks_fetched: after.chunks_returned - before.chunks_returned,
+            bytes_fetched: after.bytes_returned - before.bytes_returned,
+            elements_resolved: elements as u64,
+        };
+    }
+}
+
+/// Needed chunk ids of a proxy's view, ascending.
+fn needed_chunks(proxy: &ArrayProxy, chunking: &Chunking) -> Vec<u64> {
+    let runs = LinearRuns::of_view(proxy.view());
+    let mut set = BTreeSet::new();
+    for run in runs.runs() {
+        set.extend(chunking.chunks_for_run(run));
+    }
+    set.into_iter().collect()
+}
+
+/// Build the statement plan for a strategy.
+fn make_plan(needed: &[u64], chunking: &Chunking, strategy: RetrievalStrategy) -> Vec<FetchOp> {
+    match strategy {
+        RetrievalStrategy::Single => needed.iter().map(|&c| FetchOp::In(vec![c])).collect(),
+        RetrievalStrategy::BufferedIn { buffer_size } => needed
+            .chunks(buffer_size.max(1))
+            .map(|b| FetchOp::In(b.to_vec()))
+            .collect(),
+        RetrievalStrategy::SpdRange { options } => spd::plan(needed, options),
+        RetrievalStrategy::WholeArray => {
+            if chunking.chunk_count() == 0 {
+                Vec::new()
+            } else {
+                vec![FetchOp::Range {
+                    lo: 0,
+                    hi: chunking.chunk_count() - 1,
+                }]
+            }
+        }
+    }
+}
+
+/// Decode element `off` (in elements) of a chunk payload.
+fn decode_element(payload: &[u8], off: usize, ty: NumericType) -> Option<Num> {
+    let bytes = payload.get(off * 8..off * 8 + 8)?;
+    Some(match ty {
+        NumericType::Int => Num::Int(i64::from_le_bytes(bytes.try_into().unwrap())),
+        NumericType::Real => Num::Real(f64::from_le_bytes(bytes.try_into().unwrap())),
+    })
+}
+
+/// Gather the elements at `addresses` from fetched chunks, in order.
+fn gather(
+    chunks: &HashMap<u64, Vec<u8>>,
+    chunking: &Chunking,
+    ty: NumericType,
+    addresses: &[usize],
+    array_id: u64,
+) -> Result<Vec<Num>> {
+    let mut out = Vec::with_capacity(addresses.len());
+    for &a in addresses {
+        let cid = chunking.chunk_of(a);
+        let payload = chunks.get(&cid).ok_or(StorageError::MissingChunk {
+            array_id,
+            chunk_id: cid,
+        })?;
+        let (start, _) = chunking.chunk_span(cid);
+        out.push(
+            decode_element(payload, a - start, ty).ok_or(StorageError::MissingChunk {
+                array_id,
+                chunk_id: cid,
+            })?,
+        );
+    }
+    Ok(out)
+}
+
+fn fold(op: AggregateOp, a: Num, b: Num) -> Result<Num> {
+    let r = match op {
+        AggregateOp::Sum | AggregateOp::Avg => a.checked_add(b),
+        AggregateOp::Prod => a.checked_mul(b),
+        AggregateOp::Min => Ok(a.min(b)),
+        AggregateOp::Max => Ok(a.max(b)),
+        AggregateOp::Count => unreachable!("count handled separately"),
+    };
+    r.map_err(StorageError::Array)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryChunkStore;
+    use ssdm_array::Subscript;
+
+    fn store_with_matrix(chunk_bytes: usize) -> (ArrayStore<MemoryChunkStore>, ArrayProxy) {
+        let mut store = ArrayStore::new(MemoryChunkStore::new());
+        let m = NumArray::from_i64_shaped((0..400).collect(), &[20, 20]).unwrap();
+        let proxy = store.store_array(&m, chunk_bytes).unwrap();
+        (store, proxy)
+    }
+
+    #[test]
+    fn whole_array_round_trip() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let back = store
+            .resolve(&proxy, RetrievalStrategy::WholeArray)
+            .unwrap();
+        assert_eq!(back.shape(), vec![20, 20]);
+        assert_eq!(back.get(&[19, 19]).unwrap().as_i64(), 399);
+        assert_eq!(store.last_stats().statements, 1);
+    }
+
+    #[test]
+    fn strategies_agree_on_content() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let col = proxy.subscript(1, 7).unwrap();
+        let strategies = [
+            RetrievalStrategy::Single,
+            RetrievalStrategy::BufferedIn { buffer_size: 4 },
+            RetrievalStrategy::SpdRange {
+                options: SpdOptions::default(),
+            },
+            RetrievalStrategy::WholeArray,
+        ];
+        let expected: Vec<i64> = (0..20).map(|r| r * 20 + 7).collect();
+        for s in strategies {
+            let a = store.resolve(&col, s).unwrap();
+            let got: Vec<i64> = a.elements().iter().map(|n| n.as_i64()).collect();
+            assert_eq!(got, expected, "strategy {}", s.name());
+        }
+    }
+
+    #[test]
+    fn statement_counts_differ_by_strategy() {
+        let (mut store, proxy) = store_with_matrix(64); // 8 elems/chunk, 50 chunks
+        let col = proxy.subscript(1, 0).unwrap(); // touches 20 distinct rows
+        store.resolve(&col, RetrievalStrategy::Single).unwrap();
+        let single = store.last_stats();
+        store
+            .resolve(&col, RetrievalStrategy::BufferedIn { buffer_size: 8 })
+            .unwrap();
+        let buffered = store.last_stats();
+        store
+            .resolve(
+                &col,
+                RetrievalStrategy::SpdRange {
+                    options: SpdOptions::default(),
+                },
+            )
+            .unwrap();
+        let spd = store.last_stats();
+        assert!(single.statements > buffered.statements);
+        assert!(buffered.statements >= spd.statements);
+        assert_eq!(single.chunks_fetched, buffered.chunks_fetched);
+    }
+
+    #[test]
+    fn spd_overfetch_is_filtered_out() {
+        let (mut store, proxy) = store_with_matrix(8); // 1 element per chunk
+                                                       // Every second element of row 0: chunks 0,2,4,...,18 -> one
+                                                       // covering range 0..=18 fetches 19 chunks for 10 elements.
+        let row = proxy.subscript(0, 0).unwrap();
+        let every2 = row.slice(0, 0, 2, 18).unwrap();
+        let a = store
+            .resolve(
+                &every2,
+                RetrievalStrategy::SpdRange {
+                    options: SpdOptions::default(),
+                },
+            )
+            .unwrap();
+        let got: Vec<i64> = a.elements().iter().map(|n| n.as_i64()).collect();
+        assert_eq!(got, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+        let st = store.last_stats();
+        assert_eq!(st.statements, 1);
+        assert_eq!(st.chunks_fetched, 19);
+        assert_eq!(st.elements_resolved, 10);
+    }
+
+    #[test]
+    fn single_element_access() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let cell = proxy
+            .dereference(&[Subscript::Index(3), Subscript::Index(5)])
+            .unwrap();
+        let a = store.resolve(&cell, RetrievalStrategy::Single).unwrap();
+        assert_eq!(a.scalar_value().unwrap().as_i64(), 2 * 20 + 4); // (3-1)*20+(5-1)
+        assert_eq!(store.last_stats().chunks_fetched, 1);
+    }
+
+    #[test]
+    fn aggregate_matches_materialized() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let slice = proxy.slice(0, 2, 3, 17).unwrap();
+        let materialized = store
+            .resolve(&slice, RetrievalStrategy::WholeArray)
+            .unwrap();
+        for op in [
+            AggregateOp::Sum,
+            AggregateOp::Avg,
+            AggregateOp::Min,
+            AggregateOp::Max,
+            AggregateOp::Count,
+        ] {
+            let streamed = store
+                .resolve_aggregate(&slice, op, RetrievalStrategy::BufferedIn { buffer_size: 4 })
+                .unwrap();
+            assert_eq!(streamed, materialized.aggregate(op).unwrap(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_count_needs_no_io() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let n = store
+            .resolve_aggregate(&proxy, AggregateOp::Count, RetrievalStrategy::Single)
+            .unwrap();
+        assert_eq!(n, Num::Int(400));
+        assert_eq!(store.last_stats().statements, 0);
+    }
+
+    #[test]
+    fn real_arrays_round_trip() {
+        let mut store = ArrayStore::new(MemoryChunkStore::new());
+        let a = NumArray::from_f64((0..100).map(|i| i as f64 / 4.0).collect());
+        let proxy = store.store_array(&a, 32).unwrap();
+        let back = store
+            .resolve(&proxy, RetrievalStrategy::WholeArray)
+            .unwrap();
+        assert!(back.array_eq(&a));
+        assert_eq!(back.numeric_type(), NumericType::Real);
+    }
+
+    #[test]
+    fn storing_a_view_stores_logical_content() {
+        let mut store = ArrayStore::new(MemoryChunkStore::new());
+        let m = NumArray::from_i64_shaped((0..12).collect(), &[3, 4]).unwrap();
+        let t = m.transpose();
+        let proxy = store.store_array(&t, 32).unwrap();
+        let back = store
+            .resolve(&proxy, RetrievalStrategy::WholeArray)
+            .unwrap();
+        assert!(back.array_eq(&t));
+    }
+
+    #[test]
+    fn delete_array_removes_chunks() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let id = proxy.array_id();
+        store.delete_array(id).unwrap();
+        assert!(store.proxy(id).is_err());
+        assert!(store.resolve(&proxy, RetrievalStrategy::Single).is_err());
+    }
+
+    #[test]
+    fn mediator_link_external() {
+        let mut store = ArrayStore::new(MemoryChunkStore::new());
+        // Simulate pre-existing chunks written by another system.
+        let chunking = Chunking::new(32, 10);
+        for c in 0..chunking.chunk_count() {
+            let (s, e) = chunking.chunk_span(c);
+            let data: Vec<u8> = (s..e).flat_map(|i| (i as i64).to_le_bytes()).collect();
+            store.backend_mut().put_chunk(77, c, &data).unwrap();
+        }
+        let proxy = store.link_external(ArrayMeta {
+            array_id: 77,
+            numeric_type: NumericType::Int,
+            shape: vec![10],
+            chunking,
+        });
+        let a = store
+            .resolve(&proxy, RetrievalStrategy::WholeArray)
+            .unwrap();
+        assert_eq!(a.elements().iter().map(|n| n.as_i64()).sum::<i64>(), 45);
+    }
+}

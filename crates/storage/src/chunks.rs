@@ -1,0 +1,193 @@
+//! One-dimensional chunking of linearized arrays.
+//!
+//! SSDM partitions every externally stored array into equal-size 1-D
+//! chunks of its row-major element stream; the chunk size (in bytes) is
+//! the single tuning parameter (thesis §2.5, §6.3.4). Elements are 8
+//! bytes, so a chunk holds `chunk_size_bytes / 8` elements.
+
+use ssdm_array::Run;
+
+/// The chunking layout of one stored array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunking {
+    /// Chunk payload size in bytes (a multiple of 8).
+    pub chunk_bytes: usize,
+    /// Total number of elements in the array.
+    pub total_elements: usize,
+}
+
+impl Chunking {
+    pub fn new(chunk_bytes: usize, total_elements: usize) -> Self {
+        assert!(chunk_bytes >= 8, "chunk must hold at least one element");
+        assert_eq!(chunk_bytes % 8, 0, "chunk size must be element-aligned");
+        Chunking {
+            chunk_bytes,
+            total_elements,
+        }
+    }
+
+    /// Elements per full chunk.
+    pub fn elements_per_chunk(&self) -> usize {
+        self.chunk_bytes / 8
+    }
+
+    /// Number of chunks (the last may be partial).
+    pub fn chunk_count(&self) -> u64 {
+        if self.total_elements == 0 {
+            0
+        } else {
+            self.total_elements.div_ceil(self.elements_per_chunk()) as u64
+        }
+    }
+
+    /// Chunk holding linear element address `addr`.
+    pub fn chunk_of(&self, addr: usize) -> u64 {
+        (addr / self.elements_per_chunk()) as u64
+    }
+
+    /// Element range `[start, end)` stored in chunk `id`.
+    pub fn chunk_span(&self, id: u64) -> (usize, usize) {
+        let epc = self.elements_per_chunk();
+        let start = id as usize * epc;
+        (start, (start + epc).min(self.total_elements))
+    }
+
+    /// Number of elements actually stored in chunk `id`.
+    pub fn chunk_len(&self, id: u64) -> usize {
+        let (s, e) = self.chunk_span(id);
+        e.saturating_sub(s)
+    }
+
+    /// The chunk ids touched by an arithmetic run of element addresses,
+    /// in ascending order without duplicates.
+    pub fn chunks_for_run(&self, run: &Run) -> Vec<u64> {
+        let epc = self.elements_per_chunk();
+        if run.len == 0 {
+            return Vec::new();
+        }
+        if run.step == 0 || run.step >= epc {
+            // Each element lands in its own (possibly repeated) chunk.
+            let mut out: Vec<u64> = (0..run.len)
+                .map(|k| self.chunk_of(run.start + k * run.step))
+                .collect();
+            out.dedup();
+            return out;
+        }
+        // Dense-ish run: all chunks between first and last are touched.
+        let first = self.chunk_of(run.start);
+        let last = self.chunk_of(run.end());
+        (first..=last).collect()
+    }
+}
+
+/// The auto-tuning heuristic for the chunk size (thesis §2.5: "the
+/// chunk size is the only parameter and its auto-tuning heuristics are
+/// simple"). Targets roughly 1024 chunks per array — enough that
+/// selective access skips most of the data, few enough that whole-array
+/// scans don't drown in per-chunk overhead — clamped to [1 KiB, 256 KiB]
+/// and rounded to a power of two.
+pub fn auto_chunk_bytes(total_elements: usize) -> usize {
+    const MIN: usize = 1024;
+    const MAX: usize = 256 * 1024;
+    let total_bytes = total_elements.saturating_mul(8).max(8);
+    let target = (total_bytes / 1024).max(8);
+
+    target.next_power_of_two().clamp(MIN, MAX)
+}
+
+/// Chunk id of `addr` under element-per-chunk `epc` (free function for
+/// call sites without a full [`Chunking`]).
+pub fn chunk_of(addr: usize, epc: usize) -> u64 {
+    (addr / epc) as u64
+}
+
+/// The inclusive chunk-id range covering a run.
+pub fn chunk_range_for_run(run: &Run, epc: usize) -> (u64, u64) {
+    ((run.start / epc) as u64, (run.end() / epc) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_layout() {
+        let c = Chunking::new(64, 100); // 8 elements per chunk
+        assert_eq!(c.elements_per_chunk(), 8);
+        assert_eq!(c.chunk_count(), 13);
+        assert_eq!(c.chunk_of(0), 0);
+        assert_eq!(c.chunk_of(7), 0);
+        assert_eq!(c.chunk_of(8), 1);
+        assert_eq!(c.chunk_span(12), (96, 100), "last chunk is partial");
+        assert_eq!(c.chunk_len(12), 4);
+    }
+
+    #[test]
+    fn empty_array() {
+        let c = Chunking::new(64, 0);
+        assert_eq!(c.chunk_count(), 0);
+    }
+
+    #[test]
+    fn chunks_for_dense_run() {
+        let c = Chunking::new(64, 100);
+        let run = Run {
+            start: 4,
+            step: 1,
+            len: 10,
+        }; // addresses 4..14 -> chunks 0,1
+        assert_eq!(c.chunks_for_run(&run), vec![0, 1]);
+    }
+
+    #[test]
+    fn chunks_for_strided_run() {
+        let c = Chunking::new(64, 200);
+        let run = Run {
+            start: 0,
+            step: 16,
+            len: 5,
+        }; // 0,16,32,48,64 -> chunks 0,2,4,6,8
+        assert_eq!(c.chunks_for_run(&run), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunks_for_small_stride_covers_range() {
+        let c = Chunking::new(64, 200);
+        let run = Run {
+            start: 0,
+            step: 3,
+            len: 10,
+        }; // up to address 27 -> chunks 0..=3
+        assert_eq!(c.chunks_for_run(&run), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn auto_tuning_heuristic() {
+        // Small arrays use the minimum chunk.
+        assert_eq!(auto_chunk_bytes(10), 1024);
+        // A 1M-element (8 MB) array lands near 8 KiB (≈ 1024 chunks).
+        let c = auto_chunk_bytes(1_000_000);
+        assert!((4096..=16384).contains(&c), "{c}");
+        assert!(c.is_power_of_two());
+        // Huge arrays are clamped.
+        assert_eq!(auto_chunk_bytes(1 << 32), 256 * 1024);
+        // Monotone non-decreasing in array size.
+        let mut last = 0;
+        for e in [1usize, 100, 10_000, 1_000_000, 100_000_000] {
+            let c = auto_chunk_bytes(e);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn single_element_run() {
+        let c = Chunking::new(64, 100);
+        let run = Run {
+            start: 42,
+            step: 0,
+            len: 1,
+        };
+        assert_eq!(c.chunks_for_run(&run), vec![5]);
+    }
+}

@@ -1,0 +1,40 @@
+//! External storage of *RDF with Arrays*: the Array Storage
+//! Extensibility Interface and lazy array retrieval.
+//!
+//! Massive arrays do not live in SSDM's main memory: they are split into
+//! fixed-size one-dimensional chunks (thesis §2.5: "we split the arrays
+//! into one-dimensional chunks, so that the chunk size is the only
+//! parameter") and stored in an external back-end behind the **ASEI**
+//! ([`ChunkStore`]). Queries carry **array proxies** ([`ArrayProxy`]) —
+//! descriptors holding shape and pending view transformations but no
+//! elements — and the **array-proxy-resolve** operator ([`apr`])
+//! materializes exactly the elements a query touches, using one of the
+//! retrieval strategies compared in §6.3:
+//!
+//! * [`RetrievalStrategy::Single`] — one back-end statement per chunk;
+//! * [`RetrievalStrategy::BufferedIn`] — buffered `IN`-list statements;
+//! * [`RetrievalStrategy::SpdRange`] — the Sequence Pattern Detector
+//!   ([`spd`]) compresses regular chunk-id sequences into range queries;
+//! * [`RetrievalStrategy::WholeArray`] — fetch everything (the baseline).
+//!
+//! Back-ends provided: [`MemoryChunkStore`], [`FileChunkStore`] (binary
+//! files, the paper's file-link scenario) and [`RelChunkStore`] (the
+//! embedded relational substrate standing in for MySQL).
+
+pub mod apr;
+mod bag;
+mod chunks;
+mod meta;
+pub mod spd;
+mod store;
+
+pub use apr::{AprStats, ArrayStore, RetrievalStrategy};
+pub use chunks::{auto_chunk_bytes, chunk_of, chunk_range_for_run, Chunking};
+pub use meta::{ArrayMeta, ArrayProxy};
+pub use store::{
+    Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RelChunkStore,
+    StorageError,
+};
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,319 @@
+//! The Sequence Pattern Detector (SPD, thesis §6.2.5).
+//!
+//! When a query resolves many array proxies (or a strided view of one
+//! array), the chunk ids it needs often form regular arithmetic
+//! sequences — e.g. every task's result array stores its first chunk at
+//! a fixed offset pattern. Instead of designing multidimensional tiles
+//! up front (as Rasdaman does), SSDM *discovers regularity at query
+//! runtime*: the SPD compresses the chunk-id stream into arithmetic
+//! patterns and converts them into the cheapest mix of back-end range
+//! and `IN`-list statements.
+
+/// A maximal arithmetic pattern `start, start+step, …` of chunk ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    pub start: u64,
+    pub step: u64,
+    pub count: usize,
+}
+
+impl Pattern {
+    pub fn last(&self) -> u64 {
+        self.start + self.step * (self.count.saturating_sub(1)) as u64
+    }
+
+    /// Ids covered by the pattern.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count as u64).map(move |k| self.start + k * self.step)
+    }
+
+    /// Needed ÷ fetched ratio if the pattern is served by one dense
+    /// range statement.
+    pub fn density(&self) -> f64 {
+        let span = self.last() - self.start + 1;
+        self.count as f64 / span as f64
+    }
+}
+
+/// Detect maximal constant-step patterns in an ascending id sequence.
+/// Duplicates are collapsed first.
+pub fn detect(ids: &[u64]) -> Vec<Pattern> {
+    let mut sorted: Vec<u64> = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        if i + 1 == sorted.len() {
+            out.push(Pattern {
+                start: sorted[i],
+                step: 0,
+                count: 1,
+            });
+            break;
+        }
+        let step = sorted[i + 1] - sorted[i];
+        let mut j = i + 1;
+        while j + 1 < sorted.len() && sorted[j + 1] - sorted[j] == step {
+            j += 1;
+        }
+        let count = j - i + 1;
+        if count >= 3 || step == 0 {
+            out.push(Pattern {
+                start: sorted[i],
+                step,
+                count,
+            });
+            i = j + 1;
+        } else {
+            // A 2-element "pattern" is not evidence of regularity; emit
+            // the first element alone and retry from the second.
+            out.push(Pattern {
+                start: sorted[i],
+                step: 0,
+                count: 1,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// One back-end statement in a fetch plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchOp {
+    /// `WHERE chunk BETWEEN lo AND hi` — may fetch unneeded chunks,
+    /// which the APR filters out.
+    Range { lo: u64, hi: u64 },
+    /// `WHERE chunk IN (...)`.
+    In(Vec<u64>),
+}
+
+impl FetchOp {
+    /// Number of chunks the statement returns (upper bound for Range).
+    pub fn fetched(&self) -> u64 {
+        match self {
+            FetchOp::Range { lo, hi } => hi - lo + 1,
+            FetchOp::In(ids) => ids.len() as u64,
+        }
+    }
+}
+
+/// SPD planning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpdOptions {
+    /// A strided pattern is served by one covering range when its
+    /// density (needed/fetched) is at least this threshold.
+    pub density_threshold: f64,
+    /// Minimum pattern length to justify a range statement.
+    pub min_range_len: usize,
+    /// Maximum ids per IN-list statement.
+    pub max_in_list: usize,
+}
+
+impl Default for SpdOptions {
+    fn default() -> Self {
+        SpdOptions {
+            density_threshold: 0.5,
+            min_range_len: 3,
+            max_in_list: 256,
+        }
+    }
+}
+
+/// Turn a chunk-id sequence into a fetch plan.
+///
+/// Guarantee: the plan never issues more statements than the plain
+/// `IN`-list strategy would — when regularity fragments into many small
+/// patterns (e.g. periodic row groups), the planner falls back to
+/// batched `IN`-lists rather than a storm of tiny range statements.
+pub fn plan(ids: &[u64], opts: SpdOptions) -> Vec<FetchOp> {
+    let patterns = detect(ids);
+    let mut ops = Vec::new();
+    let mut loose: Vec<u64> = Vec::new();
+    for p in patterns {
+        let dense_enough = p.density() >= opts.density_threshold;
+        if p.count >= opts.min_range_len && dense_enough {
+            ops.push(FetchOp::Range {
+                lo: p.start,
+                hi: p.last(),
+            });
+        } else {
+            loose.extend(p.ids());
+        }
+    }
+    loose.sort_unstable();
+    for batch in loose.chunks(opts.max_in_list.max(1)) {
+        ops.push(FetchOp::In(batch.to_vec()));
+    }
+    // Statement-count guard: an IN-only plan needs this many statements.
+    let mut distinct: Vec<u64> = ids.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let in_only_stmts = distinct.len().div_ceil(opts.max_in_list.max(1));
+    if ops.len() > in_only_stmts {
+        return distinct
+            .chunks(opts.max_in_list.max(1))
+            .map(|b| FetchOp::In(b.to_vec()))
+            .collect();
+    }
+    ops
+}
+
+/// Total chunks a plan fetches vs the number actually needed.
+pub fn plan_overfetch(ids: &[u64], plan: &[FetchOp]) -> (u64, u64) {
+    let mut needed: Vec<u64> = ids.to_vec();
+    needed.sort_unstable();
+    needed.dedup();
+    let fetched: u64 = plan.iter().map(FetchOp::fetched).sum();
+    (needed.len() as u64, fetched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_dense_run() {
+        let p = detect(&[3, 4, 5, 6, 7]);
+        assert_eq!(
+            p,
+            vec![Pattern {
+                start: 3,
+                step: 1,
+                count: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn detect_strided_run() {
+        let p = detect(&[0, 10, 20, 30]);
+        assert_eq!(
+            p,
+            vec![Pattern {
+                start: 0,
+                step: 10,
+                count: 4
+            }]
+        );
+        assert!((p[0].density() - 4.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detect_mixed() {
+        let p = detect(&[1, 2, 3, 50, 100, 150, 200, 777]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p[0],
+            Pattern {
+                start: 1,
+                step: 1,
+                count: 3
+            }
+        );
+        assert_eq!(
+            p[1],
+            Pattern {
+                start: 50,
+                step: 50,
+                count: 4
+            }
+        );
+        assert_eq!(
+            p[2],
+            Pattern {
+                start: 777,
+                step: 0,
+                count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn detect_dedups_and_sorts() {
+        let p = detect(&[5, 3, 4, 4, 3]);
+        assert_eq!(
+            p,
+            vec![Pattern {
+                start: 3,
+                step: 1,
+                count: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn pairs_do_not_fake_patterns() {
+        // 1,2 then 10: a naive detector would claim (1,2) step 1; SPD
+        // requires 3 elements of evidence.
+        let p = detect(&[1, 2, 10]);
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|q| q.count == 1));
+    }
+
+    #[test]
+    fn plan_dense_becomes_range() {
+        let ids: Vec<u64> = (10..50).collect();
+        let plan = plan(&ids, SpdOptions::default());
+        assert_eq!(plan, vec![FetchOp::Range { lo: 10, hi: 49 }]);
+    }
+
+    #[test]
+    fn plan_sparse_becomes_in_list() {
+        let ids = vec![1, 100, 2000, 30000];
+        let plan = plan(&ids, SpdOptions::default());
+        assert_eq!(plan, vec![FetchOp::In(vec![1, 100, 2000, 30000])]);
+    }
+
+    #[test]
+    fn plan_strided_respects_density_threshold() {
+        let ids: Vec<u64> = (0..20).map(|k| k * 2).collect(); // density 0.51
+        let dense = plan(
+            &ids,
+            SpdOptions {
+                density_threshold: 0.5,
+                ..SpdOptions::default()
+            },
+        );
+        assert!(matches!(dense[0], FetchOp::Range { .. }));
+        let sparse = plan(
+            &ids,
+            SpdOptions {
+                density_threshold: 0.9,
+                ..SpdOptions::default()
+            },
+        );
+        assert!(matches!(sparse[0], FetchOp::In(_)));
+    }
+
+    #[test]
+    fn plan_respects_in_list_cap() {
+        let ids: Vec<u64> = (0..100).map(|k| k * k + 7).collect();
+        let plan = plan(
+            &ids,
+            SpdOptions {
+                max_in_list: 16,
+                ..SpdOptions::default()
+            },
+        );
+        assert!(plan
+            .iter()
+            .all(|op| matches!(op, FetchOp::In(v) if v.len() <= 16)));
+    }
+
+    #[test]
+    fn overfetch_accounting() {
+        let ids = vec![0, 2, 4, 6, 8];
+        let p = plan(&ids, SpdOptions::default());
+        let (needed, fetched) = plan_overfetch(&ids, &p);
+        assert_eq!(needed, 5);
+        assert_eq!(fetched, 9, "covering range 0..=8 overfetches 4 chunks");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(detect(&[]).is_empty());
+        assert!(plan(&[], SpdOptions::default()).is_empty());
+    }
+}

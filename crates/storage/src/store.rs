@@ -1,0 +1,742 @@
+//! The Array Storage Extensibility Interface (ASEI) and its back-ends.
+//!
+//! The ASEI (thesis §6.1) is the contract between SSDM's query processor
+//! and any system able to hold array chunks. A back-end advertises its
+//! [`Capabilities`]; the APR picks a retrieval strategy the back-end
+//! supports and *delegates* batched operations (IN-lists, ranges) to it
+//! when possible, falling back to per-chunk requests otherwise — this is
+//! the "common supported operations are delegated to the array storage
+//! back-ends, according to their capabilities" behaviour of the
+//! abstract.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use relstore::{Db, Key};
+
+/// Errors raised by chunk storage back-ends.
+#[derive(Debug)]
+pub enum StorageError {
+    Io(io::Error),
+    Backend(String),
+    MissingChunk { array_id: u64, chunk_id: u64 },
+    MissingArray(u64),
+    Array(ssdm_array::ArrayError),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Backend(m) => write!(f, "back-end error: {m}"),
+            StorageError::MissingChunk { array_id, chunk_id } => {
+                write!(f, "missing chunk {chunk_id} of array {array_id}")
+            }
+            StorageError::MissingArray(id) => write!(f, "unknown array id {id}"),
+            StorageError::Array(e) => write!(f, "array error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<ssdm_array::ArrayError> for StorageError {
+    fn from(e: ssdm_array::ArrayError) -> Self {
+        StorageError::Array(e)
+    }
+}
+
+impl From<relstore::StoreError> for StorageError {
+    fn from(e: relstore::StoreError) -> Self {
+        StorageError::Backend(e.to_string())
+    }
+}
+
+/// What batched operations a back-end supports natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    pub supports_in_list: bool,
+    pub supports_range: bool,
+    /// Whether one statement can scan across array boundaries
+    /// (clustered composite-key table).
+    pub supports_cross_range: bool,
+}
+
+/// Result rows of composite-key operations: `((array, chunk), payload)`.
+pub type CompositeRows = Vec<((u64, u64), Vec<u8>)>;
+
+/// Back-end I/O statistics (statement-level, mirrors the paper's
+/// measurement of SQL statements issued and rows returned).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    pub statements: u64,
+    pub chunks_returned: u64,
+    pub bytes_returned: u64,
+}
+
+/// The ASEI: chunk-granular storage of linearized arrays. `Send` so an
+/// SSDM instance can be owned by a server thread (thesis §5.1:
+/// client-server deployment).
+pub trait ChunkStore: Send {
+    /// Announce a new array before its chunks are written. Back-ends
+    /// with per-array physical layout (files) allocate here; the default
+    /// is a no-op.
+    fn begin_array(&mut self, _array_id: u64, _chunk_bytes: usize) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Write one chunk of an array.
+    fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Fetch one chunk (one back-end statement).
+    fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError>;
+
+    /// Fetch a set of chunks in one statement. Back-ends without native
+    /// IN-list support may loop internally; the default does so and
+    /// charges one statement per chunk.
+    fn get_chunks_in(
+        &mut self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::with_capacity(chunk_ids.len());
+        for &c in chunk_ids {
+            out.push((c, self.get_chunk(array_id, c)?));
+        }
+        Ok(out)
+    }
+
+    /// Fetch an inclusive chunk-id range in one statement. Default loops.
+    fn get_chunk_range(
+        &mut self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let ids: Vec<u64> = (lo..=hi).collect();
+        self.get_chunks_in(array_id, &ids)
+    }
+
+    /// Fetch an inclusive composite-key range `(array, chunk)` that may
+    /// span array boundaries, in ONE statement — the clustered-table
+    /// scan behind bag-of-proxy resolution (thesis §6.2.4). Back-ends
+    /// without a cross-array clustered layout return `Unsupported`;
+    /// callers must consult [`Capabilities::supports_cross_range`].
+    fn get_composite_range(
+        &mut self,
+        _lo: (u64, u64),
+        _hi: (u64, u64),
+    ) -> Result<CompositeRows, StorageError> {
+        Err(StorageError::Backend(
+            "cross-array ranges not supported by this back-end".into(),
+        ))
+    }
+
+    /// Row-value `IN`-list over composite keys in one statement
+    /// (`WHERE (array, chunk) IN (...)`). Default: unsupported.
+    fn get_composite_in(&mut self, _keys: &[(u64, u64)]) -> Result<CompositeRows, StorageError> {
+        Err(StorageError::Backend(
+            "composite IN-lists not supported by this back-end".into(),
+        ))
+    }
+
+    /// Delete all chunks of an array.
+    fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError>;
+
+    fn capabilities(&self) -> Capabilities;
+
+    fn io_stats(&self) -> IoStats;
+
+    fn reset_io_stats(&mut self);
+}
+
+impl ChunkStore for Box<dyn ChunkStore> {
+    fn begin_array(&mut self, array_id: u64, chunk_bytes: usize) -> Result<(), StorageError> {
+        (**self).begin_array(array_id, chunk_bytes)
+    }
+
+    fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
+        (**self).put_chunk(array_id, chunk_id, data)
+    }
+
+    fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        (**self).get_chunk(array_id, chunk_id)
+    }
+
+    fn get_chunks_in(
+        &mut self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        (**self).get_chunks_in(array_id, chunk_ids)
+    }
+
+    fn get_chunk_range(
+        &mut self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        (**self).get_chunk_range(array_id, lo, hi)
+    }
+
+    fn get_composite_range(
+        &mut self,
+        lo: (u64, u64),
+        hi: (u64, u64),
+    ) -> Result<CompositeRows, StorageError> {
+        (**self).get_composite_range(lo, hi)
+    }
+
+    fn get_composite_in(&mut self, keys: &[(u64, u64)]) -> Result<CompositeRows, StorageError> {
+        (**self).get_composite_in(keys)
+    }
+
+    fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError> {
+        (**self).delete_array(array_id, chunk_count)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        (**self).capabilities()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+
+    fn reset_io_stats(&mut self) {
+        (**self).reset_io_stats()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory back-end
+// ---------------------------------------------------------------------
+
+/// A transient in-process back-end (hash map of chunks). Used as the
+/// "resident" baseline and in tests.
+#[derive(Debug, Default)]
+pub struct MemoryChunkStore {
+    chunks: HashMap<(u64, u64), Vec<u8>>,
+    stats: IoStats,
+}
+
+impl MemoryChunkStore {
+    pub fn new() -> Self {
+        MemoryChunkStore::default()
+    }
+
+    fn account(&mut self, chunks: usize, bytes: usize) {
+        self.stats.statements += 1;
+        self.stats.chunks_returned += chunks as u64;
+        self.stats.bytes_returned += bytes as u64;
+    }
+}
+
+impl ChunkStore for MemoryChunkStore {
+    fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
+        self.chunks.insert((array_id, chunk_id), data.to_vec());
+        Ok(())
+    }
+
+    fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        let v = self
+            .chunks
+            .get(&(array_id, chunk_id))
+            .cloned()
+            .ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
+        self.account(1, v.len());
+        Ok(v)
+    }
+
+    fn get_chunks_in(
+        &mut self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::with_capacity(chunk_ids.len());
+        let mut bytes = 0;
+        for &c in chunk_ids {
+            let v = self
+                .chunks
+                .get(&(array_id, c))
+                .cloned()
+                .ok_or(StorageError::MissingChunk {
+                    array_id,
+                    chunk_id: c,
+                })?;
+            bytes += v.len();
+            out.push((c, v));
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn get_chunk_range(
+        &mut self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::new();
+        let mut bytes = 0;
+        for c in lo..=hi {
+            if let Some(v) = self.chunks.get(&(array_id, c)) {
+                bytes += v.len();
+                out.push((c, v.clone()));
+            }
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError> {
+        for c in 0..chunk_count {
+            self.chunks.remove(&(array_id, c));
+        }
+        Ok(())
+    }
+
+    fn get_composite_range(
+        &mut self,
+        lo: (u64, u64),
+        hi: (u64, u64),
+    ) -> Result<CompositeRows, StorageError> {
+        let mut out: Vec<((u64, u64), Vec<u8>)> = self
+            .chunks
+            .iter()
+            .filter(|(&k, _)| k >= lo && k <= hi)
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        let bytes: usize = out.iter().map(|(_, v)| v.len()).sum();
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn get_composite_in(&mut self, keys: &[(u64, u64)]) -> Result<CompositeRows, StorageError> {
+        let mut out = Vec::with_capacity(keys.len());
+        let mut bytes = 0;
+        for &k in keys {
+            if let Some(v) = self.chunks.get(&k) {
+                bytes += v.len();
+                out.push((k, v.clone()));
+            }
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_in_list: true,
+            supports_range: true,
+            supports_cross_range: true,
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_io_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary-file back-end
+// ---------------------------------------------------------------------
+
+/// One binary file per array, chunks at fixed offsets after a small
+/// header — the paper's file-based storage (and the `.mat` file-link
+/// scenario of ch. 7). Supports ranges natively (sequential read);
+/// IN-lists are looped but still one "statement" since there is no
+/// server round trip. Files persist across store instances: reopening
+/// the directory lazily re-attaches existing arrays via their headers.
+pub struct FileChunkStore {
+    dir: PathBuf,
+    files: HashMap<u64, (File, usize)>, // (handle, chunk_bytes)
+    stats: IoStats,
+}
+
+/// Array-file header: magic + chunk size.
+const FILE_MAGIC: &[u8; 8] = b"SSDMARR1";
+const FILE_HEADER: u64 = 16;
+
+impl FileChunkStore {
+    /// Store files under `dir` (created if needed).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileChunkStore {
+            dir,
+            files: HashMap::new(),
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Declare the chunk size of an array before writing it.
+    pub fn create_array(&mut self, array_id: u64, chunk_bytes: usize) -> Result<(), StorageError> {
+        let path = self.array_path(array_id);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = [0u8; FILE_HEADER as usize];
+        header[..8].copy_from_slice(FILE_MAGIC);
+        header[8..12].copy_from_slice(&(chunk_bytes as u32).to_le_bytes());
+        file.write_all_at(&header, 0)?;
+        self.files.insert(array_id, (file, chunk_bytes));
+        Ok(())
+    }
+
+    fn array_path(&self, array_id: u64) -> PathBuf {
+        self.dir.join(format!("arr_{array_id}.bin"))
+    }
+
+    fn file(&mut self, array_id: u64) -> Result<&(File, usize), StorageError> {
+        if !self.files.contains_key(&array_id) {
+            // Lazily re-attach an array file written by a previous
+            // instance of the store over the same directory.
+            let path = self.array_path(array_id);
+            if !path.exists() {
+                return Err(StorageError::MissingArray(array_id));
+            }
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let mut header = [0u8; FILE_HEADER as usize];
+            file.read_exact_at(&mut header, 0)?;
+            if &header[..8] != FILE_MAGIC {
+                return Err(StorageError::Backend(format!(
+                    "{} is not an SSDM array file",
+                    path.display()
+                )));
+            }
+            let chunk_bytes =
+                u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+            self.files.insert(array_id, (file, chunk_bytes));
+        }
+        Ok(&self.files[&array_id])
+    }
+
+    fn account(&mut self, chunks: usize, bytes: usize) {
+        self.stats.statements += 1;
+        self.stats.chunks_returned += chunks as u64;
+        self.stats.bytes_returned += bytes as u64;
+    }
+}
+
+impl ChunkStore for FileChunkStore {
+    fn begin_array(&mut self, array_id: u64, chunk_bytes: usize) -> Result<(), StorageError> {
+        self.create_array(array_id, chunk_bytes)
+    }
+
+    fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
+        let (file, chunk_bytes) = self.file(array_id)?;
+        let offset = FILE_HEADER + chunk_id * *chunk_bytes as u64;
+        file.write_all_at(data, offset)?;
+        Ok(())
+    }
+
+    fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        let (file, chunk_bytes) = self.file(array_id)?;
+        let cb = *chunk_bytes;
+        let len = file.metadata()?.len();
+        let offset = FILE_HEADER + chunk_id * cb as u64;
+        if offset >= len {
+            return Err(StorageError::MissingChunk { array_id, chunk_id });
+        }
+        let take = ((len - offset) as usize).min(cb);
+        let mut buf = vec![0u8; take];
+        file.read_exact_at(&mut buf, offset)?;
+        self.account(1, take);
+        Ok(buf)
+    }
+
+    fn get_chunks_in(
+        &mut self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::with_capacity(chunk_ids.len());
+        let mut bytes = 0;
+        for &c in chunk_ids {
+            let (file, chunk_bytes) = self.file(array_id)?;
+            let cb = *chunk_bytes;
+            let len = file.metadata()?.len();
+            let offset = FILE_HEADER + c * cb as u64;
+            if offset >= len {
+                return Err(StorageError::MissingChunk {
+                    array_id,
+                    chunk_id: c,
+                });
+            }
+            let take = ((len - offset) as usize).min(cb);
+            let mut buf = vec![0u8; take];
+            file.read_exact_at(&mut buf, offset)?;
+            bytes += take;
+            out.push((c, buf));
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn get_chunk_range(
+        &mut self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        // Native sequential read of the whole range in one pread.
+        let (file, chunk_bytes) = self.file(array_id)?;
+        let cb = *chunk_bytes;
+        let len = file.metadata()?.len();
+        let offset = FILE_HEADER + lo * cb as u64;
+        if offset >= len {
+            return Err(StorageError::MissingChunk {
+                array_id,
+                chunk_id: lo,
+            });
+        }
+        let span = (((hi - lo + 1) as usize) * cb).min((len - offset) as usize);
+        let mut buf = vec![0u8; span];
+        file.read_exact_at(&mut buf, offset)?;
+        let mut out = Vec::new();
+        let mut bytes = 0;
+        for (i, part) in buf.chunks(cb).enumerate() {
+            bytes += part.len();
+            out.push((lo + i as u64, part.to_vec()));
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn delete_array(&mut self, array_id: u64, _chunk_count: u64) -> Result<(), StorageError> {
+        self.files.remove(&array_id);
+        std::fs::remove_file(self.array_path(array_id)).ok();
+        Ok(())
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_in_list: false,
+            supports_range: true,
+            supports_cross_range: false, // one file per array
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_io_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relational back-end
+// ---------------------------------------------------------------------
+
+/// The relational back-end: chunks as rows of a clustered table keyed
+/// `(array_id, chunk_id)` (thesis §6.2.1), served by the embedded
+/// [`relstore`] substrate with its statement latency model.
+pub struct RelChunkStore {
+    db: Db,
+}
+
+impl RelChunkStore {
+    pub fn new(db: Db) -> Self {
+        RelChunkStore { db }
+    }
+
+    /// An in-memory relational store with default options.
+    pub fn open_memory() -> Result<Self, StorageError> {
+        Ok(RelChunkStore {
+            db: Db::open_memory(relstore::DbOptions::default())?,
+        })
+    }
+
+    /// Create a file-backed relational store.
+    pub fn create_file(path: &Path, options: relstore::DbOptions) -> Result<Self, StorageError> {
+        Ok(RelChunkStore {
+            db: Db::create_file(path, options)?,
+        })
+    }
+
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    pub fn db_mut(&mut self) -> &mut Db {
+        &mut self.db
+    }
+}
+
+impl ChunkStore for RelChunkStore {
+    fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
+        self.db.put(Key::new(array_id, chunk_id), data)?;
+        Ok(())
+    }
+
+    fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        self.db
+            .get(Key::new(array_id, chunk_id))?
+            .ok_or(StorageError::MissingChunk { array_id, chunk_id })
+    }
+
+    fn get_chunks_in(
+        &mut self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let rows = self.db.get_in(array_id, chunk_ids)?;
+        if rows.len() != chunk_ids.len() {
+            let got: std::collections::HashSet<u64> =
+                rows.iter().map(|(k, _)| k.chunk_id).collect();
+            let missing = chunk_ids.iter().find(|c| !got.contains(c));
+            if let Some(&chunk_id) = missing {
+                return Err(StorageError::MissingChunk { array_id, chunk_id });
+            }
+        }
+        Ok(rows.into_iter().map(|(k, v)| (k.chunk_id, v)).collect())
+    }
+
+    fn get_chunk_range(
+        &mut self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let rows = self.db.get_range(array_id, lo, hi)?;
+        Ok(rows.into_iter().map(|(k, v)| (k.chunk_id, v)).collect())
+    }
+
+    fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError> {
+        for c in 0..chunk_count {
+            self.db.delete(Key::new(array_id, c))?;
+        }
+        Ok(())
+    }
+
+    fn get_composite_range(
+        &mut self,
+        lo: (u64, u64),
+        hi: (u64, u64),
+    ) -> Result<CompositeRows, StorageError> {
+        let rows = self
+            .db
+            .get_key_range(Key::new(lo.0, lo.1), Key::new(hi.0, hi.1))?;
+        Ok(rows
+            .into_iter()
+            .map(|(k, v)| ((k.array_id, k.chunk_id), v))
+            .collect())
+    }
+
+    fn get_composite_in(&mut self, keys: &[(u64, u64)]) -> Result<CompositeRows, StorageError> {
+        let db_keys: Vec<Key> = keys.iter().map(|&(a, c)| Key::new(a, c)).collect();
+        let rows = self.db.get_keys(&db_keys)?;
+        Ok(rows
+            .into_iter()
+            .map(|(k, v)| ((k.array_id, k.chunk_id), v))
+            .collect())
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_in_list: true,
+            supports_range: true,
+            supports_cross_range: true,
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        let s = self.db.statement_stats();
+        IoStats {
+            statements: s.statements,
+            chunks_returned: s.rows_returned,
+            bytes_returned: s.bytes_returned,
+        }
+    }
+
+    fn reset_io_stats(&mut self) {
+        self.db.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn ChunkStore) {
+        store.put_chunk(1, 0, b"aaaaaaaa").unwrap();
+        store.put_chunk(1, 1, b"bbbbbbbb").unwrap();
+        store.put_chunk(1, 2, b"cccccccc").unwrap();
+        assert_eq!(store.get_chunk(1, 1).unwrap(), b"bbbbbbbb");
+        let many = store.get_chunks_in(1, &[0, 2]).unwrap();
+        assert_eq!(many.len(), 2);
+        assert_eq!(many[0], (0, b"aaaaaaaa".to_vec()));
+        let range = store.get_chunk_range(1, 0, 2).unwrap();
+        assert_eq!(range.len(), 3);
+        assert!(store.get_chunk(1, 99).is_err());
+        assert!(store.get_chunk(9, 0).is_err());
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        let mut s = MemoryChunkStore::new();
+        exercise(&mut s);
+        // get_chunk + get_chunks_in + get_chunk_range succeeded; the
+        // two failing lookups error out before being accounted.
+        assert_eq!(s.io_stats().statements, 3);
+    }
+
+    #[test]
+    fn rel_store_contract() {
+        let mut s = RelChunkStore::open_memory().unwrap();
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn file_store_contract() {
+        let dir = std::env::temp_dir().join(format!("ssdm-fcs-{}", std::process::id()));
+        let mut s = FileChunkStore::new(&dir).unwrap();
+        s.create_array(1, 8).unwrap();
+        exercise(&mut s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_partial_last_chunk() {
+        let dir = std::env::temp_dir().join(format!("ssdm-fcs2-{}", std::process::id()));
+        let mut s = FileChunkStore::new(&dir).unwrap();
+        s.create_array(1, 16).unwrap();
+        s.put_chunk(1, 0, &[1u8; 16]).unwrap();
+        s.put_chunk(1, 1, &[2u8; 4]).unwrap(); // partial tail
+        assert_eq!(s.get_chunk(1, 1).unwrap(), vec![2u8; 4]);
+        let range = s.get_chunk_range(1, 0, 1).unwrap();
+        assert_eq!(range[1].1.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capabilities_differ() {
+        assert!(MemoryChunkStore::new().capabilities().supports_in_list);
+        let dir = std::env::temp_dir().join(format!("ssdm-fcs3-{}", std::process::id()));
+        let f = FileChunkStore::new(&dir).unwrap();
+        assert!(!f.capabilities().supports_in_list);
+        assert!(f.capabilities().supports_range);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

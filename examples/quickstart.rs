@@ -1,0 +1,111 @@
+//! Quickstart: RDF with Arrays in five minutes.
+//!
+//! Loads a small dataset mixing metadata (strings, URIs) and numeric
+//! matrices, then walks through the core SciSPARQL features: graph
+//! patterns, array dereference and slicing, array arithmetic, built-in
+//! array functions, and a user-defined function used as a second-order
+//! argument.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ssdm::{Backend, Ssdm};
+
+fn show(db: &mut Ssdm, title: &str, query: &str) {
+    println!("--- {title}\n{query}\n");
+    match db.query(query) {
+        Ok(result) => println!("{}", result.to_table()),
+        Err(e) => println!("error: {e}\n"),
+    }
+}
+
+fn main() {
+    let mut db = Ssdm::open(Backend::Memory);
+
+    // Weather-station measurements: a 2-D matrix per station
+    // (rows = days, columns = hours sampled).
+    db.load_turtle(
+        r#"
+        @prefix ex: <http://example.org/weather#> .
+        ex:uppsala a ex:Station ; ex:name "Uppsala" ;
+            ex:temperature ((18 19 21) (16 17 20) (12 14 15)) .
+        ex:kiruna a ex:Station ; ex:name "Kiruna" ;
+            ex:temperature ((-8 -4 -2) (-12 -9 -5) (-15 -11 -8)) .
+        ex:lund a ex:Station ; ex:name "Lund" ;
+            ex:temperature ((20 22 25) (19 21 24) (18 20 22)) .
+    "#,
+    )
+    .expect("load");
+
+    show(
+        &mut db,
+        "Stations and their full matrices",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT ?name ?t WHERE { ?s a ex:Station ; ex:name ?name ; ex:temperature ?t }
+ORDER BY ?name"#,
+    );
+
+    show(
+        &mut db,
+        "Array dereference: day 2, hour 3 (1-based subscripts)",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT ?name (?t[2,3] AS ?day2hour3) WHERE { ?s ex:name ?name ; ex:temperature ?t }
+ORDER BY ?name"#,
+    );
+
+    show(
+        &mut db,
+        "Slicing: the whole first day, and every second hour",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT ?name (?t[1] AS ?day1) (?t[1, 1:2:3] AS ?oddHours)
+WHERE { ?s ex:name ?name ; ex:temperature ?t } ORDER BY ?name"#,
+    );
+
+    show(
+        &mut db,
+        "Array functions and filters over them",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT ?name (array_avg(?t) AS ?mean) (array_min(?t) AS ?coldest)
+WHERE { ?s ex:name ?name ; ex:temperature ?t FILTER (array_max(?t) > 0) }
+ORDER BY ?name"#,
+    );
+
+    show(
+        &mut db,
+        "Array arithmetic: convert Celsius to Fahrenheit",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT ?name (?t * 1.8 + 32 AS ?fahrenheit)
+WHERE { ?s ex:name ?name ; ex:temperature ?t FILTER (?name = "Kiruna") }"#,
+    );
+
+    // A user-defined function (parameterized query) applied with the
+    // second-order array_map.
+    db.query("DEFINE FUNCTION to_kelvin(?c) AS SELECT (?c + 273.15 AS ?k) WHERE { }")
+        .expect("define");
+    show(
+        &mut db,
+        "Second-order: map a user-defined function over a matrix",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT (array_map(to_kelvin, ?t) AS ?kelvin)
+WHERE { ?s ex:name "Uppsala" ; ex:temperature ?t }"#,
+    );
+
+    show(
+        &mut db,
+        "Subscript variables: where does each station peak?",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT ?name ?day ?hour ?temp WHERE {
+  ?s ex:name ?name ; ex:temperature ?t
+  BIND (?t[?day, ?hour] AS ?temp)
+  FILTER (?temp = array_max(?t))
+} ORDER BY ?name"#,
+    );
+
+    show(
+        &mut db,
+        "Aggregation across stations",
+        r#"PREFIX ex: <http://example.org/weather#>
+SELECT (COUNT(?s) AS ?stations) (AVG(?m) AS ?overallMean) WHERE {
+  ?s ex:temperature ?t BIND (array_avg(?t) AS ?m)
+}"#,
+    );
+}

@@ -1,0 +1,91 @@
+//! Scale smoke tests: larger-than-unit workloads that must stay fast
+//! and correct. The heavyweight variant is `#[ignore]`d for routine
+//! runs (`cargo test -- --ignored` to include it).
+
+use std::time::Instant;
+
+use ssdm::bistab::{self, BistabConfig};
+use ssdm::{Backend, Ssdm};
+
+#[test]
+fn midsize_bistab_under_a_second_per_query() {
+    let mut db = Ssdm::open(Backend::Relational);
+    db.set_externalize_threshold(256, 4096);
+    bistab::load_bistab(
+        &mut db,
+        &BistabConfig {
+            tasks: 300,
+            realizations: 4,
+            trajectory_len: 1024,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    for (name, q) in bistab::queries() {
+        let t = Instant::now();
+        let rows = db.query(&q).unwrap().into_rows().unwrap();
+        assert!(!rows.is_empty(), "{name}");
+        assert!(
+            t.elapsed().as_secs_f64() < 2.0,
+            "{name} took {:?}",
+            t.elapsed()
+        );
+    }
+}
+
+#[test]
+fn wide_graph_point_query_stays_fast() {
+    // 20k triples; a selective query must run in milliseconds thanks to
+    // the POS index + join ordering, not seconds of scanning.
+    let mut db = Ssdm::open(Backend::Memory);
+    let mut turtle = String::from("@prefix ex: <http://e#> .\n");
+    for i in 0..5000 {
+        turtle.push_str(&format!(
+            "ex:n{i} ex:group {} ; ex:value {} ; ex:tag \"t{}\" ; ex:flag {} .\n",
+            i % 50,
+            i,
+            i % 7,
+            i % 2
+        ));
+    }
+    db.load_turtle(&turtle).unwrap();
+    assert_eq!(db.dataset.graph.len(), 20_000);
+    let t = Instant::now();
+    let rows = db
+        .query(
+            r#"PREFIX ex: <http://e#>
+               SELECT ?n WHERE { ?n ex:value 4321 ; ex:group ?g ; ex:flag 1 }"#,
+        )
+        .unwrap()
+        .into_rows()
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(
+        t.elapsed().as_millis() < 200,
+        "selective query took {:?}",
+        t.elapsed()
+    );
+}
+
+#[test]
+#[ignore = "heavyweight: ~8 MB arrays, thousands of tasks"]
+fn heavyweight_bistab() {
+    let mut db = Ssdm::open(Backend::Relational);
+    db.set_externalize_threshold(256, 0); // auto chunk size
+    bistab::load_bistab(
+        &mut db,
+        &BistabConfig {
+            tasks: 2000,
+            realizations: 8,
+            trajectory_len: 4096,
+            seed: 123,
+        },
+    )
+    .unwrap();
+    for (name, q) in bistab::queries() {
+        let t = Instant::now();
+        let rows = db.query(&q).unwrap().into_rows().unwrap();
+        println!("{name}: {} rows in {:?}", rows.len(), t.elapsed());
+        assert!(!rows.is_empty());
+    }
+}
