@@ -59,14 +59,20 @@ impl LatencyModel {
     /// Busy-wait for the charged duration (sleeping is too coarse for
     /// sub-millisecond charges).
     pub fn apply(&self, rows: usize, bytes: usize) {
-        let d = self.charge(rows, bytes);
-        if d.is_zero() {
-            return;
-        }
-        let start = Instant::now();
-        while start.elapsed() < d {
-            std::hint::spin_loop();
-        }
+        busy_wait(self.charge(rows, bytes));
+    }
+}
+
+/// Busy-wait for `d` (sleeping is too coarse for sub-millisecond
+/// charges). Also used by the storage fault injector to simulate
+/// latency spikes with the same mechanism as statement latency.
+pub fn busy_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
     }
 }
 

@@ -13,29 +13,94 @@
 //!
 //! The server owns its [`Ssdm`] instance and serializes queries — the
 //! concurrency model of a main-memory DBMS with a single query engine.
+//!
+//! # Hardening
+//!
+//! A production server must survive misbehaving peers and its own query
+//! engine (the storage back-end may already be degraded under faults):
+//!
+//! * per-connection **read/write timeouts** so a stalled client cannot
+//!   block the sequential accept loop forever;
+//! * **frame caps in both directions** — an oversized *request* gets a
+//!   status-1 reply and the connection is dropped (the stream can no
+//!   longer be trusted to be in frame sync); an oversized *response* is
+//!   replaced server-side by a status-1 "response too large" frame so
+//!   client framing never desynchronizes;
+//! * a cap on **consecutive protocol errors** (non-UTF-8 statements)
+//!   before the peer is dropped;
+//! * **panic isolation**: a query-engine panic is caught and turned into
+//!   a status-1 response for that connection; the process and other
+//!   sessions keep running.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use scisparql::{QueryError, QueryResult};
 
 use crate::Ssdm;
 
-/// Protocol limit: 64 MiB per message.
+/// Default protocol limit: 64 MiB per message.
 const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Knobs of the hardened server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Largest request or response payload, in bytes.
+    pub max_frame: u32,
+    /// Per-connection read timeout (None = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Consecutive protocol errors (malformed statements) tolerated on
+    /// one connection before it is dropped.
+    pub max_protocol_errors: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_protocol_errors: 3,
+        }
+    }
+}
 
 /// A running SSDM server.
 pub struct Server {
     listener: TcpListener,
     db: Ssdm,
+    config: ServerConfig,
+}
+
+/// What reading one request frame produced.
+enum Frame {
+    /// Peer closed (or timed out — either way the connection ends).
+    Closed,
+    Payload(Vec<u8>),
+    /// Peer announced a frame over the cap; the stream is out of sync.
+    TooLarge(u32),
 }
 
 impl Server {
-    /// Bind to an address (use port 0 for an ephemeral port).
+    /// Bind to an address (use port 0 for an ephemeral port) with
+    /// default hardening limits.
     pub fn bind(addr: impl ToSocketAddrs, db: Ssdm) -> std::io::Result<Server> {
+        Self::bind_with(addr, db, ServerConfig::default())
+    }
+
+    /// Bind with explicit [`ServerConfig`] limits.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        db: Ssdm,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             db,
+            config,
         })
     }
 
@@ -46,36 +111,81 @@ impl Server {
 
     /// Serve connections until a client sends the statement `SHUTDOWN`.
     /// Connections are handled sequentially; each carries any number of
-    /// statements until the peer closes it.
+    /// statements until the peer closes it. A connection-level I/O error
+    /// drops that connection only — the accept loop keeps serving.
     pub fn serve(mut self) -> std::io::Result<()> {
         loop {
             let (stream, _peer) = self.listener.accept()?;
-            if self.handle_connection(stream)? {
-                return Ok(());
+            match self.handle_connection(stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(_) => {} // peer broke mid-frame; next connection
             }
         }
     }
 
     /// Returns true when a SHUTDOWN was received.
     fn handle_connection(&mut self, mut stream: TcpStream) -> std::io::Result<bool> {
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        let max = self.config.max_frame;
+        let mut protocol_errors = 0u32;
         loop {
-            let Some(request) = read_frame(&mut stream)? else {
-                return Ok(false); // peer closed
+            let request = match read_frame(&mut stream, max)? {
+                Frame::Closed => return Ok(false),
+                Frame::TooLarge(len) => {
+                    // The unread payload makes the stream unframeable:
+                    // answer once, then drop the connection.
+                    write_response(
+                        &mut stream,
+                        1,
+                        &format!("request too large: {len} bytes > {max} max"),
+                        max,
+                    )?;
+                    return Ok(false);
+                }
+                Frame::Payload(p) => p,
             };
             let text = match String::from_utf8(request) {
                 Ok(t) => t,
                 Err(_) => {
-                    write_response(&mut stream, 1, "request is not UTF-8")?;
+                    protocol_errors += 1;
+                    if protocol_errors >= self.config.max_protocol_errors {
+                        write_response(&mut stream, 1, "too many protocol errors", max)?;
+                        return Ok(false);
+                    }
+                    write_response(&mut stream, 1, "request is not UTF-8", max)?;
                     continue;
                 }
             };
+            protocol_errors = 0;
             if text.trim().eq_ignore_ascii_case("SHUTDOWN") {
-                write_response(&mut stream, 0, "bye")?;
+                write_response(&mut stream, 0, "bye", max)?;
                 return Ok(true);
             }
-            match self.db.query(&text) {
-                Ok(result) => write_response(&mut stream, 0, &render(&result))?,
-                Err(e) => write_response(&mut stream, 1, &e.to_string())?,
+            // Panic isolation: a query-engine panic poisons only this
+            // response. The engine is a main-memory evaluator without
+            // cross-statement invariants held over a panic edge, so
+            // continuing with the same instance is sound.
+            let db = &mut self.db;
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.query(&text)));
+            match outcome {
+                Ok(Ok(result)) => write_response(&mut stream, 0, &render(&result), max)?,
+                Ok(Err(e)) => write_response(&mut stream, 1, &e.to_string(), max)?,
+                Err(panic) => {
+                    let what = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".into());
+                    write_response(
+                        &mut stream,
+                        1,
+                        &format!("internal error: query engine panicked: {what}"),
+                        max,
+                    )?;
+                }
             }
         }
     }
@@ -106,29 +216,54 @@ fn render(result: &QueryResult) -> String {
     }
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+fn read_frame(stream: &mut impl Read, max_frame: u32) -> std::io::Result<Frame> {
+    use std::io::ErrorKind;
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e)
+            if matches!(
+                e.kind(),
+                ErrorKind::UnexpectedEof | ErrorKind::WouldBlock | ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(Frame::Closed)
+        }
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "frame too large",
-        ));
+    if len > max_frame {
+        return Ok(Frame::TooLarge(len));
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
-    Ok(Some(buf))
+    Ok(Frame::Payload(buf))
 }
 
-fn write_response(stream: &mut TcpStream, status: u8, payload: &str) -> std::io::Result<()> {
+/// Write one response frame, never exceeding `max_frame`: an oversized
+/// payload is replaced by a status-1 "response too large" frame so the
+/// client-side framing stays in sync.
+fn write_response(
+    stream: &mut impl Write,
+    status: u8,
+    payload: &str,
+    max_frame: u32,
+) -> std::io::Result<()> {
+    if payload.len() > max_frame as usize {
+        let mut msg = format!(
+            "response too large: {} bytes > {max_frame} max; refine the query",
+            payload.len()
+        );
+        msg.truncate(max_frame as usize); // ASCII, safe to cut anywhere
+        return write_raw(stream, 1, msg.as_bytes());
+    }
+    write_raw(stream, status, payload.as_bytes())
+}
+
+fn write_raw(stream: &mut impl Write, status: u8, payload: &[u8]) -> std::io::Result<()> {
     stream.write_all(&[status])?;
     stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-    stream.write_all(payload.as_bytes())?;
+    stream.write_all(payload)?;
     stream.flush()
 }
 
@@ -260,6 +395,128 @@ mod tests {
             .query_rows("PREFIX ex: <http://e#> SELECT ?n WHERE { ?x ex:name ?n }")
             .unwrap();
         assert_eq!(rows.len(), 3, "connection survives query errors");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_response_becomes_status1_frame() {
+        // A tiny max_frame forces the cap on an ordinary payload.
+        let mut wire = Vec::new();
+        write_response(&mut wire, 0, "a perfectly ordinary response", 8).unwrap();
+        assert_eq!(wire[0], 1, "status flips to error");
+        let len = u32::from_le_bytes(wire[1..5].try_into().unwrap());
+        assert!(len <= 8, "capped frame respects max_frame, got {len}");
+        assert_eq!(wire.len(), 5 + len as usize, "framing stays in sync");
+    }
+
+    #[test]
+    fn small_responses_pass_untouched() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 0, "ok", MAX_FRAME).unwrap();
+        assert_eq!(wire, [&[0u8][..], &2u32.to_le_bytes(), b"ok"].concat());
+    }
+
+    #[test]
+    fn oversized_request_is_answered_then_dropped() {
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle("@prefix ex: <http://e#> . ex:a ex:p 1 .")
+            .unwrap();
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            db,
+            ServerConfig {
+                max_frame: 1024,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&(2048u32).to_le_bytes()).unwrap(); // over the cap
+        raw.flush().unwrap();
+        let mut status = [0u8; 1];
+        raw.read_exact(&mut status).unwrap();
+        assert_eq!(status[0], 1);
+        let mut len_buf = [0u8; 4];
+        raw.read_exact(&mut len_buf).unwrap();
+        let mut msg = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        raw.read_exact(&mut msg).unwrap();
+        assert!(String::from_utf8(msg)
+            .unwrap()
+            .contains("request too large"));
+        // The server dropped us: further reads see EOF.
+        assert_eq!(raw.read(&mut [0u8; 1]).unwrap(), 0);
+
+        // ...but keeps serving new connections.
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_protocol_errors_drop_the_connection() {
+        let db = Ssdm::open(Backend::Memory);
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            db,
+            ServerConfig {
+                max_protocol_errors: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let garbage = [0xFFu8, 0xFE, 0xFD];
+        let mut statuses = Vec::new();
+        for _ in 0..2 {
+            raw.write_all(&(garbage.len() as u32).to_le_bytes())
+                .unwrap();
+            raw.write_all(&garbage).unwrap();
+            raw.flush().unwrap();
+            let mut status = [0u8; 1];
+            raw.read_exact(&mut status).unwrap();
+            let mut len_buf = [0u8; 4];
+            raw.read_exact(&mut len_buf).unwrap();
+            let mut msg = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+            raw.read_exact(&mut msg).unwrap();
+            statuses.push(status[0]);
+        }
+        assert_eq!(statuses, vec![1, 1]);
+        // Second strike hit the cap: connection is gone.
+        assert_eq!(raw.read(&mut [0u8; 1]).unwrap(), 0);
+
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_client_is_timed_out_not_forever() {
+        let db = Ssdm::open(Backend::Memory);
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            db,
+            ServerConfig {
+                read_timeout: Some(Duration::from_millis(100)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        // Connect and go silent: the server must give up on us and
+        // accept the next connection.
+        let _stalled = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let mut client = Client::connect(addr).unwrap();
+        client.query("ASK { }").unwrap();
         client.shutdown().unwrap();
         handle.join().unwrap();
     }

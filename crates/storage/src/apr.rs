@@ -16,6 +16,7 @@ use ssdm_array::{AggregateOp, ArrayData, LinearRuns, Num, NumArray, NumericType}
 
 use crate::chunks::Chunking;
 use crate::meta::{ArrayMeta, ArrayProxy};
+use crate::resilient::ResilienceStats;
 use crate::spd::{self, FetchOp, SpdOptions};
 use crate::store::{ChunkStore, IoStats, StorageError};
 use crate::Result;
@@ -56,6 +57,24 @@ pub struct AprStats {
     pub chunks_fetched: u64,
     pub bytes_fetched: u64,
     pub elements_resolved: u64,
+    /// Batched statements (`IN`-list or range) that failed and were
+    /// served by per-chunk `Single` retrieval instead of aborting the
+    /// query (graceful degradation).
+    pub fallbacks: u64,
+    /// Retries performed by a [`crate::ResilientChunkStore`] in the
+    /// back-end stack during this resolution (zero for plain stacks).
+    pub retries: u64,
+    /// Checksum violations that were healed by a successful re-read
+    /// during this resolution.
+    pub corruption_repaired: u64,
+}
+
+impl AprStats {
+    /// True when this resolution needed any resilience machinery —
+    /// useful to flag degraded-but-successful queries in logs.
+    pub fn degraded(&self) -> bool {
+        self.fallbacks > 0 || self.retries > 0 || self.corruption_repaired > 0
+    }
 }
 
 /// The array catalog plus its chunk back-end: SSDM's handle on
@@ -157,11 +176,13 @@ impl<S: ChunkStore> ArrayStore<S> {
     /// Resolve a proxy to a resident array (the APR operator).
     pub fn resolve(&mut self, proxy: &ArrayProxy, strategy: RetrievalStrategy) -> Result<NumArray> {
         let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
         let meta = proxy.meta();
         let chunking = meta.chunking;
         let addresses = proxy.view().addresses();
         let needed = needed_chunks(proxy, &chunking);
-        let chunks = self.fetch(meta.array_id, &chunking, &needed, strategy)?;
+        let mut fallbacks = 0u64;
+        let chunks = self.fetch(meta.array_id, &chunking, &needed, strategy, &mut fallbacks)?;
         let nums = gather(
             &chunks,
             &chunking,
@@ -169,7 +190,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             &addresses,
             meta.array_id,
         )?;
-        self.finish_stats(before, addresses.len());
+        self.finish_stats(before, before_res, fallbacks, addresses.len());
         let data = match meta.numeric_type {
             NumericType::Int => ArrayData::from_i64(nums.iter().map(|n| n.as_i64()).collect()),
             NumericType::Real => ArrayData::from_f64(nums.iter().map(|n| n.as_f64()).collect()),
@@ -187,6 +208,7 @@ impl<S: ChunkStore> ArrayStore<S> {
         strategy: RetrievalStrategy,
     ) -> Result<Num> {
         let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
         let meta = proxy.meta();
         let chunking = meta.chunking;
         // Group needed addresses by chunk so each fetched chunk is
@@ -198,7 +220,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             count += 1;
         });
         if count == 0 {
-            self.finish_stats(before, 0);
+            self.finish_stats(before, before_res, 0, 0);
             return match op {
                 AggregateOp::Count => Ok(Num::Int(0)),
                 AggregateOp::Sum => Ok(Num::Int(0)),
@@ -209,15 +231,17 @@ impl<S: ChunkStore> ArrayStore<S> {
             };
         }
         if op == AggregateOp::Count {
-            self.finish_stats(before, 0);
+            self.finish_stats(before, before_res, 0, 0);
             return Ok(Num::Int(count as i64));
         }
         let needed: Vec<u64> = by_chunk.keys().copied().collect();
         let plan = make_plan(&needed, &chunking, strategy);
         let mut acc: Option<Num> = None;
         let mut n = 0u64;
+        let mut fallbacks = 0u64;
         for fetch_op in plan {
-            let rows = self.execute(meta.array_id, &fetch_op)?;
+            let rows =
+                self.execute_with_fallback(meta.array_id, &fetch_op, &needed, &mut fallbacks)?;
             for (cid, payload) in rows {
                 let Some(addrs) = by_chunk.get(&cid) else {
                     continue; // overfetched by a covering range
@@ -238,7 +262,7 @@ impl<S: ChunkStore> ArrayStore<S> {
                 }
             }
         }
-        self.finish_stats(before, n as usize);
+        self.finish_stats(before, before_res, fallbacks, n as usize);
         let total = acc.ok_or(StorageError::Backend("no elements resolved".into()))?;
         Ok(match op {
             AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
@@ -252,10 +276,11 @@ impl<S: ChunkStore> ArrayStore<S> {
         chunking: &Chunking,
         needed: &[u64],
         strategy: RetrievalStrategy,
+        fallbacks: &mut u64,
     ) -> Result<HashMap<u64, Vec<u8>>> {
         let mut out = HashMap::with_capacity(needed.len());
         for op in make_plan(needed, chunking, strategy) {
-            for (cid, payload) in self.execute(array_id, &op)? {
+            for (cid, payload) in self.execute_with_fallback(array_id, &op, needed, fallbacks)? {
                 out.insert(cid, payload);
             }
         }
@@ -275,13 +300,62 @@ impl<S: ChunkStore> ArrayStore<S> {
         }
     }
 
-    fn finish_stats(&mut self, before: IoStats, elements: usize) {
+    /// Execute one fetch op; when a *batched* statement (`IN`-list of
+    /// several ids, or a range) fails, degrade to per-chunk `Single`
+    /// retrieval of the needed ids it covered instead of aborting the
+    /// whole resolution. A corrupt or unavailable chunk that was only
+    /// *overfetched* by a covering range thus cannot sink a query that
+    /// never needed it.
+    fn execute_with_fallback(
+        &mut self,
+        array_id: u64,
+        op: &FetchOp,
+        needed: &[u64],
+        fallbacks: &mut u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>> {
+        let batched = match op {
+            FetchOp::Range { .. } => true,
+            FetchOp::In(ids) => ids.len() > 1,
+        };
+        match self.execute(array_id, op) {
+            Ok(rows) => Ok(rows),
+            Err(e) if !batched => Err(e),
+            Err(_) => {
+                *fallbacks += 1;
+                let ids: Vec<u64> = match op {
+                    FetchOp::In(ids) => ids.clone(),
+                    FetchOp::Range { lo, hi } => needed
+                        .iter()
+                        .copied()
+                        .filter(|c| (*lo..=*hi).contains(c))
+                        .collect(),
+                };
+                let mut out = Vec::with_capacity(ids.len());
+                for c in ids {
+                    out.push((c, self.backend.get_chunk(array_id, c)?));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn finish_stats(
+        &mut self,
+        before: IoStats,
+        before_res: ResilienceStats,
+        fallbacks: u64,
+        elements: usize,
+    ) {
         let after = self.backend.io_stats();
+        let res = self.backend.resilience_stats().since(&before_res);
         self.last_stats = AprStats {
             statements: after.statements - before.statements,
             chunks_fetched: after.chunks_returned - before.chunks_returned,
             bytes_fetched: after.bytes_returned - before.bytes_returned,
             elements_resolved: elements as u64,
+            fallbacks,
+            retries: res.retries,
+            corruption_repaired: res.corruption_repaired,
         };
     }
 }

@@ -1,0 +1,212 @@
+//! The checksummed chunk frame shared by every back-end.
+//!
+//! Each stored chunk is wrapped in a 16-byte header so corruption of
+//! the bytes at rest — in a binary file, in the relational substrate's
+//! pages, in an external system — is *detected at read time* instead of
+//! silently flowing into query results:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SCK1"
+//! 4       4     payload length, u32 LE
+//! 8       4     CRC32 (IEEE) of the payload, u32 LE
+//! 12      4     reserved (zero)
+//! 16      len   payload
+//! ```
+//!
+//! The header is 16 bytes so fixed-slot layouts (the binary-file store)
+//! keep 8-byte element alignment. Decoding distinguishes *corruption*
+//! (bad magic, bad checksum) from *truncation* (fewer bytes than the
+//! header promises) — the latter is what a torn write or a file
+//! truncated mid-chunk produces, and callers map it to
+//! [`StorageError::ShortRead`](crate::StorageError::ShortRead).
+
+/// Frame header length in bytes.
+pub const FRAME_HEADER: usize = 16;
+
+/// Frame magic: "Ssdm ChunK v1".
+pub const FRAME_MAGIC: [u8; 4] = *b"SCK1";
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The bytes do not start with a frame header at all.
+    BadMagic,
+    /// The header's reserved bytes are not zero — the header itself was
+    /// damaged.
+    BadHeader,
+    /// Fewer bytes than the header's payload length promises.
+    Truncated { expected: usize, got: usize },
+    /// The payload does not match its recorded checksum.
+    BadChecksum { stored: u32, computed: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad chunk-frame magic"),
+            FrameError::BadHeader => write!(f, "damaged chunk-frame header"),
+            FrameError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "chunk frame truncated: {got} of {expected} payload bytes"
+                )
+            }
+            FrameError::BadChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "chunk checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven. The table is
+/// computed at compile time, so this needs no dependencies.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wrap a chunk payload in a checksummed frame.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Payload length a frame starting with `header` promises, if the
+/// header is well-formed.
+pub fn payload_len(header: &[u8]) -> Option<usize> {
+    if header.len() < FRAME_HEADER || header[..4] != FRAME_MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize)
+}
+
+/// Verify and strip the frame around a chunk payload. `bytes` may carry
+/// trailing slack (fixed-slot layouts) — only the framed prefix is
+/// examined.
+pub fn decode(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if bytes.len() < FRAME_HEADER {
+        return Err(FrameError::Truncated {
+            expected: FRAME_HEADER,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if bytes[12..16] != [0u8; 4] {
+        return Err(FrameError::BadHeader);
+    }
+    let body = &bytes[FRAME_HEADER..];
+    if body.len() < len {
+        return Err(FrameError::Truncated {
+            expected: len,
+            got: body.len(),
+        });
+    }
+    let payload = &body[..len];
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(FrameError::BadChecksum { stored, computed });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for payload in [&b""[..], b"x", b"hello world", &[0u8; 1000]] {
+            let frame = encode(payload);
+            assert_eq!(frame.len(), FRAME_HEADER + payload.len());
+            assert_eq!(decode(&frame).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_any_single_bit_flip() {
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        let frame = encode(payload);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_corruption() {
+        let frame = encode(b"0123456789abcdef");
+        let torn = &frame[..frame.len() - 3];
+        assert!(matches!(
+            decode(torn),
+            Err(FrameError::Truncated {
+                expected: 16,
+                got: 13
+            })
+        ));
+        let stub = &frame[..7];
+        assert!(matches!(decode(stub), Err(FrameError::Truncated { .. })));
+        assert!(matches!(
+            decode(b"not a frame at all"),
+            Err(FrameError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn slack_after_payload_is_ignored() {
+        let mut frame = encode(b"abc");
+        frame.extend_from_slice(&[0xAA; 13]); // slot padding
+        assert_eq!(decode(&frame).unwrap(), b"abc");
+    }
+}

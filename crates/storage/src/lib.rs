@@ -24,16 +24,21 @@
 pub mod apr;
 mod bag;
 mod chunks;
+pub mod fault;
+pub mod frame;
 mod meta;
+pub mod resilient;
 pub mod spd;
 mod store;
 
 pub use apr::{AprStats, ArrayStore, RetrievalStrategy};
 pub use chunks::{auto_chunk_bytes, chunk_of, chunk_range_for_run, Chunking};
+pub use fault::{FaultInjectingChunkStore, FaultKind, FaultPlan, FaultStats, OpKind};
 pub use meta::{ArrayMeta, ArrayProxy};
+pub use resilient::{ResilienceStats, ResilientChunkStore, RetryPolicy};
 pub use store::{
-    Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RelChunkStore,
-    StorageError,
+    Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RawChunkAccess,
+    RelChunkStore, StorageError,
 };
 
 /// Result alias for storage operations.

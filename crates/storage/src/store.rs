@@ -18,13 +18,90 @@ use std::path::{Path, PathBuf};
 use relstore::{Db, Key};
 
 /// Errors raised by chunk storage back-ends.
+///
+/// Every error classifies as either *transient* (worth retrying: the
+/// fault may not recur) or *permanent* (retrying cannot help) via
+/// [`StorageError::is_transient`]. The resilience layer
+/// ([`crate::ResilientChunkStore`]) retries transient errors only.
 #[derive(Debug)]
 pub enum StorageError {
     Io(io::Error),
     Backend(String),
-    MissingChunk { array_id: u64, chunk_id: u64 },
+    MissingChunk {
+        array_id: u64,
+        chunk_id: u64,
+    },
     MissingArray(u64),
     Array(ssdm_array::ArrayError),
+    /// A transient back-end fault (dropped connection, injected fault,
+    /// timeout): retrying the same operation may succeed.
+    Transient(String),
+    /// A chunk failed its checksum at read time (frame header CRC32
+    /// mismatch or mangled frame). Classified transient: a re-read can
+    /// succeed when the corruption happened in transit rather than at
+    /// rest.
+    Corrupt {
+        array_id: u64,
+        chunk_id: u64,
+        detail: String,
+    },
+    /// A chunk read returned fewer bytes than its frame promises (file
+    /// truncated below the expected chunk length, torn write).
+    /// Classified transient: concurrent writers may complete the chunk.
+    ShortRead {
+        array_id: u64,
+        chunk_id: u64,
+        expected: usize,
+        got: usize,
+    },
+    /// The retry policy exhausted its attempt or time budget; the last
+    /// underlying error is carried as text.
+    DeadlineExceeded {
+        op: &'static str,
+        attempts: u32,
+        last_error: String,
+    },
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Transient(_) => true,
+            StorageError::Corrupt { .. } => true,
+            StorageError::ShortRead { .. } => true,
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            StorageError::Backend(_)
+            | StorageError::MissingChunk { .. }
+            | StorageError::MissingArray(_)
+            | StorageError::Array(_)
+            | StorageError::DeadlineExceeded { .. } => false,
+        }
+    }
+
+    /// Map a frame decode failure on `(array_id, chunk_id)` to the
+    /// matching storage error.
+    pub(crate) fn from_frame(array_id: u64, chunk_id: u64, e: crate::frame::FrameError) -> Self {
+        match e {
+            crate::frame::FrameError::Truncated { expected, got } => StorageError::ShortRead {
+                array_id,
+                chunk_id,
+                expected,
+                got,
+            },
+            other => StorageError::Corrupt {
+                array_id,
+                chunk_id,
+                detail: other.to_string(),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -37,6 +114,29 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::MissingArray(id) => write!(f, "unknown array id {id}"),
             StorageError::Array(e) => write!(f, "array error: {e}"),
+            StorageError::Transient(m) => write!(f, "transient back-end fault: {m}"),
+            StorageError::Corrupt {
+                array_id,
+                chunk_id,
+                detail,
+            } => write!(f, "corrupt chunk {chunk_id} of array {array_id}: {detail}"),
+            StorageError::ShortRead {
+                array_id,
+                chunk_id,
+                expected,
+                got,
+            } => write!(
+                f,
+                "short read of chunk {chunk_id} of array {array_id}: {got} of {expected} bytes"
+            ),
+            StorageError::DeadlineExceeded {
+                op,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "{op} failed after {attempts} attempts (retry budget exhausted): {last_error}"
+            ),
         }
     }
 }
@@ -157,6 +257,32 @@ pub trait ChunkStore: Send {
     fn io_stats(&self) -> IoStats;
 
     fn reset_io_stats(&mut self);
+
+    /// Retry/corruption counters of the resilience layer, if any is
+    /// present in this store stack. Plain back-ends report zeros.
+    fn resilience_stats(&self) -> crate::resilient::ResilienceStats {
+        crate::resilient::ResilienceStats::default()
+    }
+
+    fn reset_resilience_stats(&mut self) {}
+}
+
+/// Raw access to a chunk's *stored* (framed) bytes, beneath the
+/// checksum layer. This is how the deterministic fault injector
+/// ([`crate::FaultInjectingChunkStore`]) models media corruption: it
+/// flips a bit in the at-rest representation, so the back-end's own
+/// CRC32 verification — not the injector — detects the damage on the
+/// next read, exactly as it would for a real corrupted page or file.
+pub trait RawChunkAccess {
+    /// Flip one bit of the stored representation of a chunk. `bit` is
+    /// taken modulo the stored length in bits. Returns `Ok(false)` when
+    /// the chunk does not exist.
+    fn flip_stored_bit(
+        &mut self,
+        array_id: u64,
+        chunk_id: u64,
+        bit: u64,
+    ) -> Result<bool, StorageError>;
 }
 
 impl ChunkStore for Box<dyn ChunkStore> {
@@ -216,6 +342,14 @@ impl ChunkStore for Box<dyn ChunkStore> {
     fn reset_io_stats(&mut self) {
         (**self).reset_io_stats()
     }
+
+    fn resilience_stats(&self) -> crate::resilient::ResilienceStats {
+        (**self).resilience_stats()
+    }
+
+    fn reset_resilience_stats(&mut self) {
+        (**self).reset_resilience_stats()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -223,7 +357,10 @@ impl ChunkStore for Box<dyn ChunkStore> {
 // ---------------------------------------------------------------------
 
 /// A transient in-process back-end (hash map of chunks). Used as the
-/// "resident" baseline and in tests.
+/// "resident" baseline and in tests. Chunks are held in their framed,
+/// checksummed representation so at-rest corruption (or a fault
+/// injector flipping stored bits) is caught on read like in the
+/// persistent back-ends.
 #[derive(Debug, Default)]
 pub struct MemoryChunkStore {
     chunks: HashMap<(u64, u64), Vec<u8>>,
@@ -240,20 +377,43 @@ impl MemoryChunkStore {
         self.stats.chunks_returned += chunks as u64;
         self.stats.bytes_returned += bytes as u64;
     }
+
+    fn decode(frame: &[u8], array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        crate::frame::decode(frame).map_err(|e| StorageError::from_frame(array_id, chunk_id, e))
+    }
+}
+
+impl RawChunkAccess for MemoryChunkStore {
+    fn flip_stored_bit(
+        &mut self,
+        array_id: u64,
+        chunk_id: u64,
+        bit: u64,
+    ) -> Result<bool, StorageError> {
+        match self.chunks.get_mut(&(array_id, chunk_id)) {
+            Some(frame) if !frame.is_empty() => {
+                let bit = bit % (frame.len() as u64 * 8);
+                frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
 }
 
 impl ChunkStore for MemoryChunkStore {
     fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
-        self.chunks.insert((array_id, chunk_id), data.to_vec());
+        self.chunks
+            .insert((array_id, chunk_id), crate::frame::encode(data));
         Ok(())
     }
 
     fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
-        let v = self
+        let frame = self
             .chunks
             .get(&(array_id, chunk_id))
-            .cloned()
             .ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
+        let v = Self::decode(frame, array_id, chunk_id)?;
         self.account(1, v.len());
         Ok(v)
     }
@@ -266,14 +426,14 @@ impl ChunkStore for MemoryChunkStore {
         let mut out = Vec::with_capacity(chunk_ids.len());
         let mut bytes = 0;
         for &c in chunk_ids {
-            let v = self
+            let frame = self
                 .chunks
                 .get(&(array_id, c))
-                .cloned()
                 .ok_or(StorageError::MissingChunk {
                     array_id,
                     chunk_id: c,
                 })?;
+            let v = Self::decode(frame, array_id, c)?;
             bytes += v.len();
             out.push((c, v));
         }
@@ -290,9 +450,10 @@ impl ChunkStore for MemoryChunkStore {
         let mut out = Vec::new();
         let mut bytes = 0;
         for c in lo..=hi {
-            if let Some(v) = self.chunks.get(&(array_id, c)) {
+            if let Some(frame) = self.chunks.get(&(array_id, c)) {
+                let v = Self::decode(frame, array_id, c)?;
                 bytes += v.len();
-                out.push((c, v.clone()));
+                out.push((c, v));
             }
         }
         self.account(out.len(), bytes);
@@ -311,14 +472,20 @@ impl ChunkStore for MemoryChunkStore {
         lo: (u64, u64),
         hi: (u64, u64),
     ) -> Result<CompositeRows, StorageError> {
-        let mut out: Vec<((u64, u64), Vec<u8>)> = self
+        let mut keys: Vec<(u64, u64)> = self
             .chunks
-            .iter()
-            .filter(|(&k, _)| k >= lo && k <= hi)
-            .map(|(&k, v)| (k, v.clone()))
+            .keys()
+            .filter(|&&k| k >= lo && k <= hi)
+            .copied()
             .collect();
-        out.sort_by_key(|(k, _)| *k);
-        let bytes: usize = out.iter().map(|(_, v)| v.len()).sum();
+        keys.sort_unstable();
+        let mut out = Vec::with_capacity(keys.len());
+        let mut bytes = 0;
+        for k in keys {
+            let v = Self::decode(&self.chunks[&k], k.0, k.1)?;
+            bytes += v.len();
+            out.push((k, v));
+        }
         self.account(out.len(), bytes);
         Ok(out)
     }
@@ -327,9 +494,10 @@ impl ChunkStore for MemoryChunkStore {
         let mut out = Vec::with_capacity(keys.len());
         let mut bytes = 0;
         for &k in keys {
-            if let Some(v) = self.chunks.get(&k) {
+            if let Some(frame) = self.chunks.get(&k) {
+                let v = Self::decode(frame, k.0, k.1)?;
                 bytes += v.len();
-                out.push((k, v.clone()));
+                out.push((k, v));
             }
         }
         self.account(out.len(), bytes);
@@ -363,14 +531,25 @@ impl ChunkStore for MemoryChunkStore {
 /// IN-lists are looped but still one "statement" since there is no
 /// server round trip. Files persist across store instances: reopening
 /// the directory lazily re-attaches existing arrays via their headers.
+///
+/// Layout (format 2, checksummed): a 16-byte file header, then one
+/// fixed-size *slot* per chunk of `FRAME_HEADER + chunk_bytes` bytes.
+/// Each slot holds a checksummed [`crate::frame`] whose recorded length
+/// may be shorter than `chunk_bytes` (partial tail chunk). A file
+/// truncated below a chunk's framed length surfaces as
+/// [`StorageError::ShortRead`], distinct from both a missing chunk and
+/// a checksum mismatch.
 pub struct FileChunkStore {
     dir: PathBuf,
     files: HashMap<u64, (File, usize)>, // (handle, chunk_bytes)
     stats: IoStats,
 }
 
-/// Array-file header: magic + chunk size.
-const FILE_MAGIC: &[u8; 8] = b"SSDMARR1";
+/// Array-file header: magic + chunk size. `SSDMARR2` introduced
+/// per-chunk checksum frames; v1 files (no frames) are rejected with a
+/// clear error rather than misread.
+const FILE_MAGIC: &[u8; 8] = b"SSDMARR2";
+const FILE_MAGIC_V1: &[u8; 8] = b"SSDMARR1";
 const FILE_HEADER: u64 = 16;
 
 impl FileChunkStore {
@@ -417,6 +596,12 @@ impl FileChunkStore {
             let file = OpenOptions::new().read(true).write(true).open(&path)?;
             let mut header = [0u8; FILE_HEADER as usize];
             file.read_exact_at(&mut header, 0)?;
+            if &header[..8] == FILE_MAGIC_V1 {
+                return Err(StorageError::Backend(format!(
+                    "{} is a legacy v1 array file without chunk checksums; re-import it",
+                    path.display()
+                )));
+            }
             if &header[..8] != FILE_MAGIC {
                 return Err(StorageError::Backend(format!(
                     "{} is not an SSDM array file",
@@ -430,10 +615,59 @@ impl FileChunkStore {
         Ok(&self.files[&array_id])
     }
 
+    /// Bytes per chunk slot: checksum frame header + full payload.
+    fn slot_bytes(chunk_bytes: usize) -> u64 {
+        (crate::frame::FRAME_HEADER + chunk_bytes) as u64
+    }
+
+    /// Read and verify the framed chunk in one slot. Distinguishes a
+    /// chunk beyond the end of the file (missing) from one whose frame
+    /// is cut off by the file end (short read).
+    fn read_slot(
+        file: &File,
+        chunk_bytes: usize,
+        file_len: u64,
+        array_id: u64,
+        chunk_id: u64,
+    ) -> Result<Vec<u8>, StorageError> {
+        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(chunk_bytes);
+        if offset >= file_len {
+            return Err(StorageError::MissingChunk { array_id, chunk_id });
+        }
+        let avail = ((file_len - offset) as usize).min(Self::slot_bytes(chunk_bytes) as usize);
+        let mut buf = vec![0u8; avail];
+        file.read_exact_at(&mut buf, offset)?;
+        crate::frame::decode(&buf).map_err(|e| StorageError::from_frame(array_id, chunk_id, e))
+    }
+
     fn account(&mut self, chunks: usize, bytes: usize) {
         self.stats.statements += 1;
         self.stats.chunks_returned += chunks as u64;
         self.stats.bytes_returned += bytes as u64;
+    }
+}
+
+impl RawChunkAccess for FileChunkStore {
+    fn flip_stored_bit(
+        &mut self,
+        array_id: u64,
+        chunk_id: u64,
+        bit: u64,
+    ) -> Result<bool, StorageError> {
+        let (file, chunk_bytes) = self.file(array_id)?;
+        let cb = *chunk_bytes;
+        let len = file.metadata()?.len();
+        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(cb);
+        if offset >= len {
+            return Ok(false);
+        }
+        let avail = (len - offset).min(Self::slot_bytes(cb));
+        let bit = bit % (avail * 8);
+        let mut byte = [0u8; 1];
+        file.read_exact_at(&mut byte, offset + bit / 8)?;
+        byte[0] ^= 1 << (bit % 8);
+        file.write_all_at(&byte, offset + bit / 8)?;
+        Ok(true)
     }
 }
 
@@ -444,24 +678,17 @@ impl ChunkStore for FileChunkStore {
 
     fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
         let (file, chunk_bytes) = self.file(array_id)?;
-        let offset = FILE_HEADER + chunk_id * *chunk_bytes as u64;
-        file.write_all_at(data, offset)?;
+        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(*chunk_bytes);
+        file.write_all_at(&crate::frame::encode(data), offset)?;
         Ok(())
     }
 
     fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
         let (file, chunk_bytes) = self.file(array_id)?;
-        let cb = *chunk_bytes;
         let len = file.metadata()?.len();
-        let offset = FILE_HEADER + chunk_id * cb as u64;
-        if offset >= len {
-            return Err(StorageError::MissingChunk { array_id, chunk_id });
-        }
-        let take = ((len - offset) as usize).min(cb);
-        let mut buf = vec![0u8; take];
-        file.read_exact_at(&mut buf, offset)?;
-        self.account(1, take);
-        Ok(buf)
+        let payload = Self::read_slot(file, *chunk_bytes, len, array_id, chunk_id)?;
+        self.account(1, payload.len());
+        Ok(payload)
     }
 
     fn get_chunks_in(
@@ -473,20 +700,10 @@ impl ChunkStore for FileChunkStore {
         let mut bytes = 0;
         for &c in chunk_ids {
             let (file, chunk_bytes) = self.file(array_id)?;
-            let cb = *chunk_bytes;
             let len = file.metadata()?.len();
-            let offset = FILE_HEADER + c * cb as u64;
-            if offset >= len {
-                return Err(StorageError::MissingChunk {
-                    array_id,
-                    chunk_id: c,
-                });
-            }
-            let take = ((len - offset) as usize).min(cb);
-            let mut buf = vec![0u8; take];
-            file.read_exact_at(&mut buf, offset)?;
-            bytes += take;
-            out.push((c, buf));
+            let payload = Self::read_slot(file, *chunk_bytes, len, array_id, c)?;
+            bytes += payload.len();
+            out.push((c, payload));
         }
         self.account(out.len(), bytes);
         Ok(out)
@@ -498,25 +715,35 @@ impl ChunkStore for FileChunkStore {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        // Native sequential read of the whole range in one pread.
+        // Native sequential read of the whole range in one pread, then
+        // per-slot frame verification.
         let (file, chunk_bytes) = self.file(array_id)?;
         let cb = *chunk_bytes;
+        let slot = Self::slot_bytes(cb) as usize;
         let len = file.metadata()?.len();
-        let offset = FILE_HEADER + lo * cb as u64;
+        let offset = FILE_HEADER + lo * slot as u64;
         if offset >= len {
             return Err(StorageError::MissingChunk {
                 array_id,
                 chunk_id: lo,
             });
         }
-        let span = (((hi - lo + 1) as usize) * cb).min((len - offset) as usize);
+        let span = (((hi - lo + 1) as usize) * slot).min((len - offset) as usize);
         let mut buf = vec![0u8; span];
         file.read_exact_at(&mut buf, offset)?;
         let mut out = Vec::new();
         let mut bytes = 0;
-        for (i, part) in buf.chunks(cb).enumerate() {
-            bytes += part.len();
-            out.push((lo + i as u64, part.to_vec()));
+        for i in 0..=(hi - lo) {
+            let base = i as usize * slot;
+            if base >= span {
+                break; // chunks past the end of the file were never written
+            }
+            let slice = &buf[base..span.min(base + slot)];
+            let chunk_id = lo + i;
+            let payload = crate::frame::decode(slice)
+                .map_err(|e| StorageError::from_frame(array_id, chunk_id, e))?;
+            bytes += payload.len();
+            out.push((chunk_id, payload));
         }
         self.account(out.len(), bytes);
         Ok(out)
@@ -551,9 +778,38 @@ impl ChunkStore for FileChunkStore {
 
 /// The relational back-end: chunks as rows of a clustered table keyed
 /// `(array_id, chunk_id)` (thesis §6.2.1), served by the embedded
-/// [`relstore`] substrate with its statement latency model.
+/// [`relstore`] substrate with its statement latency model. Row values
+/// are checksummed [`crate::frame`]s, so page-level corruption in the
+/// substrate is detected when the row is read back.
 pub struct RelChunkStore {
     db: Db,
+}
+
+impl RelChunkStore {
+    fn decode_row(frame: &[u8], array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        crate::frame::decode(frame).map_err(|e| StorageError::from_frame(array_id, chunk_id, e))
+    }
+}
+
+impl RawChunkAccess for RelChunkStore {
+    fn flip_stored_bit(
+        &mut self,
+        array_id: u64,
+        chunk_id: u64,
+        bit: u64,
+    ) -> Result<bool, StorageError> {
+        let key = Key::new(array_id, chunk_id);
+        let Some(mut frame) = self.db.get(key)? else {
+            return Ok(false);
+        };
+        if frame.is_empty() {
+            return Ok(false);
+        }
+        let bit = bit % (frame.len() as u64 * 8);
+        frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+        self.db.put(key, &frame)?;
+        Ok(true)
+    }
 }
 
 impl RelChunkStore {
@@ -586,14 +842,17 @@ impl RelChunkStore {
 
 impl ChunkStore for RelChunkStore {
     fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
-        self.db.put(Key::new(array_id, chunk_id), data)?;
+        self.db
+            .put(Key::new(array_id, chunk_id), &crate::frame::encode(data))?;
         Ok(())
     }
 
     fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
-        self.db
+        let frame = self
+            .db
             .get(Key::new(array_id, chunk_id))?
-            .ok_or(StorageError::MissingChunk { array_id, chunk_id })
+            .ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
+        Self::decode_row(&frame, array_id, chunk_id)
     }
 
     fn get_chunks_in(
@@ -610,7 +869,9 @@ impl ChunkStore for RelChunkStore {
                 return Err(StorageError::MissingChunk { array_id, chunk_id });
             }
         }
-        Ok(rows.into_iter().map(|(k, v)| (k.chunk_id, v)).collect())
+        rows.into_iter()
+            .map(|(k, v)| Ok((k.chunk_id, Self::decode_row(&v, array_id, k.chunk_id)?)))
+            .collect()
     }
 
     fn get_chunk_range(
@@ -620,7 +881,9 @@ impl ChunkStore for RelChunkStore {
         hi: u64,
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
         let rows = self.db.get_range(array_id, lo, hi)?;
-        Ok(rows.into_iter().map(|(k, v)| (k.chunk_id, v)).collect())
+        rows.into_iter()
+            .map(|(k, v)| Ok((k.chunk_id, Self::decode_row(&v, array_id, k.chunk_id)?)))
+            .collect()
     }
 
     fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError> {
@@ -638,19 +901,27 @@ impl ChunkStore for RelChunkStore {
         let rows = self
             .db
             .get_key_range(Key::new(lo.0, lo.1), Key::new(hi.0, hi.1))?;
-        Ok(rows
-            .into_iter()
-            .map(|(k, v)| ((k.array_id, k.chunk_id), v))
-            .collect())
+        rows.into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    (k.array_id, k.chunk_id),
+                    Self::decode_row(&v, k.array_id, k.chunk_id)?,
+                ))
+            })
+            .collect()
     }
 
     fn get_composite_in(&mut self, keys: &[(u64, u64)]) -> Result<CompositeRows, StorageError> {
         let db_keys: Vec<Key> = keys.iter().map(|&(a, c)| Key::new(a, c)).collect();
         let rows = self.db.get_keys(&db_keys)?;
-        Ok(rows
-            .into_iter()
-            .map(|(k, v)| ((k.array_id, k.chunk_id), v))
-            .collect())
+        rows.into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    (k.array_id, k.chunk_id),
+                    Self::decode_row(&v, k.array_id, k.chunk_id)?,
+                ))
+            })
+            .collect()
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -727,6 +998,50 @@ mod tests {
         assert_eq!(s.get_chunk(1, 1).unwrap(), vec![2u8; 4]);
         let range = s.get_chunk_range(1, 0, 1).unwrap();
         assert_eq!(range[1].1.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_truncation_is_short_read_not_io_error() {
+        let dir = std::env::temp_dir().join(format!("ssdm-fcs4-{}", std::process::id()));
+        let mut s = FileChunkStore::new(&dir).unwrap();
+        s.create_array(1, 16).unwrap();
+        s.put_chunk(1, 0, &[7u8; 16]).unwrap();
+        s.put_chunk(1, 1, &[8u8; 16]).unwrap();
+        // Cut the file off mid-way through chunk 1's frame: 10 bytes of
+        // a 32-byte slot survive.
+        let slot = FileChunkStore::slot_bytes(16);
+        let f = OpenOptions::new()
+            .write(true)
+            .open(dir.join("arr_1.bin"))
+            .unwrap();
+        f.set_len(FILE_HEADER + slot + 10).unwrap();
+        drop(f);
+        let err = s.get_chunk(1, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::ShortRead {
+                    array_id: 1,
+                    chunk_id: 1,
+                    ..
+                }
+            ),
+            "expected ShortRead, got {err:?}"
+        );
+        assert!(err.is_transient(), "short reads are retry-classified");
+        // A range over the torn tail reports the same, and the intact
+        // chunk is still served.
+        assert!(matches!(
+            s.get_chunk_range(1, 0, 1),
+            Err(StorageError::ShortRead { .. })
+        ));
+        assert_eq!(s.get_chunk(1, 0).unwrap(), vec![7u8; 16]);
+        // Chunks beyond the file end stay MissingChunk, not ShortRead.
+        assert!(matches!(
+            s.get_chunk(1, 5),
+            Err(StorageError::MissingChunk { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,203 @@
+//! String strategies from regex-subset patterns.
+//!
+//! `&str` implements [`Strategy`] like in real proptest, generating
+//! strings that match the pattern. Supported syntax (the subset used by
+//! this workspace's tests): character classes `[...]` with ranges and
+//! `\n`/`\t`/`\r`/`\\` escapes, literal characters, escapes outside
+//! classes, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the
+//! unbounded ones cap at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct CharSet {
+    /// Inclusive `(lo, hi)` codepoint ranges.
+    ranges: Vec<(char, char)>,
+}
+
+impl CharSet {
+    fn size(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| hi as usize - lo as usize + 1)
+            .sum()
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let mut k = rng.usize_inclusive(0, self.size() - 1);
+        for &(lo, hi) in &self.ranges {
+            let n = hi as usize - lo as usize + 1;
+            if k < n {
+                return char::from_u32(lo as u32 + k as u32).expect("valid range");
+            }
+            k -= n;
+        }
+        unreachable!("pick index within size")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Item {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> CharSet {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated [ in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = unescape(chars.next().expect("escape target"));
+                ranges.push((e, e));
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // consume '-'
+                    match ahead.peek() {
+                        Some(']') | None => ranges.push((lo, lo)), // trailing literal '-'
+                        Some(_) => {
+                            chars.next();
+                            let mut hi = chars.next().expect("range end");
+                            if hi == '\\' {
+                                hi = unescape(chars.next().expect("escape target"));
+                            }
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    CharSet { ranges }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => {
+                    let m: usize = m.trim().parse().expect("quantifier lower bound");
+                    let n: usize = n.trim().parse().expect("quantifier upper bound");
+                    assert!(m <= n, "inverted quantifier in pattern {pattern:?}");
+                    (m, n)
+                }
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Item> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let e = unescape(chars.next().expect("escape target"));
+                CharSet {
+                    ranges: vec![(e, e)],
+                }
+            }
+            lit => CharSet {
+                ranges: vec![(lit, lit)],
+            },
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        items.push(Item { set, min, max });
+    }
+    items
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for item in parse(self) {
+            let n = rng.usize_inclusive(item.min, item.max);
+            for _ in 0..n {
+                out.push(item.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_with_escapes() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = "[ -~\\n\\t]{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+}
