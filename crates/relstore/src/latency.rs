@@ -63,6 +63,18 @@ impl LatencyModel {
     }
 }
 
+/// Wait for `d` by *parking* the thread (`thread::sleep`) instead of
+/// spinning. A real client–server round trip is an I/O wait, not CPU
+/// work: concurrent connections overlap their waits even on a single
+/// core. The parallel retrieval pipeline charges its simulated latency
+/// this way so worker threads genuinely overlap round trips, at the
+/// cost of the OS timer's coarser (tens of microseconds) granularity.
+pub fn park_wait(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
 /// Busy-wait for `d` (sleeping is too coarse for sub-millisecond
 /// charges). Also used by the storage fault injector to simulate
 /// latency spikes with the same mechanism as statement latency.

@@ -29,7 +29,7 @@ mod pager;
 pub use btree::BPlusTree;
 pub use buffer::{BufferPool, PoolStats};
 pub use db::{Db, DbOptions, Key, StatementStats};
-pub use latency::{busy_wait, LatencyModel};
+pub use latency::{busy_wait, park_wait, LatencyModel};
 pub use pager::{PageId, Pager, StoreError, PAGE_SIZE};
 
 /// Result alias for storage operations.

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! ssdm-cli [--backend memory|relational|file:DIR] [--load FILE.ttl]...
-//!          [--threshold N --chunk BYTES] [--exec 'QUERY'] [--snapshot FILE]
+//!          [--threshold N --chunk BYTES] [--cache BYTES]
+//!          [--exec 'QUERY'] [--snapshot FILE]
 //! ```
 //!
 //! Without `--exec`, reads statements from stdin; a statement ends at a
@@ -14,13 +15,12 @@ use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
 use ssdm::{Backend, Ssdm};
-use ssdm_storage::ChunkStore;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ssdm-cli [--backend memory|relational|file:DIR]\n\
          \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
-         \x20               [--snapshot FILE] [--exec 'STATEMENT']"
+         \x20               [--cache BYTES] [--snapshot FILE] [--exec 'STATEMENT']"
     );
     std::process::exit(2)
 }
@@ -30,6 +30,7 @@ fn main() {
     let mut loads: Vec<PathBuf> = Vec::new();
     let mut threshold: Option<usize> = None;
     let mut chunk: usize = 64 * 1024;
+    let mut cache_bytes: usize = 0;
     let mut exec: Vec<String> = Vec::new();
     let mut snapshot: Option<PathBuf> = None;
 
@@ -61,6 +62,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--cache" => {
+                cache_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--exec" => exec.push(args.next().unwrap_or_else(|| usage())),
             "--snapshot" => snapshot = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
@@ -71,7 +78,7 @@ fn main() {
         }
     }
 
-    let mut db = Ssdm::open(backend);
+    let mut db = Ssdm::open_with_cache(backend, cache_bytes);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }
@@ -131,17 +138,13 @@ fn main() {
                 },
                 (".stats", _) => {
                     let st = db.dataset.graph.stats();
-                    let io = db.dataset.arrays.backend().io_stats();
                     eprintln!(
-                        "graph: {} triples, {} predicates; named graphs: {}; \
-                         back-end: {} statements, {} chunks, {} bytes",
+                        "graph: {} triples, {} predicates; named graphs: {}",
                         st.triples,
                         st.predicates,
                         db.dataset.named_graphs.len(),
-                        io.statements,
-                        io.chunks_returned,
-                        io.bytes_returned
                     );
+                    eprint!("{}", db.stats_report());
                 }
                 other => eprintln!("unknown command {other:?}; try .help"),
             }

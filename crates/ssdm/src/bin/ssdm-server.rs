@@ -5,19 +5,22 @@
 //! ```text
 //! ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]
 //!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
+//!             [--workers N] [--cache BYTES]
 //! ```
 //!
-//! Send the statement `SHUTDOWN` to stop the server.
+//! Send the statement `SHUTDOWN` to stop the server, `STATS` for
+//! back-end/cache/resilience statistics.
 
 use std::path::PathBuf;
 
-use ssdm::server::Server;
+use ssdm::server::{Server, ServerConfig};
 use ssdm::{Backend, Ssdm};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]\n\
-         \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]"
+         \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
+         \x20                  [--workers N] [--cache BYTES]"
     );
     std::process::exit(2)
 }
@@ -28,11 +31,26 @@ fn main() {
     let mut loads: Vec<PathBuf> = Vec::new();
     let mut threshold: Option<usize> = None;
     let mut chunk: usize = 64 * 1024;
+    let mut config = ServerConfig::default();
+    let mut cache_bytes: usize = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                cache_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--backend" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 backend = match v.as_str() {
@@ -66,7 +84,7 @@ fn main() {
         }
     }
 
-    let mut db = Ssdm::open(backend);
+    let mut db = Ssdm::open_with_cache(backend, cache_bytes);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }
@@ -79,7 +97,7 @@ fn main() {
             }
         }
     }
-    let server = match Server::bind(&listen, db) {
+    let server = match Server::bind_with(&listen, db, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {listen}: {e}");

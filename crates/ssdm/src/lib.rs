@@ -38,7 +38,7 @@ pub mod workflow;
 use std::path::PathBuf;
 
 use scisparql::{Dataset, QueryError, QueryResult};
-use ssdm_storage::{FileChunkStore, MemoryChunkStore, RelChunkStore};
+use ssdm_storage::{CachedChunkStore, ChunkStore, FileChunkStore, MemoryChunkStore, RelChunkStore};
 
 /// Storage back-end selection for externalized arrays.
 pub enum Backend {
@@ -62,19 +62,65 @@ pub struct Ssdm {
 impl Ssdm {
     /// Open an instance over the chosen back-end.
     pub fn open(backend: Backend) -> Self {
-        let store: scisparql::dataset::DynChunkStore = match backend {
-            Backend::Memory => Box::new(MemoryChunkStore::new()),
-            Backend::File(dir) => {
-                Box::new(FileChunkStore::new(dir).expect("cannot create array directory"))
-            }
-            Backend::Relational => Box::new(RelChunkStore::open_memory().expect("in-memory store")),
-            Backend::RelationalFile(path, options) => Box::new(
-                RelChunkStore::create_file(&path, options).expect("cannot create database file"),
-            ),
-        };
         Ssdm {
-            dataset: Dataset::with_backend(store),
+            dataset: Dataset::with_backend(raw_store(backend)),
         }
+    }
+
+    /// Open an instance whose back-end is wrapped in a shared LRU chunk
+    /// cache of `cache_bytes` ([`CachedChunkStore`]), so repeated array
+    /// accesses skip back-end round trips. `cache_bytes == 0` disables
+    /// caching (equivalent to [`Ssdm::open`]).
+    pub fn open_with_cache(backend: Backend, cache_bytes: usize) -> Self {
+        if cache_bytes == 0 {
+            return Self::open(backend);
+        }
+        let cached: scisparql::dataset::DynChunkStore =
+            Box::new(CachedChunkStore::new(raw_store(backend), cache_bytes));
+        Ssdm {
+            dataset: Dataset::with_backend(cached),
+        }
+    }
+
+    /// Human-readable back-end/cache/resilience/APR statistics — what
+    /// the CLI's `.stats` command and the server's `STATS` statement
+    /// print.
+    pub fn stats_report(&self) -> String {
+        let backend = self.dataset.arrays.backend();
+        let io = backend.io_stats();
+        let cache = backend.cache_stats();
+        let res = backend.resilience_stats();
+        let apr = self.dataset.arrays.last_stats();
+        format!(
+            "backend: statements={} chunks={} bytes={}\n\
+             cache: hits={} misses={} hit_rate={:.1}% evictions={} resident_bytes={} capacity_bytes={}\n\
+             resilience: retries={} transient={} permanent={} corruption_detected={} \
+             corruption_repaired={} short_reads={} giveups={}\n\
+             last_apr: statements={} chunks={} bytes={} elements={} fallbacks={} retries={} repaired={}\n",
+            io.statements,
+            io.chunks_returned,
+            io.bytes_returned,
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.evictions,
+            cache.resident_bytes,
+            cache.capacity_bytes,
+            res.retries,
+            res.transient_failures,
+            res.permanent_failures,
+            res.corruption_detected,
+            res.corruption_repaired,
+            res.short_reads,
+            res.giveups,
+            apr.statements,
+            apr.chunks_fetched,
+            apr.bytes_fetched,
+            apr.elements_resolved,
+            apr.fallbacks,
+            apr.retries,
+            apr.corruption_repaired,
+        )
     }
 
     /// Parse and execute one SciSPARQL statement.
@@ -103,5 +149,18 @@ impl Ssdm {
     /// Set the retrieval strategy for array-proxy resolution.
     pub fn set_strategy(&mut self, strategy: ssdm_storage::RetrievalStrategy) {
         self.dataset.strategy = strategy;
+    }
+}
+
+fn raw_store(backend: Backend) -> scisparql::dataset::DynChunkStore {
+    match backend {
+        Backend::Memory => Box::new(MemoryChunkStore::new()),
+        Backend::File(dir) => {
+            Box::new(FileChunkStore::new(dir).expect("cannot create array directory"))
+        }
+        Backend::Relational => Box::new(RelChunkStore::open_memory().expect("in-memory store")),
+        Backend::RelationalFile(path, options) => Box::new(
+            RelChunkStore::create_file(&path, options).expect("cannot create database file"),
+        ),
     }
 }

@@ -11,8 +11,19 @@
 //!   names, then one row per solution, arrays in collection notation);
 //!   ASK returns `true`/`false`; updates return `inserted N deleted M`.
 //!
-//! The server owns its [`Ssdm`] instance and serializes queries — the
-//! concurrency model of a main-memory DBMS with a single query engine.
+//! Two statements are handled by the wire layer itself: `SHUTDOWN`
+//! stops the server, `STATS` returns the engine's back-end / cache /
+//! resilience / APR statistics ([`Ssdm::stats_report`]).
+//!
+//! # Concurrency
+//!
+//! A bounded pool of [`ServerConfig::workers`] threads serves accepted
+//! connections against one shared [`Ssdm`] engine behind a mutex:
+//! connections make progress concurrently (frame parsing, waiting on
+//! slow peers, rendering results) while query evaluation itself is a
+//! per-statement critical section — the concurrency model of a
+//! main-memory DBMS with a single query engine. A slow or stalled
+//! *client* therefore occupies one worker, not the whole server.
 //!
 //! # Hardening
 //!
@@ -20,7 +31,7 @@
 //! engine (the storage back-end may already be degraded under faults):
 //!
 //! * per-connection **read/write timeouts** so a stalled client cannot
-//!   block the sequential accept loop forever;
+//!   pin its worker thread forever;
 //! * **frame caps in both directions** — an oversized *request* gets a
 //!   status-1 reply and the connection is dropped (the stream can no
 //!   longer be trusted to be in frame sync); an oversized *response* is
@@ -30,10 +41,13 @@
 //!   before the peer is dropped;
 //! * **panic isolation**: a query-engine panic is caught and turned into
 //!   a status-1 response for that connection; the process and other
-//!   sessions keep running.
+//!   sessions keep running (a poisoned engine mutex is recovered — the
+//!   engine holds no cross-statement invariants over a panic edge).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use scisparql::{QueryError, QueryResult};
@@ -55,6 +69,9 @@ pub struct ServerConfig {
     /// Consecutive protocol errors (malformed statements) tolerated on
     /// one connection before it is dropped.
     pub max_protocol_errors: u32,
+    /// Connection-handling worker threads (minimum 1). Connections
+    /// beyond this many queue in the accept backlog.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +81,7 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_protocol_errors: 3,
+            workers: 4,
         }
     }
 }
@@ -110,82 +128,149 @@ impl Server {
     }
 
     /// Serve connections until a client sends the statement `SHUTDOWN`.
-    /// Connections are handled sequentially; each carries any number of
-    /// statements until the peer closes it. A connection-level I/O error
-    /// drops that connection only — the accept loop keeps serving.
-    pub fn serve(mut self) -> std::io::Result<()> {
-        loop {
-            let (stream, _peer) = self.listener.accept()?;
-            match self.handle_connection(stream) {
-                Ok(true) => return Ok(()),
-                Ok(false) => {}
-                Err(_) => {} // peer broke mid-frame; next connection
+    ///
+    /// Accepted connections are dispatched to a bounded pool of
+    /// [`ServerConfig::workers`] threads sharing one engine; each
+    /// connection carries any number of statements until the peer
+    /// closes it. A connection-level I/O error drops that connection
+    /// only — the pool keeps serving. On SHUTDOWN the acceptor stops
+    /// taking connections and in-flight connections are drained before
+    /// this returns.
+    pub fn serve(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            db,
+            config,
+        } = self;
+        let engine = Arc::new(Mutex::new(db));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let wake_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        // Rendezvous-ish queue: a small bound keeps accepted-but-unserved
+        // sockets from piling up beyond what the pool can absorb.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                let shutdown = Arc::clone(&shutdown);
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only while waiting for a
+                    // stream, not while serving it.
+                    let next = rx.lock().expect("connection queue").recv();
+                    let Ok(stream) = next else { break };
+                    match handle_connection(stream, &engine, &config) {
+                        Ok(true) => {
+                            shutdown.store(true, Ordering::SeqCst);
+                            // The acceptor may be blocked in accept():
+                            // poke it with a throwaway connection so it
+                            // notices the flag.
+                            let _ = TcpStream::connect(wake_addr);
+                        }
+                        Ok(false) => {}
+                        Err(_) => {} // peer broke mid-frame
+                    }
+                });
             }
-        }
+            let result = loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _peer)) => stream,
+                    Err(e) => break Err(e),
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
+                if tx.send(stream).is_err() {
+                    break Ok(()); // all workers gone
+                }
+            };
+            // Closing the channel lets idle workers exit; busy ones
+            // finish their connection first (scope joins them).
+            drop(tx);
+            result
+        })
     }
+}
 
-    /// Returns true when a SHUTDOWN was received.
-    fn handle_connection(&mut self, mut stream: TcpStream) -> std::io::Result<bool> {
-        stream.set_read_timeout(self.config.read_timeout)?;
-        stream.set_write_timeout(self.config.write_timeout)?;
-        let max = self.config.max_frame;
-        let mut protocol_errors = 0u32;
-        loop {
-            let request = match read_frame(&mut stream, max)? {
-                Frame::Closed => return Ok(false),
-                Frame::TooLarge(len) => {
-                    // The unread payload makes the stream unframeable:
-                    // answer once, then drop the connection.
-                    write_response(
-                        &mut stream,
-                        1,
-                        &format!("request too large: {len} bytes > {max} max"),
-                        max,
-                    )?;
+/// Serve one connection against the shared engine. Returns true when a
+/// SHUTDOWN was received.
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &Mutex<Ssdm>,
+    config: &ServerConfig,
+) -> std::io::Result<bool> {
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    let max = config.max_frame;
+    let mut protocol_errors = 0u32;
+    loop {
+        let request = match read_frame(&mut stream, max)? {
+            Frame::Closed => return Ok(false),
+            Frame::TooLarge(len) => {
+                // The unread payload makes the stream unframeable:
+                // answer once, then drop the connection.
+                write_response(
+                    &mut stream,
+                    1,
+                    &format!("request too large: {len} bytes > {max} max"),
+                    max,
+                )?;
+                return Ok(false);
+            }
+            Frame::Payload(p) => p,
+        };
+        let text = match String::from_utf8(request) {
+            Ok(t) => t,
+            Err(_) => {
+                protocol_errors += 1;
+                if protocol_errors >= config.max_protocol_errors {
+                    write_response(&mut stream, 1, "too many protocol errors", max)?;
                     return Ok(false);
                 }
-                Frame::Payload(p) => p,
-            };
-            let text = match String::from_utf8(request) {
-                Ok(t) => t,
-                Err(_) => {
-                    protocol_errors += 1;
-                    if protocol_errors >= self.config.max_protocol_errors {
-                        write_response(&mut stream, 1, "too many protocol errors", max)?;
-                        return Ok(false);
-                    }
-                    write_response(&mut stream, 1, "request is not UTF-8", max)?;
-                    continue;
-                }
-            };
-            protocol_errors = 0;
-            if text.trim().eq_ignore_ascii_case("SHUTDOWN") {
-                write_response(&mut stream, 0, "bye", max)?;
-                return Ok(true);
+                write_response(&mut stream, 1, "request is not UTF-8", max)?;
+                continue;
             }
-            // Panic isolation: a query-engine panic poisons only this
-            // response. The engine is a main-memory evaluator without
-            // cross-statement invariants held over a panic edge, so
-            // continuing with the same instance is sound.
-            let db = &mut self.db;
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.query(&text)));
-            match outcome {
-                Ok(Ok(result)) => write_response(&mut stream, 0, &render(&result), max)?,
-                Ok(Err(e)) => write_response(&mut stream, 1, &e.to_string(), max)?,
-                Err(panic) => {
-                    let what = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".into());
-                    write_response(
-                        &mut stream,
-                        1,
-                        &format!("internal error: query engine panicked: {what}"),
-                        max,
-                    )?;
-                }
+        };
+        protocol_errors = 0;
+        if text.trim().eq_ignore_ascii_case("SHUTDOWN") {
+            write_response(&mut stream, 0, "bye", max)?;
+            return Ok(true);
+        }
+        if text.trim().eq_ignore_ascii_case("STATS") {
+            let report = engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats_report();
+            write_response(&mut stream, 0, &report, max)?;
+            continue;
+        }
+        // Panic isolation: a query-engine panic poisons only this
+        // response. The engine is a main-memory evaluator without
+        // cross-statement invariants held over a panic edge, so
+        // recovering the poisoned mutex and continuing with the same
+        // instance is sound. The lock is taken *inside* the unwind
+        // boundary and held per statement: rendering and I/O happen
+        // with the engine free for other workers.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut db = engine.lock().unwrap_or_else(PoisonError::into_inner);
+            db.query(&text)
+        }));
+        match outcome {
+            Ok(Ok(result)) => write_response(&mut stream, 0, &render(&result), max)?,
+            Ok(Err(e)) => write_response(&mut stream, 1, &e.to_string(), max)?,
+            Err(panic) => {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                write_response(
+                    &mut stream,
+                    1,
+                    &format!("internal error: query engine panicked: {what}"),
+                    max,
+                )?;
             }
         }
     }
@@ -517,6 +602,53 @@ mod tests {
         std::thread::sleep(Duration::from_millis(150));
         let mut client = Client::connect(addr).unwrap();
         client.query("ASK { }").unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served_while_one_stays_connected() {
+        let (addr, handle) = spawn_server();
+        // Hold a session open mid-conversation...
+        let mut parked = Client::connect(addr).unwrap();
+        parked.query("ASK { }").unwrap();
+        // ...and several other clients must still get answers — under
+        // the old one-at-a-time accept loop these would block until
+        // `parked` disconnected.
+        let others: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let (_, rows) = c
+                        .query_rows("PREFIX ex: <http://e#> SELECT ?n WHERE { ?x ex:name ?n }")
+                        .unwrap();
+                    rows.len()
+                })
+            })
+            .collect();
+        for t in others {
+            assert_eq!(t.join().unwrap(), 2);
+        }
+        // The parked session still works afterwards.
+        parked.query("ASK { }").unwrap();
+        parked.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_statement_reports_counters_over_the_wire() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .query(
+                "PREFIX ex: <http://e#>
+                 SELECT (array_sum(?v) AS ?s) WHERE { ex:a ex:v ?v }",
+            )
+            .unwrap();
+        let report = client.query("STATS").unwrap();
+        for section in ["backend:", "cache:", "resilience:", "last_apr:"] {
+            assert!(report.contains(section), "missing {section} in {report}");
+        }
         client.shutdown().unwrap();
         handle.join().unwrap();
     }

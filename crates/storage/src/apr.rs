@@ -198,6 +198,64 @@ impl<S: ChunkStore> ArrayStore<S> {
         Ok(NumArray::from_data(data, &proxy.shape())?)
     }
 
+    /// Resolve a proxy with the fetch plan partitioned across a worker
+    /// pool (the parallel retrieval pipeline, [`crate::parallel`]).
+    ///
+    /// The result is bit-identical to [`resolve`](Self::resolve) with
+    /// the same strategy — the same statements execute, concurrently —
+    /// and [`last_stats`](Self::last_stats) stays exact. When the
+    /// back-end does not tolerate shared reads
+    /// ([`Capabilities::supports_parallel`] is false) or `config`
+    /// requests at most one worker, this *is* the sequential path.
+    ///
+    /// [`Capabilities::supports_parallel`]: crate::Capabilities::supports_parallel
+    pub fn resolve_parallel(
+        &mut self,
+        proxy: &ArrayProxy,
+        strategy: RetrievalStrategy,
+        config: crate::ParallelConfig,
+    ) -> Result<NumArray>
+    where
+        S: crate::SharedChunkRead,
+    {
+        if config.workers <= 1 || !self.backend.capabilities().supports_parallel {
+            return self.resolve(proxy, strategy);
+        }
+        let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
+        let meta = proxy.meta();
+        let chunking = meta.chunking;
+        let addresses = proxy.view().addresses();
+        let needed = needed_chunks(proxy, &chunking);
+        let plan = make_plan(&needed, &chunking, strategy);
+        let (per_op, fallbacks) = crate::parallel::fetch_plan(
+            &self.backend,
+            meta.array_id,
+            &plan,
+            &needed,
+            config.workers,
+        )?;
+        let mut chunks = HashMap::with_capacity(needed.len());
+        for rows in per_op {
+            for (cid, payload) in rows {
+                chunks.insert(cid, payload);
+            }
+        }
+        let nums = gather(
+            &chunks,
+            &chunking,
+            meta.numeric_type,
+            &addresses,
+            meta.array_id,
+        )?;
+        self.finish_stats(before, before_res, fallbacks, addresses.len());
+        let data = match meta.numeric_type {
+            NumericType::Int => ArrayData::from_i64(nums.iter().map(|n| n.as_i64()).collect()),
+            NumericType::Real => ArrayData::from_f64(nums.iter().map(|n| n.as_f64()).collect()),
+        };
+        Ok(NumArray::from_data(data, &proxy.shape())?)
+    }
+
     /// Streamed aggregate over a proxy (the AAPR operator): chunks are
     /// fetched batch-wise and folded immediately, so peak memory is one
     /// batch regardless of the view size.

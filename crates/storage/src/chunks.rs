@@ -85,14 +85,17 @@ impl Chunking {
 /// simple"). Targets roughly 1024 chunks per array — enough that
 /// selective access skips most of the data, few enough that whole-array
 /// scans don't drown in per-chunk overhead — clamped to [1 KiB, 256 KiB]
-/// and rounded to a power of two.
+/// and rounded to a power of two. A chunk is never larger than the
+/// array itself: tiny (and empty) arrays get one chunk of their own
+/// size rounded up to a power of two, with an 8-byte (one-element)
+/// floor, instead of the 1 KiB clamp.
 pub fn auto_chunk_bytes(total_elements: usize) -> usize {
     const MIN: usize = 1024;
     const MAX: usize = 256 * 1024;
     let total_bytes = total_elements.saturating_mul(8).max(8);
     let target = (total_bytes / 1024).max(8);
-
-    target.next_power_of_two().clamp(MIN, MAX)
+    let cap = total_bytes.next_power_of_two().clamp(8, MAX);
+    target.next_power_of_two().clamp(MIN, MAX).min(cap)
 }
 
 /// Chunk id of `addr` under element-per-chunk `epc` (free function for
@@ -163,8 +166,6 @@ mod tests {
 
     #[test]
     fn auto_tuning_heuristic() {
-        // Small arrays use the minimum chunk.
-        assert_eq!(auto_chunk_bytes(10), 1024);
         // A 1M-element (8 MB) array lands near 8 KiB (≈ 1024 chunks).
         let c = auto_chunk_bytes(1_000_000);
         assert!((4096..=16384).contains(&c), "{c}");
@@ -178,6 +179,30 @@ mod tests {
             assert!(c >= last);
             last = c;
         }
+    }
+
+    #[test]
+    fn auto_tuning_never_exceeds_array_size() {
+        // Empty and one-element arrays: one minimal (8-byte) chunk, not
+        // the 1 KiB clamp.
+        assert_eq!(auto_chunk_bytes(0), 8);
+        assert_eq!(auto_chunk_bytes(1), 8);
+        // A 10-element (80-byte) array: one 128-byte chunk covers it.
+        assert_eq!(auto_chunk_bytes(10), 128);
+        // The proposed chunk never exceeds the array's own size rounded
+        // up to a power of two, and is always usable with `Chunking`.
+        for e in [0usize, 1, 2, 7, 10, 100, 127, 128, 129, 5000] {
+            let c = auto_chunk_bytes(e);
+            assert!(c >= 8 && c.is_multiple_of(8), "chunk {c} not element-aligned");
+            assert!(
+                c <= (e * 8).max(8).next_power_of_two(),
+                "chunk {c} larger than {e}-element array"
+            );
+            let _ = Chunking::new(c, e); // must not panic
+        }
+        // Mid-size arrays still hit the 1 KiB floor once they can fill it.
+        assert_eq!(auto_chunk_bytes(128), 1024);
+        assert_eq!(auto_chunk_bytes(10_000), 1024);
     }
 
     #[test]

@@ -446,7 +446,13 @@ impl<S: ChunkStore + RawChunkAccess> ChunkStore for FaultInjectingChunkStore<S> 
     }
 
     fn capabilities(&self) -> Capabilities {
-        self.inner.capabilities()
+        Capabilities {
+            // The injector's deterministic fault schedule is keyed to
+            // operation order, which concurrent shared reads would
+            // scramble — callers must take the sequential path.
+            supports_parallel: false,
+            ..self.inner.capabilities()
+        }
     }
 
     fn io_stats(&self) -> IoStats {

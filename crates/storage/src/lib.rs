@@ -23,22 +23,26 @@
 
 pub mod apr;
 mod bag;
+pub mod cache;
 mod chunks;
 pub mod fault;
 pub mod frame;
 mod meta;
+pub mod parallel;
 pub mod resilient;
 pub mod spd;
 mod store;
 
 pub use apr::{AprStats, ArrayStore, RetrievalStrategy};
+pub use cache::{CacheStats, CachedChunkStore, ChunkCache};
 pub use chunks::{auto_chunk_bytes, chunk_of, chunk_range_for_run, Chunking};
 pub use fault::{FaultInjectingChunkStore, FaultKind, FaultPlan, FaultStats, OpKind};
 pub use meta::{ArrayMeta, ArrayProxy};
+pub use parallel::ParallelConfig;
 pub use resilient::{ResilienceStats, ResilientChunkStore, RetryPolicy};
 pub use store::{
     Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RawChunkAccess,
-    RelChunkStore, StorageError,
+    RelChunkStore, SharedChunkRead, StorageError,
 };
 
 /// Result alias for storage operations.

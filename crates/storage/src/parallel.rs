@@ -1,0 +1,236 @@
+//! The parallel chunk-retrieval pipeline.
+//!
+//! The APR fetch plan is a list of independent back-end statements
+//! ([`FetchOp`]s) — one per chunk under `Single`, one per batch under
+//! `BufferedIn`, one per detected run under `SpdRange`. Sequential APR
+//! executes them one at a time, so total latency is the *sum* of the
+//! round trips. This module partitions the plan across a scoped worker
+//! pool over the [`SharedChunkRead`] contract, so round trips (and the
+//! CRC32 frame verification of their results, which happens on each
+//! worker) overlap; the assembled result is **bit-identical** to the
+//! sequential path and the back-end's [`IoStats`](crate::IoStats)
+//! accounting stays exact, because exactly the same statements execute —
+//! just concurrently.
+//!
+//! The per-op fallback contract of
+//! `ArrayStore::execute_with_fallback` is preserved: a failed *batched*
+//! statement degrades to per-chunk retrieval of the needed ids it
+//! covered, inside the worker that claimed it. Errors that survive the
+//! fallback are reported deterministically — the failing op earliest in
+//! plan order wins, regardless of worker timing.
+//!
+//! Back-ends opt in via [`Capabilities::supports_parallel`]
+//! (austere or fault-injecting stacks leave it unset and callers
+//! degrade to sequential resolution).
+//!
+//! [`Capabilities::supports_parallel`]: crate::Capabilities::supports_parallel
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::spd::FetchOp;
+use crate::store::{ChunkRows, SharedChunkRead};
+use crate::Result;
+
+/// Tuning for parallel resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads to partition the fetch plan across. `0` or `1`
+    /// selects the sequential path.
+    pub workers: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { workers: 4 }
+    }
+}
+
+impl ParallelConfig {
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig { workers }
+    }
+}
+
+/// Execute every op of `plan` against `backend`, partitioned across at
+/// most `workers` scoped threads. Returns the fetched rows *per op, in
+/// plan order* plus the number of batched-statement fallbacks taken.
+///
+/// Workers claim ops from a shared cursor (work stealing by exhaustion,
+/// so a slow range statement does not idle the pool), execute them
+/// through the `&self` read contract, and deposit results into the
+/// op's slot; assembly then walks the slots in plan order, which makes
+/// both the row order and the choice of reported error independent of
+/// thread scheduling.
+pub fn fetch_plan<S: SharedChunkRead + ?Sized>(
+    backend: &S,
+    array_id: u64,
+    plan: &[FetchOp],
+    needed: &[u64],
+    workers: usize,
+) -> Result<(Vec<ChunkRows>, u64)> {
+    let fallbacks = AtomicU64::new(0);
+    if plan.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    let workers = workers.clamp(1, plan.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<ChunkRows>>>> =
+        plan.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(op) = plan.get(i) else { break };
+                let r = execute_one(backend, array_id, op, needed, &fallbacks);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(plan.len());
+    for slot in slots {
+        // Plan-order iteration: the earliest failing op's error is the
+        // one reported, matching what sequential execution would hit
+        // first.
+        out.push(
+            slot.into_inner()
+                .expect("result slot")
+                .expect("op claimed")?,
+        );
+    }
+    Ok((out, fallbacks.load(Ordering::Relaxed)))
+}
+
+/// Execute one fetch op with the same statement shapes and batched-
+/// statement fallback as the sequential `execute_with_fallback`.
+fn execute_one<S: SharedChunkRead + ?Sized>(
+    backend: &S,
+    array_id: u64,
+    op: &FetchOp,
+    needed: &[u64],
+    fallbacks: &AtomicU64,
+) -> Result<ChunkRows> {
+    let batched = match op {
+        FetchOp::Range { .. } => true,
+        FetchOp::In(ids) => ids.len() > 1,
+    };
+    let direct = match op {
+        FetchOp::Range { lo, hi } => backend.read_chunk_range(array_id, *lo, *hi),
+        FetchOp::In(ids) if ids.len() == 1 => backend
+            .read_chunk(array_id, ids[0])
+            .map(|d| vec![(ids[0], d)]),
+        FetchOp::In(ids) => backend.read_chunks_in(array_id, ids),
+    };
+    match direct {
+        Ok(rows) => Ok(rows),
+        Err(e) if !batched => Err(e),
+        Err(_) => {
+            fallbacks.fetch_add(1, Ordering::Relaxed);
+            let ids: Vec<u64> = match op {
+                FetchOp::In(ids) => ids.clone(),
+                FetchOp::Range { lo, hi } => needed
+                    .iter()
+                    .copied()
+                    .filter(|c| (*lo..=*hi).contains(c))
+                    .collect(),
+            };
+            ids.into_iter()
+                .map(|c| backend.read_chunk(array_id, c).map(|d| (c, d)))
+                .collect()
+        }
+    }
+}
+
+/// Convenience used by tests and callers that want a flat map of chunk
+/// id → payload from a parallel fetch.
+pub fn fetch_plan_merged<S: SharedChunkRead + ?Sized>(
+    backend: &S,
+    array_id: u64,
+    plan: &[FetchOp],
+    needed: &[u64],
+    workers: usize,
+) -> Result<(std::collections::HashMap<u64, Vec<u8>>, u64)> {
+    let (per_op, fallbacks) = fetch_plan(backend, array_id, plan, needed, workers)?;
+    let mut out = std::collections::HashMap::new();
+    for rows in per_op {
+        for (cid, payload) in rows {
+            out.insert(cid, payload);
+        }
+    }
+    Ok((out, fallbacks))
+}
+
+// An explicit sanity check that the trait object is usable across
+// threads the way the scoped pool requires.
+const _: fn() = || {
+    fn assert_shared<T: Send + Sync + ?Sized>() {}
+    assert_shared::<dyn SharedChunkRead>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryChunkStore, StorageError};
+
+    fn seeded_store(chunks: u64) -> MemoryChunkStore {
+        let mut s = MemoryChunkStore::new();
+        for c in 0..chunks {
+            use crate::ChunkStore;
+            s.put_chunk(1, c, &[c as u8; 16]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_matches_sequential_rows() {
+        let s = seeded_store(32);
+        let plan: Vec<FetchOp> = (0..32).map(|c| FetchOp::In(vec![c])).collect();
+        let needed: Vec<u64> = (0..32).collect();
+        for workers in [1, 2, 4, 8] {
+            let (rows, fb) = fetch_plan(&s, 1, &plan, &needed, workers).unwrap();
+            assert_eq!(fb, 0);
+            assert_eq!(rows.len(), 32);
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(r.as_slice(), &[(i as u64, vec![i as u8; 16])]);
+            }
+        }
+    }
+
+    #[test]
+    fn io_stats_stay_exact_under_concurrency() {
+        use crate::ChunkStore;
+        let s = seeded_store(64);
+        let plan: Vec<FetchOp> = (0..64).map(|c| FetchOp::In(vec![c])).collect();
+        let needed: Vec<u64> = (0..64).collect();
+        fetch_plan(&s, 1, &plan, &needed, 8).unwrap();
+        let st = s.io_stats();
+        assert_eq!(st.statements, 64);
+        assert_eq!(st.chunks_returned, 64);
+    }
+
+    #[test]
+    fn earliest_op_error_wins() {
+        let s = seeded_store(8);
+        // Ops 3 and 6 reference a missing chunk; whichever worker hits
+        // them, the reported error must be op 3's.
+        let plan: Vec<FetchOp> = (0..8)
+            .map(|c| FetchOp::In(vec![if c == 3 || c == 6 { 100 + c } else { c }]))
+            .collect();
+        let needed: Vec<u64> = (0..8).collect();
+        for _ in 0..16 {
+            let err = fetch_plan(&s, 1, &plan, &needed, 4).unwrap_err();
+            match err {
+                StorageError::MissingChunk { chunk_id, .. } => assert_eq!(chunk_id, 103),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let s = seeded_store(1);
+        let (rows, fb) = fetch_plan(&s, 1, &[], &[], 4).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(fb, 0);
+    }
+}

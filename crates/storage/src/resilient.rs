@@ -12,10 +12,11 @@
 //! [`ResilienceStats`], which the APR folds into its per-query
 //! statistics so degraded runs are *visible*, not silent.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::store::{
-    Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, StorageError,
+    Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, SharedChunkRead, StorageError,
 };
 
 /// Bounded-retry configuration.
@@ -157,7 +158,9 @@ impl ResilienceStats {
 pub struct ResilientChunkStore<S: ChunkStore> {
     inner: S,
     policy: RetryPolicy,
-    stats: ResilienceStats,
+    // Behind a mutex so the shared-read retry path ([`SharedChunkRead`])
+    // can count from many worker threads at once.
+    stats: Mutex<ResilienceStats>,
 }
 
 impl<S: ChunkStore> ResilientChunkStore<S> {
@@ -165,7 +168,7 @@ impl<S: ChunkStore> ResilientChunkStore<S> {
         ResilientChunkStore {
             inner,
             policy,
-            stats: ResilienceStats::default(),
+            stats: Mutex::new(ResilienceStats::default()),
         }
     }
 
@@ -189,64 +192,127 @@ impl<S: ChunkStore> ResilientChunkStore<S> {
         self.inner
     }
 
-    fn note_failure(&mut self, e: &StorageError) {
-        match e {
-            StorageError::Corrupt { .. } => self.stats.corruption_detected += 1,
-            StorageError::ShortRead { .. } => self.stats.short_reads += 1,
-            _ => {}
-        }
-        if e.is_transient() {
-            self.stats.transient_failures += 1;
-        } else {
-            self.stats.permanent_failures += 1;
-        }
-    }
-
-    /// The retry loop. Runs `op` against the inner store until it
-    /// succeeds, fails permanently, or exhausts the attempt/deadline
-    /// budget (then [`StorageError::DeadlineExceeded`]).
+    /// The retry loop over the exclusive (`&mut`) inner store.
     fn run<T>(
         &mut self,
         name: &'static str,
         mut op: impl FnMut(&mut S) -> Result<T, StorageError>,
     ) -> Result<T, StorageError> {
-        let start = Instant::now();
-        let mut attempt = 0u32;
-        let mut saw_corruption = false;
-        loop {
-            match op(&mut self.inner) {
-                Ok(v) => {
-                    if saw_corruption {
-                        self.stats.corruption_repaired += 1;
-                    }
-                    return Ok(v);
+        // Split the borrow: `op` owns `&mut self.inner`, the loop only
+        // touches `policy` (Copy) and the stats mutex.
+        let inner = &mut self.inner;
+        retry_loop(
+            self.policy,
+            &self.stats,
+            name,
+            || op(inner),
+            relstore::busy_wait,
+        )
+    }
+}
+
+/// The retry loop. Runs `op` until it succeeds, fails permanently, or
+/// exhausts the attempt/deadline budget (then
+/// [`StorageError::DeadlineExceeded`]).
+///
+/// `pause` is how a backoff is spent: the exclusive (`&mut`) paths
+/// busy-wait (sub-millisecond precision), the shared-read paths park so
+/// a backing-off worker thread yields the CPU to its siblings.
+fn retry_loop<T>(
+    policy: RetryPolicy,
+    stats: &Mutex<ResilienceStats>,
+    name: &'static str,
+    mut op: impl FnMut() -> Result<T, StorageError>,
+    pause: fn(Duration),
+) -> Result<T, StorageError> {
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    let mut saw_corruption = false;
+    loop {
+        match op() {
+            Ok(v) => {
+                if saw_corruption {
+                    stats.lock().expect("stats mutex").corruption_repaired += 1;
                 }
-                Err(e) => {
-                    saw_corruption |= matches!(e, StorageError::Corrupt { .. });
-                    self.note_failure(&e);
-                    if !e.is_transient() {
-                        return Err(e);
+                return Ok(v);
+            }
+            Err(e) => {
+                saw_corruption |= matches!(e, StorageError::Corrupt { .. });
+                {
+                    let mut st = stats.lock().expect("stats mutex");
+                    match &e {
+                        StorageError::Corrupt { .. } => st.corruption_detected += 1,
+                        StorageError::ShortRead { .. } => st.short_reads += 1,
+                        _ => {}
                     }
-                    attempt += 1;
-                    let out_of_attempts = attempt >= self.policy.max_attempts.max(1);
-                    let pause = self.policy.backoff(attempt - 1);
-                    let out_of_time = self
-                        .policy
-                        .deadline
-                        .is_some_and(|d| start.elapsed() + pause >= d);
-                    if out_of_attempts || out_of_time {
-                        self.stats.giveups += 1;
-                        return Err(StorageError::DeadlineExceeded {
-                            op: name,
-                            attempts: attempt,
-                            last_error: e.to_string(),
-                        });
+                    if e.is_transient() {
+                        st.transient_failures += 1;
+                    } else {
+                        st.permanent_failures += 1;
                     }
-                    self.stats.retries += 1;
-                    relstore::busy_wait(pause);
                 }
+                if !e.is_transient() {
+                    return Err(e);
+                }
+                attempt += 1;
+                let out_of_attempts = attempt >= policy.max_attempts.max(1);
+                let backoff = policy.backoff(attempt - 1);
+                let out_of_time = policy
+                    .deadline
+                    .is_some_and(|d| start.elapsed() + backoff >= d);
+                if out_of_attempts || out_of_time {
+                    stats.lock().expect("stats mutex").giveups += 1;
+                    return Err(StorageError::DeadlineExceeded {
+                        op: name,
+                        attempts: attempt,
+                        last_error: e.to_string(),
+                    });
+                }
+                stats.lock().expect("stats mutex").retries += 1;
+                pause(backoff);
             }
         }
+    }
+}
+
+impl<S: ChunkStore + SharedChunkRead> SharedChunkRead for ResilientChunkStore<S> {
+    fn read_chunk(&self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        retry_loop(
+            self.policy,
+            &self.stats,
+            "get_chunk",
+            || self.inner.read_chunk(array_id, chunk_id),
+            relstore::park_wait,
+        )
+    }
+
+    fn read_chunks_in(
+        &self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        retry_loop(
+            self.policy,
+            &self.stats,
+            "get_chunks_in",
+            || self.inner.read_chunks_in(array_id, chunk_ids),
+            relstore::park_wait,
+        )
+    }
+
+    fn read_chunk_range(
+        &self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        retry_loop(
+            self.policy,
+            &self.stats,
+            "get_chunk_range",
+            || self.inner.read_chunk_range(array_id, lo, hi),
+            relstore::park_wait,
+        )
     }
 }
 
@@ -311,11 +377,14 @@ impl<S: ChunkStore> ChunkStore for ResilientChunkStore<S> {
     fn resilience_stats(&self) -> ResilienceStats {
         // Merge with any nested layer's counters (e.g. a second wrapper
         // below the fault injector in exotic stacks).
-        self.stats.merge(&self.inner.resilience_stats())
+        self.stats
+            .lock()
+            .expect("stats mutex")
+            .merge(&self.inner.resilience_stats())
     }
 
     fn reset_resilience_stats(&mut self) {
-        self.stats = ResilienceStats::default();
+        *self.stats.get_mut().expect("stats mutex") = ResilienceStats::default();
         self.inner.reset_resilience_stats();
     }
 }

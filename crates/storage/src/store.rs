@@ -14,8 +14,9 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
 
-use relstore::{Db, Key};
+use relstore::{Db, Key, LatencyModel};
 
 /// Errors raised by chunk storage back-ends.
 ///
@@ -169,10 +170,19 @@ pub struct Capabilities {
     /// Whether one statement can scan across array boundaries
     /// (clustered composite-key table).
     pub supports_cross_range: bool,
+    /// Whether the store tolerates concurrent shared reads (the
+    /// [`SharedChunkRead`] contract) — when false, the parallel
+    /// retrieval pipeline degrades to the sequential path even if the
+    /// type implements the trait (e.g. a wrapper whose bookkeeping is
+    /// not meaningful under concurrency).
+    pub supports_parallel: bool,
 }
 
 /// Result rows of composite-key operations: `((array, chunk), payload)`.
 pub type CompositeRows = Vec<((u64, u64), Vec<u8>)>;
+
+/// Result rows of per-array chunk reads: `(chunk_id, payload)`.
+pub type ChunkRows = Vec<(u64, Vec<u8>)>;
 
 /// Back-end I/O statistics (statement-level, mirrors the paper's
 /// measurement of SQL statements issued and rows returned).
@@ -265,6 +275,43 @@ pub trait ChunkStore: Send {
     }
 
     fn reset_resilience_stats(&mut self) {}
+
+    /// Hit/miss/eviction counters of the chunk cache, if any is present
+    /// in this store stack. Uncached stacks report zeros.
+    fn cache_stats(&self) -> crate::cache::CacheStats {
+        crate::cache::CacheStats::default()
+    }
+
+    fn reset_cache_stats(&mut self) {}
+}
+
+/// The concurrent read side of a chunk store: the same fetch shapes as
+/// [`ChunkStore`], but through `&self`, callable from many worker
+/// threads at once. This is what the parallel retrieval pipeline
+/// ([`crate::parallel`]) partitions an APR fetch plan over.
+///
+/// Implementations must keep [`IoStats`] accounting exact under
+/// concurrency (the APR reports statement counts as deltas), and should
+/// do per-chunk CRC32 frame verification on the *calling* thread, so
+/// decode work parallelizes along with the fetches.
+pub trait SharedChunkRead: Send + Sync {
+    /// Fetch one chunk (one back-end statement).
+    fn read_chunk(&self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError>;
+
+    /// Fetch a set of chunks in one statement.
+    fn read_chunks_in(
+        &self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError>;
+
+    /// Fetch an inclusive chunk-id range in one statement.
+    fn read_chunk_range(
+        &self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError>;
 }
 
 /// Raw access to a chunk's *stored* (framed) bytes, beneath the
@@ -350,6 +397,14 @@ impl ChunkStore for Box<dyn ChunkStore> {
     fn reset_resilience_stats(&mut self) {
         (**self).reset_resilience_stats()
     }
+
+    fn cache_stats(&self) -> crate::cache::CacheStats {
+        (**self).cache_stats()
+    }
+
+    fn reset_cache_stats(&mut self) {
+        (**self).reset_cache_stats()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -360,11 +415,12 @@ impl ChunkStore for Box<dyn ChunkStore> {
 /// "resident" baseline and in tests. Chunks are held in their framed,
 /// checksummed representation so at-rest corruption (or a fault
 /// injector flipping stored bits) is caught on read like in the
-/// persistent back-ends.
+/// persistent back-ends. Statistics live behind a mutex so reads can
+/// run concurrently through [`SharedChunkRead`].
 #[derive(Debug, Default)]
 pub struct MemoryChunkStore {
     chunks: HashMap<(u64, u64), Vec<u8>>,
-    stats: IoStats,
+    stats: Mutex<IoStats>,
 }
 
 impl MemoryChunkStore {
@@ -372,14 +428,69 @@ impl MemoryChunkStore {
         MemoryChunkStore::default()
     }
 
-    fn account(&mut self, chunks: usize, bytes: usize) {
-        self.stats.statements += 1;
-        self.stats.chunks_returned += chunks as u64;
-        self.stats.bytes_returned += bytes as u64;
+    fn account(&self, chunks: usize, bytes: usize) {
+        let mut stats = self.stats.lock().expect("stats mutex");
+        stats.statements += 1;
+        stats.chunks_returned += chunks as u64;
+        stats.bytes_returned += bytes as u64;
     }
 
     fn decode(frame: &[u8], array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
         crate::frame::decode(frame).map_err(|e| StorageError::from_frame(array_id, chunk_id, e))
+    }
+}
+
+impl SharedChunkRead for MemoryChunkStore {
+    fn read_chunk(&self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        let frame = self
+            .chunks
+            .get(&(array_id, chunk_id))
+            .ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
+        let v = Self::decode(frame, array_id, chunk_id)?;
+        self.account(1, v.len());
+        Ok(v)
+    }
+
+    fn read_chunks_in(
+        &self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::with_capacity(chunk_ids.len());
+        let mut bytes = 0;
+        for &c in chunk_ids {
+            let frame = self
+                .chunks
+                .get(&(array_id, c))
+                .ok_or(StorageError::MissingChunk {
+                    array_id,
+                    chunk_id: c,
+                })?;
+            let v = Self::decode(frame, array_id, c)?;
+            bytes += v.len();
+            out.push((c, v));
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn read_chunk_range(
+        &self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::new();
+        let mut bytes = 0;
+        for c in lo..=hi {
+            if let Some(frame) = self.chunks.get(&(array_id, c)) {
+                let v = Self::decode(frame, array_id, c)?;
+                bytes += v.len();
+                out.push((c, v));
+            }
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
     }
 }
 
@@ -409,13 +520,7 @@ impl ChunkStore for MemoryChunkStore {
     }
 
     fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
-        let frame = self
-            .chunks
-            .get(&(array_id, chunk_id))
-            .ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
-        let v = Self::decode(frame, array_id, chunk_id)?;
-        self.account(1, v.len());
-        Ok(v)
+        self.read_chunk(array_id, chunk_id)
     }
 
     fn get_chunks_in(
@@ -423,22 +528,7 @@ impl ChunkStore for MemoryChunkStore {
         array_id: u64,
         chunk_ids: &[u64],
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        let mut out = Vec::with_capacity(chunk_ids.len());
-        let mut bytes = 0;
-        for &c in chunk_ids {
-            let frame = self
-                .chunks
-                .get(&(array_id, c))
-                .ok_or(StorageError::MissingChunk {
-                    array_id,
-                    chunk_id: c,
-                })?;
-            let v = Self::decode(frame, array_id, c)?;
-            bytes += v.len();
-            out.push((c, v));
-        }
-        self.account(out.len(), bytes);
-        Ok(out)
+        self.read_chunks_in(array_id, chunk_ids)
     }
 
     fn get_chunk_range(
@@ -447,17 +537,7 @@ impl ChunkStore for MemoryChunkStore {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        let mut out = Vec::new();
-        let mut bytes = 0;
-        for c in lo..=hi {
-            if let Some(frame) = self.chunks.get(&(array_id, c)) {
-                let v = Self::decode(frame, array_id, c)?;
-                bytes += v.len();
-                out.push((c, v));
-            }
-        }
-        self.account(out.len(), bytes);
-        Ok(out)
+        self.read_chunk_range(array_id, lo, hi)
     }
 
     fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError> {
@@ -509,15 +589,16 @@ impl ChunkStore for MemoryChunkStore {
             supports_in_list: true,
             supports_range: true,
             supports_cross_range: true,
+            supports_parallel: true,
         }
     }
 
     fn io_stats(&self) -> IoStats {
-        self.stats
+        *self.stats.lock().expect("stats mutex")
     }
 
     fn reset_io_stats(&mut self) {
-        self.stats = IoStats::default();
+        *self.stats.get_mut().expect("stats mutex") = IoStats::default();
     }
 }
 
@@ -541,8 +622,17 @@ impl ChunkStore for MemoryChunkStore {
 /// a checksum mismatch.
 pub struct FileChunkStore {
     dir: PathBuf,
-    files: HashMap<u64, (File, usize)>, // (handle, chunk_bytes)
-    stats: IoStats,
+    files: RwLock<HashMap<u64, Arc<ArrayFile>>>,
+    stats: Mutex<IoStats>,
+    /// Scratch buffer reused across slot reads on the `&mut` paths, so
+    /// a multi-chunk fetch does not allocate one read buffer per chunk.
+    scratch: Vec<u8>,
+}
+
+/// One open array file and its declared chunk size.
+struct ArrayFile {
+    file: File,
+    chunk_bytes: usize,
 }
 
 /// Array-file header: magic + chunk size. `SSDMARR2` introduced
@@ -559,8 +649,9 @@ impl FileChunkStore {
         std::fs::create_dir_all(&dir)?;
         Ok(FileChunkStore {
             dir,
-            files: HashMap::new(),
-            stats: IoStats::default(),
+            files: RwLock::new(HashMap::new()),
+            stats: Mutex::new(IoStats::default()),
+            scratch: Vec::new(),
         })
     }
 
@@ -577,7 +668,10 @@ impl FileChunkStore {
         header[..8].copy_from_slice(FILE_MAGIC);
         header[8..12].copy_from_slice(&(chunk_bytes as u32).to_le_bytes());
         file.write_all_at(&header, 0)?;
-        self.files.insert(array_id, (file, chunk_bytes));
+        self.files
+            .write()
+            .expect("files lock")
+            .insert(array_id, Arc::new(ArrayFile { file, chunk_bytes }));
         Ok(())
     }
 
@@ -585,34 +679,43 @@ impl FileChunkStore {
         self.dir.join(format!("arr_{array_id}.bin"))
     }
 
-    fn file(&mut self, array_id: u64) -> Result<&(File, usize), StorageError> {
-        if !self.files.contains_key(&array_id) {
-            // Lazily re-attach an array file written by a previous
-            // instance of the store over the same directory.
-            let path = self.array_path(array_id);
-            if !path.exists() {
-                return Err(StorageError::MissingArray(array_id));
-            }
-            let file = OpenOptions::new().read(true).write(true).open(&path)?;
-            let mut header = [0u8; FILE_HEADER as usize];
-            file.read_exact_at(&mut header, 0)?;
-            if &header[..8] == FILE_MAGIC_V1 {
-                return Err(StorageError::Backend(format!(
-                    "{} is a legacy v1 array file without chunk checksums; re-import it",
-                    path.display()
-                )));
-            }
-            if &header[..8] != FILE_MAGIC {
-                return Err(StorageError::Backend(format!(
-                    "{} is not an SSDM array file",
-                    path.display()
-                )));
-            }
-            let chunk_bytes =
-                u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
-            self.files.insert(array_id, (file, chunk_bytes));
+    /// The open handle for an array, lazily re-attaching a file written
+    /// by a previous instance of the store over the same directory.
+    /// Returns a cloned [`Arc`] so callers hold no lock while reading.
+    fn file(&self, array_id: u64) -> Result<Arc<ArrayFile>, StorageError> {
+        if let Some(af) = self.files.read().expect("files lock").get(&array_id) {
+            return Ok(Arc::clone(af));
         }
-        Ok(&self.files[&array_id])
+        let path = self.array_path(array_id);
+        if !path.exists() {
+            return Err(StorageError::MissingArray(array_id));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut header = [0u8; FILE_HEADER as usize];
+        file.read_exact_at(&mut header, 0)?;
+        if &header[..8] == FILE_MAGIC_V1 {
+            return Err(StorageError::Backend(format!(
+                "{} is a legacy v1 array file without chunk checksums; re-import it",
+                path.display()
+            )));
+        }
+        if &header[..8] != FILE_MAGIC {
+            return Err(StorageError::Backend(format!(
+                "{} is not an SSDM array file",
+                path.display()
+            )));
+        }
+        let chunk_bytes = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        let af = Arc::new(ArrayFile { file, chunk_bytes });
+        // Two racing re-attachers both open the file; either handle
+        // works, keep whichever landed first.
+        Ok(Arc::clone(
+            self.files
+                .write()
+                .expect("files lock")
+                .entry(array_id)
+                .or_insert(af),
+        ))
     }
 
     /// Bytes per chunk slot: checksum frame header + full payload.
@@ -620,30 +723,118 @@ impl FileChunkStore {
         (crate::frame::FRAME_HEADER + chunk_bytes) as u64
     }
 
-    /// Read and verify the framed chunk in one slot. Distinguishes a
-    /// chunk beyond the end of the file (missing) from one whose frame
-    /// is cut off by the file end (short read).
+    /// Read and verify the framed chunk in one slot, reading through
+    /// `scratch` (grown once, reused across slot reads). Distinguishes
+    /// a chunk beyond the end of the file (missing) from one whose
+    /// frame is cut off by the file end (short read).
     fn read_slot(
-        file: &File,
-        chunk_bytes: usize,
+        af: &ArrayFile,
         file_len: u64,
         array_id: u64,
         chunk_id: u64,
+        scratch: &mut Vec<u8>,
     ) -> Result<Vec<u8>, StorageError> {
-        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(chunk_bytes);
+        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(af.chunk_bytes);
         if offset >= file_len {
             return Err(StorageError::MissingChunk { array_id, chunk_id });
         }
-        let avail = ((file_len - offset) as usize).min(Self::slot_bytes(chunk_bytes) as usize);
-        let mut buf = vec![0u8; avail];
-        file.read_exact_at(&mut buf, offset)?;
-        crate::frame::decode(&buf).map_err(|e| StorageError::from_frame(array_id, chunk_id, e))
+        let avail = ((file_len - offset) as usize).min(Self::slot_bytes(af.chunk_bytes) as usize);
+        if scratch.len() < avail {
+            scratch.resize(avail, 0);
+        }
+        af.file.read_exact_at(&mut scratch[..avail], offset)?;
+        crate::frame::decode(&scratch[..avail])
+            .map_err(|e| StorageError::from_frame(array_id, chunk_id, e))
     }
 
-    fn account(&mut self, chunks: usize, bytes: usize) {
-        self.stats.statements += 1;
-        self.stats.chunks_returned += chunks as u64;
-        self.stats.bytes_returned += bytes as u64;
+    /// Native sequential read of a whole chunk-id range in one pread,
+    /// then per-slot frame verification. `scratch` holds the span.
+    fn read_range(
+        af: &ArrayFile,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(ChunkRows, usize), StorageError> {
+        let slot = Self::slot_bytes(af.chunk_bytes) as usize;
+        let len = af.file.metadata()?.len();
+        let offset = FILE_HEADER + lo * slot as u64;
+        if offset >= len {
+            return Err(StorageError::MissingChunk {
+                array_id,
+                chunk_id: lo,
+            });
+        }
+        let span = (((hi - lo + 1) as usize) * slot).min((len - offset) as usize);
+        if scratch.len() < span {
+            scratch.resize(span, 0);
+        }
+        af.file.read_exact_at(&mut scratch[..span], offset)?;
+        let mut out = Vec::new();
+        let mut bytes = 0;
+        for i in 0..=(hi - lo) {
+            let base = i as usize * slot;
+            if base >= span {
+                break; // chunks past the end of the file were never written
+            }
+            let slice = &scratch[base..span.min(base + slot)];
+            let chunk_id = lo + i;
+            let payload = crate::frame::decode(slice)
+                .map_err(|e| StorageError::from_frame(array_id, chunk_id, e))?;
+            bytes += payload.len();
+            out.push((chunk_id, payload));
+        }
+        Ok((out, bytes))
+    }
+
+    fn account(&self, chunks: usize, bytes: usize) {
+        let mut stats = self.stats.lock().expect("stats mutex");
+        stats.statements += 1;
+        stats.chunks_returned += chunks as u64;
+        stats.bytes_returned += bytes as u64;
+    }
+}
+
+impl SharedChunkRead for FileChunkStore {
+    fn read_chunk(&self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        let af = self.file(array_id)?;
+        let len = af.file.metadata()?.len();
+        let mut scratch = Vec::new();
+        let payload = Self::read_slot(&af, len, array_id, chunk_id, &mut scratch)?;
+        self.account(1, payload.len());
+        Ok(payload)
+    }
+
+    fn read_chunks_in(
+        &self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let af = self.file(array_id)?;
+        let len = af.file.metadata()?.len();
+        let mut scratch = Vec::new();
+        let mut out = Vec::with_capacity(chunk_ids.len());
+        let mut bytes = 0;
+        for &c in chunk_ids {
+            let payload = Self::read_slot(&af, len, array_id, c, &mut scratch)?;
+            bytes += payload.len();
+            out.push((c, payload));
+        }
+        self.account(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn read_chunk_range(
+        &self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let af = self.file(array_id)?;
+        let mut scratch = Vec::new();
+        let (out, bytes) = Self::read_range(&af, array_id, lo, hi, &mut scratch)?;
+        self.account(out.len(), bytes);
+        Ok(out)
     }
 }
 
@@ -654,19 +845,18 @@ impl RawChunkAccess for FileChunkStore {
         chunk_id: u64,
         bit: u64,
     ) -> Result<bool, StorageError> {
-        let (file, chunk_bytes) = self.file(array_id)?;
-        let cb = *chunk_bytes;
-        let len = file.metadata()?.len();
-        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(cb);
+        let af = self.file(array_id)?;
+        let len = af.file.metadata()?.len();
+        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(af.chunk_bytes);
         if offset >= len {
             return Ok(false);
         }
-        let avail = (len - offset).min(Self::slot_bytes(cb));
+        let avail = (len - offset).min(Self::slot_bytes(af.chunk_bytes));
         let bit = bit % (avail * 8);
         let mut byte = [0u8; 1];
-        file.read_exact_at(&mut byte, offset + bit / 8)?;
+        af.file.read_exact_at(&mut byte, offset + bit / 8)?;
         byte[0] ^= 1 << (bit % 8);
-        file.write_all_at(&byte, offset + bit / 8)?;
+        af.file.write_all_at(&byte, offset + bit / 8)?;
         Ok(true)
     }
 }
@@ -677,16 +867,19 @@ impl ChunkStore for FileChunkStore {
     }
 
     fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
-        let (file, chunk_bytes) = self.file(array_id)?;
-        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(*chunk_bytes);
-        file.write_all_at(&crate::frame::encode(data), offset)?;
+        let af = self.file(array_id)?;
+        let offset = FILE_HEADER + chunk_id * Self::slot_bytes(af.chunk_bytes);
+        af.file.write_all_at(&crate::frame::encode(data), offset)?;
         Ok(())
     }
 
     fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
-        let (file, chunk_bytes) = self.file(array_id)?;
-        let len = file.metadata()?.len();
-        let payload = Self::read_slot(file, *chunk_bytes, len, array_id, chunk_id)?;
+        let af = self.file(array_id)?;
+        let len = af.file.metadata()?.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = Self::read_slot(&af, len, array_id, chunk_id, &mut scratch);
+        self.scratch = scratch;
+        let payload = result?;
         self.account(1, payload.len());
         Ok(payload)
     }
@@ -696,15 +889,25 @@ impl ChunkStore for FileChunkStore {
         array_id: u64,
         chunk_ids: &[u64],
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        let mut out = Vec::with_capacity(chunk_ids.len());
+        let af = self.file(array_id)?;
+        let len = af.file.metadata()?.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut bytes = 0;
+        let mut result = Ok(Vec::with_capacity(chunk_ids.len()));
         for &c in chunk_ids {
-            let (file, chunk_bytes) = self.file(array_id)?;
-            let len = file.metadata()?.len();
-            let payload = Self::read_slot(file, *chunk_bytes, len, array_id, c)?;
-            bytes += payload.len();
-            out.push((c, payload));
+            match Self::read_slot(&af, len, array_id, c, &mut scratch) {
+                Ok(payload) => {
+                    bytes += payload.len();
+                    result.as_mut().expect("still ok").push((c, payload));
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
         }
+        self.scratch = scratch;
+        let out = result?;
         self.account(out.len(), bytes);
         Ok(out)
     }
@@ -715,42 +918,17 @@ impl ChunkStore for FileChunkStore {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        // Native sequential read of the whole range in one pread, then
-        // per-slot frame verification.
-        let (file, chunk_bytes) = self.file(array_id)?;
-        let cb = *chunk_bytes;
-        let slot = Self::slot_bytes(cb) as usize;
-        let len = file.metadata()?.len();
-        let offset = FILE_HEADER + lo * slot as u64;
-        if offset >= len {
-            return Err(StorageError::MissingChunk {
-                array_id,
-                chunk_id: lo,
-            });
-        }
-        let span = (((hi - lo + 1) as usize) * slot).min((len - offset) as usize);
-        let mut buf = vec![0u8; span];
-        file.read_exact_at(&mut buf, offset)?;
-        let mut out = Vec::new();
-        let mut bytes = 0;
-        for i in 0..=(hi - lo) {
-            let base = i as usize * slot;
-            if base >= span {
-                break; // chunks past the end of the file were never written
-            }
-            let slice = &buf[base..span.min(base + slot)];
-            let chunk_id = lo + i;
-            let payload = crate::frame::decode(slice)
-                .map_err(|e| StorageError::from_frame(array_id, chunk_id, e))?;
-            bytes += payload.len();
-            out.push((chunk_id, payload));
-        }
+        let af = self.file(array_id)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = Self::read_range(&af, array_id, lo, hi, &mut scratch);
+        self.scratch = scratch;
+        let (out, bytes) = result?;
         self.account(out.len(), bytes);
         Ok(out)
     }
 
     fn delete_array(&mut self, array_id: u64, _chunk_count: u64) -> Result<(), StorageError> {
-        self.files.remove(&array_id);
+        self.files.write().expect("files lock").remove(&array_id);
         std::fs::remove_file(self.array_path(array_id)).ok();
         Ok(())
     }
@@ -760,15 +938,16 @@ impl ChunkStore for FileChunkStore {
             supports_in_list: false,
             supports_range: true,
             supports_cross_range: false, // one file per array
+            supports_parallel: true,
         }
     }
 
     fn io_stats(&self) -> IoStats {
-        self.stats
+        *self.stats.lock().expect("stats mutex")
     }
 
     fn reset_io_stats(&mut self) {
-        self.stats = IoStats::default();
+        *self.stats.get_mut().expect("stats mutex") = IoStats::default();
     }
 }
 
@@ -781,8 +960,14 @@ impl ChunkStore for FileChunkStore {
 /// [`relstore`] substrate with its statement latency model. Row values
 /// are checksummed [`crate::frame`]s, so page-level corruption in the
 /// substrate is detected when the row is read back.
+///
+/// The embedded [`Db`] is single-writer, so shared reads serialize on a
+/// mutex — but the simulated client–server latency is charged *outside*
+/// the lock (by parking, not spinning), so concurrent readers overlap
+/// their simulated round trips the way real connections to a remote
+/// RDBMS would.
 pub struct RelChunkStore {
-    db: Db,
+    db: Mutex<Db>,
 }
 
 impl RelChunkStore {
@@ -798,8 +983,9 @@ impl RawChunkAccess for RelChunkStore {
         chunk_id: u64,
         bit: u64,
     ) -> Result<bool, StorageError> {
+        let db = self.db.get_mut().expect("db mutex");
         let key = Key::new(array_id, chunk_id);
-        let Some(mut frame) = self.db.get(key)? else {
+        let Some(mut frame) = db.get(key)? else {
             return Ok(false);
         };
         if frame.is_empty() {
@@ -807,42 +993,114 @@ impl RawChunkAccess for RelChunkStore {
         }
         let bit = bit % (frame.len() as u64 * 8);
         frame[(bit / 8) as usize] ^= 1 << (bit % 8);
-        self.db.put(key, &frame)?;
+        db.put(key, &frame)?;
         Ok(true)
     }
 }
 
 impl RelChunkStore {
     pub fn new(db: Db) -> Self {
-        RelChunkStore { db }
+        RelChunkStore { db: Mutex::new(db) }
     }
 
     /// An in-memory relational store with default options.
     pub fn open_memory() -> Result<Self, StorageError> {
-        Ok(RelChunkStore {
-            db: Db::open_memory(relstore::DbOptions::default())?,
-        })
+        Ok(Self::new(Db::open_memory(relstore::DbOptions::default())?))
     }
 
     /// Create a file-backed relational store.
     pub fn create_file(path: &Path, options: relstore::DbOptions) -> Result<Self, StorageError> {
-        Ok(RelChunkStore {
-            db: Db::create_file(path, options)?,
-        })
-    }
-
-    pub fn db(&self) -> &Db {
-        &self.db
+        Ok(Self::new(Db::create_file(path, options)?))
     }
 
     pub fn db_mut(&mut self) -> &mut Db {
-        &mut self.db
+        self.db.get_mut().expect("db mutex")
+    }
+
+    /// Run `op` against the locked [`Db`] with latency charging
+    /// suppressed, then return the result together with the charge the
+    /// configured [`LatencyModel`] would have applied. The caller pays
+    /// the charge *after* releasing the lock by parking
+    /// ([`relstore::park_wait`]): a client–server round trip is an I/O
+    /// wait, so concurrent readers overlap it instead of serializing
+    /// spin-waits through the mutex.
+    fn shared_statement<T>(
+        &self,
+        op: impl FnOnce(&mut Db) -> Result<T, StorageError>,
+        cost: impl FnOnce(&T) -> (usize, usize),
+    ) -> Result<T, StorageError> {
+        let (out, charge) = {
+            let mut db = self.db.lock().expect("db mutex");
+            let lat = db.latency();
+            db.set_latency(LatencyModel::none());
+            let r = op(&mut db);
+            db.set_latency(lat);
+            let out = r?;
+            let (rows, bytes) = cost(&out);
+            let charge = lat.charge(rows, bytes);
+            (out, charge)
+        };
+        relstore::park_wait(charge);
+        Ok(out)
+    }
+}
+
+impl SharedChunkRead for RelChunkStore {
+    fn read_chunk(&self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        let frame = self.shared_statement(
+            |db| Ok(db.get(Key::new(array_id, chunk_id))?),
+            |v| match v {
+                Some(b) => (1, b.len()),
+                None => (0, 0),
+            },
+        )?;
+        let frame = frame.ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
+        Self::decode_row(&frame, array_id, chunk_id)
+    }
+
+    fn read_chunks_in(
+        &self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let rows = self.shared_statement(
+            |db| Ok(db.get_in(array_id, chunk_ids)?),
+            |rows| (rows.len(), rows.iter().map(|(_, v)| v.len()).sum()),
+        )?;
+        if rows.len() != chunk_ids.len() {
+            let got: std::collections::HashSet<u64> =
+                rows.iter().map(|(k, _)| k.chunk_id).collect();
+            let missing = chunk_ids.iter().find(|c| !got.contains(c));
+            if let Some(&chunk_id) = missing {
+                return Err(StorageError::MissingChunk { array_id, chunk_id });
+            }
+        }
+        rows.into_iter()
+            .map(|(k, v)| Ok((k.chunk_id, Self::decode_row(&v, array_id, k.chunk_id)?)))
+            .collect()
+    }
+
+    fn read_chunk_range(
+        &self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let rows = self.shared_statement(
+            |db| Ok(db.get_range(array_id, lo, hi)?),
+            |rows| (rows.len(), rows.iter().map(|(_, v)| v.len()).sum()),
+        )?;
+        rows.into_iter()
+            .map(|(k, v)| Ok((k.chunk_id, Self::decode_row(&v, array_id, k.chunk_id)?)))
+            .collect()
     }
 }
 
 impl ChunkStore for RelChunkStore {
     fn put_chunk(&mut self, array_id: u64, chunk_id: u64, data: &[u8]) -> Result<(), StorageError> {
         self.db
+            .get_mut()
+            .expect("db mutex")
             .put(Key::new(array_id, chunk_id), &crate::frame::encode(data))?;
         Ok(())
     }
@@ -850,6 +1108,8 @@ impl ChunkStore for RelChunkStore {
     fn get_chunk(&mut self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
         let frame = self
             .db
+            .get_mut()
+            .expect("db mutex")
             .get(Key::new(array_id, chunk_id))?
             .ok_or(StorageError::MissingChunk { array_id, chunk_id })?;
         Self::decode_row(&frame, array_id, chunk_id)
@@ -860,7 +1120,11 @@ impl ChunkStore for RelChunkStore {
         array_id: u64,
         chunk_ids: &[u64],
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        let rows = self.db.get_in(array_id, chunk_ids)?;
+        let rows = self
+            .db
+            .get_mut()
+            .expect("db mutex")
+            .get_in(array_id, chunk_ids)?;
         if rows.len() != chunk_ids.len() {
             let got: std::collections::HashSet<u64> =
                 rows.iter().map(|(k, _)| k.chunk_id).collect();
@@ -880,15 +1144,20 @@ impl ChunkStore for RelChunkStore {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-        let rows = self.db.get_range(array_id, lo, hi)?;
+        let rows = self
+            .db
+            .get_mut()
+            .expect("db mutex")
+            .get_range(array_id, lo, hi)?;
         rows.into_iter()
             .map(|(k, v)| Ok((k.chunk_id, Self::decode_row(&v, array_id, k.chunk_id)?)))
             .collect()
     }
 
     fn delete_array(&mut self, array_id: u64, chunk_count: u64) -> Result<(), StorageError> {
+        let db = self.db.get_mut().expect("db mutex");
         for c in 0..chunk_count {
-            self.db.delete(Key::new(array_id, c))?;
+            db.delete(Key::new(array_id, c))?;
         }
         Ok(())
     }
@@ -900,6 +1169,8 @@ impl ChunkStore for RelChunkStore {
     ) -> Result<CompositeRows, StorageError> {
         let rows = self
             .db
+            .get_mut()
+            .expect("db mutex")
             .get_key_range(Key::new(lo.0, lo.1), Key::new(hi.0, hi.1))?;
         rows.into_iter()
             .map(|(k, v)| {
@@ -913,7 +1184,7 @@ impl ChunkStore for RelChunkStore {
 
     fn get_composite_in(&mut self, keys: &[(u64, u64)]) -> Result<CompositeRows, StorageError> {
         let db_keys: Vec<Key> = keys.iter().map(|&(a, c)| Key::new(a, c)).collect();
-        let rows = self.db.get_keys(&db_keys)?;
+        let rows = self.db.get_mut().expect("db mutex").get_keys(&db_keys)?;
         rows.into_iter()
             .map(|(k, v)| {
                 Ok((
@@ -929,11 +1200,12 @@ impl ChunkStore for RelChunkStore {
             supports_in_list: true,
             supports_range: true,
             supports_cross_range: true,
+            supports_parallel: true,
         }
     }
 
     fn io_stats(&self) -> IoStats {
-        let s = self.db.statement_stats();
+        let s = self.db.lock().expect("db mutex").statement_stats();
         IoStats {
             statements: s.statements,
             chunks_returned: s.rows_returned,
@@ -942,7 +1214,7 @@ impl ChunkStore for RelChunkStore {
     }
 
     fn reset_io_stats(&mut self) {
-        self.db.reset_stats();
+        self.db.get_mut().expect("db mutex").reset_stats();
     }
 }
 

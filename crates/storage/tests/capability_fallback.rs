@@ -48,6 +48,7 @@ impl ChunkStore for SingleOnlyStore {
             supports_in_list: false,
             supports_range: false,
             supports_cross_range: false,
+            supports_parallel: false,
         }
     }
 
