@@ -1,10 +1,12 @@
 //! Array aggregates: built-in functions reducing an array to a scalar
 //! or reducing one dimension (thesis §4.1.3, §4.1.5).
 
-use crate::data::ArrayData;
+use crate::data::{ArrayData, Buffer};
 use crate::dtype::Num;
 use crate::error::{ArrayError, Result};
+use crate::kernel;
 use crate::num_array::NumArray;
+use crate::view::Dim;
 
 /// A whole-array or per-dimension aggregate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,7 +35,37 @@ impl AggregateOp {
 impl NumArray {
     /// Aggregate all elements into a scalar. Empty arrays yield an error
     /// for min/max and identity values for sum/prod/count.
+    ///
+    /// Folds through the typed dense kernels: Int aggregates keep the
+    /// checked semantics of the scalar path bit-for-bit (same values,
+    /// same overflow errors); `f64` Sum/Avg use the documented
+    /// deterministic [`kernel::pairwise_sum`] order.
     pub fn aggregate(&self, op: AggregateOp) -> Result<Num> {
+        let n = self.element_count();
+        match op {
+            AggregateOp::Count => return Ok(Num::Int(n as i64)),
+            AggregateOp::Sum if n == 0 => return Ok(Num::Int(0)),
+            AggregateOp::Prod if n == 0 => return Ok(Num::Int(1)),
+            AggregateOp::Avg | AggregateOp::Min | AggregateOp::Max if n == 0 => {
+                return Err(ArrayError::InvalidSlice(
+                    "aggregate over empty array".into(),
+                ))
+            }
+            _ => {}
+        }
+        let total = kernel::aggregate_view(self.data(), self.view(), op)?;
+        Ok(match op {
+            AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
+            _ => total,
+        })
+    }
+
+    /// [`aggregate`](Self::aggregate) on the scalar reference path (one
+    /// boxed `Num` at a time, running left-to-right fold). Retained as
+    /// the semantic ground truth for the differential test suite; note
+    /// that for `f64` Sum/Avg the kernel path intentionally differs in
+    /// rounding (pairwise vs. running sum) — see DESIGN.md.
+    pub fn aggregate_ref(&self, op: AggregateOp) -> Result<Num> {
         let n = self.element_count();
         match op {
             AggregateOp::Count => return Ok(Num::Int(n as i64)),
@@ -100,35 +132,103 @@ impl NumArray {
 
     /// Reduce one dimension with an aggregate, producing an array of rank
     /// `ndims-1` (e.g. per-row sums of a matrix).
+    ///
+    /// A single strided pass: an odometer walks the kept dimensions
+    /// tracking each lane's base address directly, and every lane is
+    /// gathered into one reusable scratch vector and folded by the
+    /// typed kernels — no per-cell view cloning or re-slicing.
     pub fn aggregate_dim(&self, op: AggregateOp, dim: usize) -> Result<NumArray> {
         let size = self.dim_size(dim)?;
         let mut out_shape = self.shape();
         out_shape.remove(dim);
         let count: usize = out_shape.iter().product();
+        if count == 0 {
+            return NumArray::from_data(ArrayData::from_nums(&[]), &out_shape);
+        }
+        // Lanes of a fixed size share one answer for Count and for the
+        // empty-lane cases; no element reads needed.
+        match op {
+            AggregateOp::Count => {
+                return NumArray::from_data(
+                    ArrayData::from_nums(&vec![Num::Int(size as i64); count]),
+                    &out_shape,
+                )
+            }
+            AggregateOp::Sum if size == 0 => {
+                return NumArray::from_data(
+                    ArrayData::from_nums(&vec![Num::Int(0); count]),
+                    &out_shape,
+                )
+            }
+            AggregateOp::Prod if size == 0 => {
+                return NumArray::from_data(
+                    ArrayData::from_nums(&vec![Num::Int(1); count]),
+                    &out_shape,
+                )
+            }
+            _ if size == 0 => {
+                return Err(ArrayError::InvalidSlice(
+                    "aggregate over empty array".into(),
+                ))
+            }
+            _ => {}
+        }
+        let dims = self.view().dims();
+        let lane_stride = dims[dim].stride;
+        let kept: Vec<Dim> = dims
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != dim)
+            .map(|(_, &d)| d)
+            .collect();
+        let mut ix = vec![0usize; kept.len()];
+        let mut base = self.view().offset() as isize;
         let mut values = Vec::with_capacity(count);
-        // Iterate the reduced shape; for each output cell aggregate the
-        // vector along `dim` as a rank-1 view.
-        let mut ix = vec![0usize; out_shape.len()];
-        for _ in 0..count.max(1) {
-            if count == 0 {
-                break;
-            }
-            // Fix every dimension except `dim`, highest source dimension
-            // first so removals don't shift the remaining positions.
-            let mut lane = self.clone();
-            for d in (0..out_shape.len()).rev() {
-                let src_dim = if d >= dim { d + 1 } else { d };
-                lane = lane.subscript(src_dim, ix[d])?;
-            }
-            debug_assert_eq!(lane.ndims(), 1);
-            debug_assert_eq!(lane.element_count(), size);
-            values.push(lane.aggregate(op)?);
-            for d in (0..out_shape.len()).rev() {
-                ix[d] += 1;
-                if ix[d] < out_shape[d] {
-                    break;
+        // One pass per output cell in row-major order over the kept
+        // dimensions (the same order the per-lane subscripting used).
+        let mut cell = |fold: &mut dyn FnMut(isize) -> Result<Num>| -> Result<()> {
+            for _ in 0..count {
+                let total = fold(base)?;
+                values.push(match op {
+                    AggregateOp::Avg => Num::Real(total.as_f64() / size as f64),
+                    _ => total,
+                });
+                for d in (0..kept.len()).rev() {
+                    ix[d] += 1;
+                    if ix[d] < kept[d].size {
+                        base += kept[d].stride;
+                        break;
+                    }
+                    ix[d] = 0;
+                    base -= kept[d].stride * (kept[d].size as isize - 1);
                 }
-                ix[d] = 0;
+            }
+            Ok(())
+        };
+        match self.data().buffer() {
+            Buffer::Int(buf) => {
+                let mut scratch: Vec<i64> = Vec::with_capacity(size);
+                cell(&mut |start| {
+                    scratch.clear();
+                    let mut a = start;
+                    for _ in 0..size {
+                        scratch.push(buf[a as usize]);
+                        a += lane_stride;
+                    }
+                    kernel::fold_i64(&scratch, op)
+                })?;
+            }
+            Buffer::Real(buf) => {
+                let mut scratch: Vec<f64> = Vec::with_capacity(size);
+                cell(&mut |start| {
+                    scratch.clear();
+                    let mut a = start;
+                    for _ in 0..size {
+                        scratch.push(buf[a as usize]);
+                        a += lane_stride;
+                    }
+                    kernel::fold_f64(&scratch, op)
+                })?;
             }
         }
         NumArray::from_data(ArrayData::from_nums(&values), &out_shape)

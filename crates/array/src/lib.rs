@@ -41,8 +41,10 @@ mod dtype;
 mod error;
 mod fmt;
 mod iter;
+pub mod kernel;
 mod num_array;
 mod ops;
+pub mod pool;
 mod second_order;
 mod view;
 
@@ -51,6 +53,7 @@ pub use data::{ArrayData, Buffer};
 pub use dtype::{Num, NumericType};
 pub use error::{ArrayError, Result};
 pub use iter::{LinearRuns, Run};
+pub use kernel::{compute_stats, reset_compute_stats, ComputeStats};
 pub use num_array::{Nested, NumArray, Subscript};
 pub use ops::BinOp;
 pub use view::{ArrayView, Dim};

@@ -8,6 +8,7 @@
 use crate::data::ArrayData;
 use crate::dtype::Num;
 use crate::error::{ArrayError, Result};
+use crate::kernel::{self, Elem};
 use crate::num_array::NumArray;
 
 /// A binary element-wise operator.
@@ -60,9 +61,52 @@ impl BinOp {
     }
 }
 
+/// The single element-wise entry point: every broadcast shape (array ⊗
+/// array, array ⊗ scalar, scalar ⊗ array) routes here, so broadcast
+/// direction cannot drift semantically between call sites. Dispatches
+/// to the typed dense kernels; operations the kernels decline (see
+/// `kernel` module docs) take the retained scalar reference path.
+fn elementwise(lhs: Elem<'_>, rhs: Elem<'_>, op: BinOp, shape: &[usize]) -> Result<NumArray> {
+    match kernel::elementwise(lhs, rhs, op, shape) {
+        Some(r) => r,
+        None => {
+            kernel::note_fallback();
+            elementwise_ref(lhs, rhs, op, shape)
+        }
+    }
+}
+
+/// The scalar reference path: one `BinOp::apply` per element in logical
+/// order, first error wins. Retained (and exercised by the differential
+/// test suite) as the semantic ground truth for the kernels.
+fn elementwise_ref(lhs: Elem<'_>, rhs: Elem<'_>, op: BinOp, shape: &[usize]) -> Result<NumArray> {
+    enum Vals {
+        Many(Vec<Num>),
+        One(Num),
+    }
+    impl Vals {
+        fn at(&self, i: usize) -> Num {
+            match self {
+                Vals::Many(v) => v[i],
+                Vals::One(s) => *s,
+            }
+        }
+    }
+    let fetch = |e: Elem<'_>| match e {
+        Elem::Array(a) => Vals::Many(a.elements()),
+        Elem::Scalar(s) => Vals::One(s),
+    };
+    let (a, b) = (fetch(lhs), fetch(rhs));
+    let n: usize = shape.iter().product();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(op.apply(a.at(i), b.at(i))?);
+    }
+    NumArray::from_data(ArrayData::from_nums(&out), shape)
+}
+
 impl NumArray {
-    /// Element-wise combination of two same-shape arrays.
-    pub fn zip_with(&self, other: &NumArray, op: BinOp) -> Result<NumArray> {
+    fn zip_shape(&self, other: &NumArray) -> Result<Vec<usize>> {
         let shape = self.shape();
         if shape != other.shape() {
             return Err(ArrayError::ShapeMismatch {
@@ -70,55 +114,55 @@ impl NumArray {
                 right: other.shape(),
             });
         }
-        let a = self.elements();
-        let b = other.elements();
-        let mut out = Vec::with_capacity(a.len());
-        for (x, y) in a.into_iter().zip(b) {
-            out.push(op.apply(x, y)?);
-        }
-        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+        Ok(shape)
+    }
+
+    /// Element-wise combination of two same-shape arrays.
+    pub fn zip_with(&self, other: &NumArray, op: BinOp) -> Result<NumArray> {
+        let shape = self.zip_shape(other)?;
+        elementwise(Elem::Array(self), Elem::Array(other), op, &shape)
+    }
+
+    /// [`zip_with`](Self::zip_with) on the scalar reference path,
+    /// bypassing the kernels. For differential testing.
+    pub fn zip_with_ref(&self, other: &NumArray, op: BinOp) -> Result<NumArray> {
+        let shape = self.zip_shape(other)?;
+        elementwise_ref(Elem::Array(self), Elem::Array(other), op, &shape)
     }
 
     /// Element-wise `self op scalar`.
     pub fn scalar_op(&self, scalar: Num, op: BinOp) -> Result<NumArray> {
-        let shape = self.shape();
-        let mut out = Vec::with_capacity(self.element_count());
-        let mut err = None;
-        self.for_each(|x| {
-            if err.is_none() {
-                match op.apply(x, scalar) {
-                    Ok(v) => out.push(v),
-                    Err(e) => err = Some(e),
-                }
-            }
-        });
-        if let Some(e) = err {
-            return Err(e);
-        }
-        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+        elementwise(Elem::Array(self), Elem::Scalar(scalar), op, &self.shape())
+    }
+
+    /// [`scalar_op`](Self::scalar_op) on the scalar reference path.
+    pub fn scalar_op_ref(&self, scalar: Num, op: BinOp) -> Result<NumArray> {
+        elementwise_ref(Elem::Array(self), Elem::Scalar(scalar), op, &self.shape())
     }
 
     /// Element-wise `scalar op self` (for non-commutative operators).
     pub fn scalar_op_rev(&self, scalar: Num, op: BinOp) -> Result<NumArray> {
-        let shape = self.shape();
-        let mut out = Vec::with_capacity(self.element_count());
-        let mut err = None;
-        self.for_each(|x| {
-            if err.is_none() {
-                match op.apply(scalar, x) {
-                    Ok(v) => out.push(v),
-                    Err(e) => err = Some(e),
-                }
-            }
-        });
-        if let Some(e) = err {
-            return Err(e);
-        }
-        NumArray::from_data(ArrayData::from_nums(&out), &shape)
+        elementwise(Elem::Scalar(scalar), Elem::Array(self), op, &self.shape())
+    }
+
+    /// [`scalar_op_rev`](Self::scalar_op_rev) on the scalar reference path.
+    pub fn scalar_op_rev_ref(&self, scalar: Num, op: BinOp) -> Result<NumArray> {
+        elementwise_ref(Elem::Scalar(scalar), Elem::Array(self), op, &self.shape())
     }
 
     /// Element-wise negation.
     pub fn negate(&self) -> Result<NumArray> {
+        match kernel::negate(self) {
+            Some(r) => r,
+            None => {
+                kernel::note_fallback();
+                self.negate_ref()
+            }
+        }
+    }
+
+    /// [`negate`](Self::negate) on the scalar reference path.
+    pub fn negate_ref(&self) -> Result<NumArray> {
         let shape = self.shape();
         let mut out = Vec::with_capacity(self.element_count());
         let mut err = None;

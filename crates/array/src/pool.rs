@@ -1,0 +1,175 @@
+//! A minimal shared worker-pool / chunked-dispatch helper.
+//!
+//! Three primitives cover every parallel shape in the workspace, all
+//! built on [`std::thread::scope`] so borrowed data flows into workers
+//! without `Arc` plumbing and no thread outlives its work:
+//!
+//! * [`run_scoped`] — spawn `workers` copies of a worker loop and run a
+//!   body (e.g. an accept loop) on the calling thread until it returns.
+//! * [`dispatch`] — cursor-claimed work distribution over `count`
+//!   indexed tasks; the calling thread participates, so `workers == 1`
+//!   costs no thread spawn at all.
+//! * [`par_chunks_mut`] — split a mutable slice into near-equal
+//!   segments and process them concurrently; used by the compute
+//!   kernels for large resident arrays.
+//!
+//! The default worker count is process-global and settable (CLI
+//! `--workers`, tests), clamped to the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COMPUTE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count used by the compute kernels for large resident arrays.
+/// `0` (the default) means "auto": available parallelism capped at 8.
+pub fn compute_workers() -> usize {
+    match COMPUTE_WORKERS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+        n => n,
+    }
+}
+
+/// Override [`compute_workers`] process-wide (`0` restores auto).
+pub fn set_compute_workers(workers: usize) {
+    COMPUTE_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// Spawn `workers` scoped threads each running `worker`, then run
+/// `body` on the calling thread. Returns `body`'s result once it *and*
+/// every worker have finished. `worker` is expected to terminate on its
+/// own (e.g. when a channel it drains is closed by `body`).
+pub fn run_scoped<R>(workers: usize, worker: impl Fn() + Sync, body: impl FnOnce() -> R) -> R {
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(&worker);
+        }
+        body()
+    })
+}
+
+/// Run `task(i)` for every `i in 0..count`, partitioned across at most
+/// `workers` threads by a shared claim cursor (work stealing by
+/// exhaustion: a slow task never idles the pool). The calling thread
+/// claims work too, so `workers <= 1` degrades to a plain loop.
+pub fn dispatch(workers: usize, count: usize, task: impl Fn(usize) + Sync) {
+    let workers = workers.clamp(1, count.max(1));
+    let cursor = AtomicUsize::new(0);
+    let claim = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            break;
+        }
+        task(i);
+    };
+    if workers == 1 {
+        claim();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(claim);
+            }
+            claim();
+        });
+    }
+}
+
+/// Process `data` in parallel as disjoint contiguous segments of at
+/// least `min_len` elements: `f(start_offset, segment)`. Segment
+/// boundaries depend only on `(len, workers, min_len)`, never on
+/// scheduling, so deterministic fills stay deterministic.
+pub fn par_chunks_mut<T: Send>(
+    workers: usize,
+    min_len: usize,
+    data: &mut [T],
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    let min_len = min_len.max(1);
+    let segments = workers
+        .clamp(
+            1,
+            len.max(1) / min_len + usize::from(!len.is_multiple_of(min_len)),
+        )
+        .max(1);
+    if segments == 1 {
+        f(0, data);
+        return;
+    }
+    let seg_len = len / segments + usize::from(!len.is_multiple_of(segments));
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = seg_len.min(rest.len());
+            let (seg, tail) = rest.split_at_mut(take);
+            let off = start;
+            scope.spawn(move || f(off, seg));
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dispatch_covers_every_index_once() {
+        for workers in [1, 2, 4, 9] {
+            let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+            dispatch(workers, hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn dispatch_zero_count_is_fine() {
+        dispatch(4, 0, |_| panic!("no work"));
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_deterministically() {
+        for workers in [1, 2, 4] {
+            let mut data = vec![0u64; 1000];
+            par_chunks_mut(workers, 16, &mut data, |off, seg| {
+                for (k, slot) in seg.iter_mut().enumerate() {
+                    *slot = (off + k) as u64 * 3;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_respects_min_len() {
+        // 10 elements, min 16: must run as a single segment.
+        let mut data = vec![0u8; 10];
+        let segments = AtomicU64::new(0);
+        par_chunks_mut(8, 16, &mut data, |_, _| {
+            segments.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(segments.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_scoped_joins_workers() {
+        let done = AtomicUsize::new(0);
+        let r = run_scoped(
+            3,
+            || {
+                done.fetch_add(1, Ordering::Relaxed);
+            },
+            || 42,
+        );
+        assert_eq!(r, 42);
+        assert_eq!(done.load(Ordering::Relaxed), 3);
+    }
+}

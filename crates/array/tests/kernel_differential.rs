@@ -1,0 +1,490 @@
+//! Differential tests: the typed kernels must agree with the retained
+//! scalar reference implementations (`*_ref`).
+//!
+//! * **Int** results are bit-identical, *including* errors: the same
+//!   inputs produce the same `ArithmeticOverflow` / `DivisionByZero`.
+//! * **Real** elementwise results are bit-identical (`f64::to_bits`).
+//! * **Real** Sum/Avg follow the documented pairwise fold order, so
+//!   they are compared against a test-local pairwise reference rather
+//!   than the sequential `aggregate_ref` fold (DESIGN.md, compute
+//!   layer). All other Real aggregates fold sequentially and must
+//!   match `aggregate_ref` exactly.
+//!
+//! Shapes cover empty, one element, around the 4096-element overflow
+//! check block, contiguous and strided and transposed views, and both
+//! scalar broadcast directions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssdm_array::{AggregateOp, ArrayError, BinOp, Num, NumArray};
+
+const SIZES: &[usize] = &[0, 1, 31, 32, 33, 4095, 4096, 4097];
+
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Pow,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Min,
+    BinOp::Max,
+];
+
+const AGGS: &[AggregateOp] = &[
+    AggregateOp::Sum,
+    AggregateOp::Avg,
+    AggregateOp::Min,
+    AggregateOp::Max,
+    AggregateOp::Prod,
+    AggregateOp::Count,
+];
+
+/// Deterministic Int data salted with the edge values that trip the
+/// checked paths (overflow near the extremes, zero divisors).
+fn int_data(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match i % 17 {
+            0 => 0,
+            1 => i64::MAX,
+            2 => i64::MIN,
+            3 => -1,
+            4 => 1,
+            _ => rng.gen_range(-1_000_000..1_000_000),
+        })
+        .collect()
+}
+
+/// Tamer Int data for which elementwise Add/Sub never overflows, so
+/// the success path gets exercised on every op too.
+fn small_int_data(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 11 == 0 {
+                0
+            } else {
+                rng.gen_range(-1000..1000)
+            }
+        })
+        .collect()
+}
+
+fn real_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match i % 13 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::NAN,
+            _ => (rng.gen::<f64>() - 0.5) * 1e6,
+        })
+        .collect()
+}
+
+/// Bit-exact equality for non-NaN reals (distinguishes -0.0 from 0.0
+/// and the infinities); NaNs compare equal to each other regardless of
+/// payload. IEEE 754 leaves NaN sign/payload propagation unspecified
+/// and LLVM exploits `fmul`/`fadd` commutativity, so two NaN-producing
+/// folds with identical source-level order can legitimately yield
+/// different NaN bit patterns.
+fn f64_bits_eq(x: f64, y: f64) -> bool {
+    (x.is_nan() && y.is_nan()) || x.to_bits() == y.to_bits()
+}
+
+fn num_bits_eq(a: &Num, b: &Num) -> bool {
+    match (a, b) {
+        (Num::Int(x), Num::Int(y)) => x == y,
+        (Num::Real(x), Num::Real(y)) => f64_bits_eq(*x, *y),
+        _ => false,
+    }
+}
+
+fn assert_arrays_eq(
+    got: &Result<NumArray, ArrayError>,
+    want: &Result<NumArray, ArrayError>,
+    ctx: &str,
+) {
+    match (got, want) {
+        (Ok(g), Ok(w)) => {
+            assert_eq!(g.shape(), w.shape(), "{ctx}: shape");
+            assert_eq!(
+                g.numeric_type(),
+                w.numeric_type(),
+                "{ctx}: result buffer type"
+            );
+            let (ge, we) = (g.elements(), w.elements());
+            for (i, (x, y)) in ge.iter().zip(&we).enumerate() {
+                assert!(num_bits_eq(x, y), "{ctx}: element {i}: {x:?} vs {y:?}");
+            }
+        }
+        (Err(g), Err(w)) => assert_eq!(g, w, "{ctx}: error"),
+        (g, w) => panic!("{ctx}: kernel {g:?} vs reference {w:?}"),
+    }
+}
+
+fn assert_nums_eq(got: &Result<Num, ArrayError>, want: &Result<Num, ArrayError>, ctx: &str) {
+    match (got, want) {
+        (Ok(g), Ok(w)) => assert!(num_bits_eq(g, w), "{ctx}: {g:?} vs {w:?}"),
+        (Err(g), Err(w)) => assert_eq!(g, w, "{ctx}: error"),
+        (g, w) => panic!("{ctx}: kernel {g:?} vs reference {w:?}"),
+    }
+}
+
+/// The documented system-wide Real Sum order: pairwise split at
+/// `len / 2` with sequential base cases of at most 32 elements,
+/// starting from the first element.
+fn pairwise_ref(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    if xs.len() <= 32 {
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc += x;
+        }
+        return acc;
+    }
+    let (lo, hi) = xs.split_at(xs.len() / 2);
+    pairwise_ref(lo) + pairwise_ref(hi)
+}
+
+/// Every view shape a kernel can see for a given 1-D payload:
+/// contiguous, reversed-ish strided slice, 2-D reshape, and its
+/// transpose (non-contiguous, stride order inverted).
+fn views_of(a: &NumArray) -> Vec<(String, NumArray)> {
+    let n = a.element_count();
+    let mut out = vec![("contiguous".to_string(), a.clone())];
+    if n >= 4 {
+        out.push((
+            "strided".to_string(),
+            a.slice(0, 1, 2, n - 1).expect("strided slice"),
+        ));
+    }
+    if n >= 6 && n.is_multiple_of(2) {
+        if let Ok(two_d) = reshape2(a, 2, n / 2) {
+            out.push(("matrix".to_string(), two_d.clone()));
+            out.push(("transposed".to_string(), two_d.transpose()));
+        }
+    }
+    out
+}
+
+fn reshape2(a: &NumArray, rows: usize, cols: usize) -> Result<NumArray, ArrayError> {
+    let elems = a.elements();
+    let all_int = elems.iter().all(|e| matches!(e, Num::Int(_)));
+    if all_int {
+        NumArray::from_i64_shaped(
+            elems
+                .iter()
+                .map(|e| match e {
+                    Num::Int(v) => *v,
+                    Num::Real(_) => unreachable!(),
+                })
+                .collect(),
+            &[rows, cols],
+        )
+    } else {
+        NumArray::from_f64_shaped(elems.iter().map(|e| e.as_f64()).collect(), &[rows, cols])
+    }
+}
+
+fn int_array(n: usize, seed: u64) -> NumArray {
+    NumArray::from_i64(int_data(n, seed))
+}
+
+fn real_array(n: usize, seed: u64) -> NumArray {
+    NumArray::from_f64(real_data(n, seed))
+}
+
+#[test]
+fn elementwise_int_matches_reference_bit_identically() {
+    for &n in SIZES {
+        let a = int_array(n, 11);
+        let b = int_array(n, 23);
+        for (vn, va) in views_of(&a) {
+            for (wn, vb) in views_of(&b) {
+                if va.shape() != vb.shape() {
+                    continue;
+                }
+                for &op in BINOPS {
+                    let ctx = format!("int {op:?} n={n} {vn}x{wn}");
+                    assert_arrays_eq(&va.zip_with(&vb, op), &va.zip_with_ref(&vb, op), &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn elementwise_int_success_paths_match() {
+    // Tame data: Add/Sub/Mul stay in range, so the non-error results
+    // (not just the errors) are compared for every op.
+    for &n in SIZES {
+        let a = NumArray::from_i64(small_int_data(n, 31));
+        let b = NumArray::from_i64(small_int_data(n, 47));
+        for &op in BINOPS {
+            let ctx = format!("small int {op:?} n={n}");
+            assert_arrays_eq(&a.zip_with(&b, op), &a.zip_with_ref(&b, op), &ctx);
+        }
+    }
+}
+
+#[test]
+fn elementwise_real_matches_reference_bit_identically() {
+    for &n in SIZES {
+        let a = real_array(n, 5);
+        let b = real_array(n, 7);
+        for (vn, va) in views_of(&a) {
+            for (wn, vb) in views_of(&b) {
+                if va.shape() != vb.shape() {
+                    continue;
+                }
+                for &op in BINOPS {
+                    let ctx = format!("real {op:?} n={n} {vn}x{wn}");
+                    assert_arrays_eq(&va.zip_with(&vb, op), &va.zip_with_ref(&vb, op), &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn elementwise_mixed_types_match() {
+    for &n in SIZES {
+        let a = int_array(n, 13);
+        let b = real_array(n, 17);
+        for &op in BINOPS {
+            let ctx = format!("mixed {op:?} n={n}");
+            assert_arrays_eq(&a.zip_with(&b, op), &a.zip_with_ref(&b, op), &ctx);
+            let ctx = format!("mixed-rev {op:?} n={n}");
+            assert_arrays_eq(&b.zip_with(&a, op), &b.zip_with_ref(&a, op), &ctx);
+        }
+    }
+}
+
+#[test]
+fn scalar_broadcast_both_directions_match() {
+    let scalars = [
+        Num::Int(3),
+        Num::Int(0),
+        Num::Int(i64::MAX),
+        Num::Real(2.5),
+        Num::Real(0.0),
+        Num::Real(f64::NAN),
+    ];
+    for &n in SIZES {
+        for base in [int_array(n, 41), real_array(n, 43)] {
+            for (vn, v) in views_of(&base) {
+                for s in scalars {
+                    for &op in BINOPS {
+                        let ctx = format!("scalar {op:?} {s:?} n={n} {vn}");
+                        assert_arrays_eq(&v.scalar_op(s, op), &v.scalar_op_ref(s, op), &ctx);
+                        let ctx = format!("scalar-rev {op:?} {s:?} n={n} {vn}");
+                        assert_arrays_eq(
+                            &v.scalar_op_rev(s, op),
+                            &v.scalar_op_rev_ref(s, op),
+                            &ctx,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn negate_matches_reference() {
+    for &n in SIZES {
+        for base in [int_array(n, 53), real_array(n, 59)] {
+            for (vn, v) in views_of(&base) {
+                let ctx = format!("negate n={n} {vn}");
+                assert_arrays_eq(&v.negate(), &v.negate_ref(), &ctx);
+            }
+        }
+    }
+    // i64::MIN is the one Int value whose negation overflows.
+    let edge = NumArray::from_i64(vec![1, i64::MIN, 2]);
+    assert_arrays_eq(&edge.negate(), &edge.negate_ref(), "negate i64::MIN");
+}
+
+#[test]
+fn aggregate_int_matches_reference_including_errors() {
+    for &n in SIZES {
+        for seed in [61, 67] {
+            let a = int_array(n, seed);
+            for (vn, v) in views_of(&a) {
+                for &op in AGGS {
+                    let ctx = format!("int agg {op:?} n={n} {vn} seed={seed}");
+                    assert_nums_eq(&v.aggregate(op), &v.aggregate_ref(op), &ctx);
+                }
+            }
+        }
+    }
+    // Prefix overflow the block-level bound cannot prove safe: the
+    // wrapping total is fine but the sequential checked fold errors.
+    let tricky = NumArray::from_i64(vec![i64::MAX, 1, -2]);
+    assert_nums_eq(
+        &tricky.aggregate(AggregateOp::Sum),
+        &tricky.aggregate_ref(AggregateOp::Sum),
+        "prefix-overflow sum",
+    );
+}
+
+#[test]
+fn aggregate_real_matches_documented_fold_order() {
+    for &n in SIZES {
+        let a = real_array(n, 71);
+        for (vn, v) in views_of(&a) {
+            // Sum/Avg: pairwise order, compared against the test-local
+            // pairwise reference over the view's elements.
+            let elems: Vec<f64> = v.elements().iter().map(|e| e.as_f64()).collect();
+            if elems.is_empty() {
+                // Empty-array typing/errors delegate to the reference.
+                for op in [AggregateOp::Sum, AggregateOp::Avg] {
+                    let ctx = format!("real empty agg {op:?} {vn}");
+                    assert_nums_eq(&v.aggregate(op), &v.aggregate_ref(op), &ctx);
+                }
+            } else {
+                match v.aggregate(AggregateOp::Sum) {
+                    Ok(Num::Real(got)) => {
+                        let want = pairwise_ref(&elems);
+                        assert!(
+                            f64_bits_eq(got, want),
+                            "real sum n={n} {vn}: {got} vs {want}"
+                        );
+                    }
+                    other => panic!("real sum n={n} {vn}: unexpected {other:?}"),
+                }
+                match v.aggregate(AggregateOp::Avg) {
+                    Ok(Num::Real(got)) => {
+                        let want = pairwise_ref(&elems) / elems.len() as f64;
+                        assert!(
+                            f64_bits_eq(got, want),
+                            "real avg n={n} {vn}: {got} vs {want}"
+                        );
+                    }
+                    other => panic!("real avg n={n} {vn}: unexpected {other:?}"),
+                }
+            }
+            // Everything else folds sequentially like the reference.
+            for op in [
+                AggregateOp::Min,
+                AggregateOp::Max,
+                AggregateOp::Prod,
+                AggregateOp::Count,
+            ] {
+                let ctx = format!("real agg {op:?} n={n} {vn}");
+                assert_nums_eq(&v.aggregate(op), &v.aggregate_ref(op), &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregate_dim_matches_per_lane_aggregate() {
+    // Each output element of aggregate_dim must equal aggregating the
+    // corresponding lane extracted by subscript — same kernel, same
+    // fold order, so bit-identical even for Real Sum/Avg.
+    for (rows, cols) in [(0usize, 3usize), (1, 1), (2, 3), (4, 8), (7, 5), (3, 4096)] {
+        let n = rows * cols;
+        for base in [
+            NumArray::from_i64_shaped(int_data(n, 73), &[rows, cols]).unwrap(),
+            NumArray::from_f64_shaped(real_data(n, 79), &[rows, cols]).unwrap(),
+        ] {
+            for m in [base.clone(), base.transpose()] {
+                let shape = m.shape();
+                for dim in 0..2 {
+                    for &op in AGGS {
+                        let got = m.aggregate_dim(op, dim);
+                        // The kept dimension indexes the lanes.
+                        let kept = shape[1 - dim];
+                        let mut want: Result<Vec<Num>, ArrayError> = Ok(Vec::new());
+                        for i in 0..kept {
+                            let lane = m.subscript(1 - dim, i).expect("lane");
+                            match (&mut want, lane.aggregate(op)) {
+                                (Ok(v), Ok(x)) => v.push(x),
+                                (Ok(_), Err(e)) => want = Err(e),
+                                (Err(_), _) => break,
+                            }
+                        }
+                        let ctx = format!("aggregate_dim {op:?} dim={dim} shape={shape:?}");
+                        match (got, want) {
+                            (Ok(g), Ok(w)) => {
+                                let ge = g.elements();
+                                assert_eq!(ge.len(), w.len(), "{ctx}: length");
+                                for (i, (x, y)) in ge.iter().zip(&w).enumerate() {
+                                    assert!(num_bits_eq(x, y), "{ctx}: lane {i}: {x:?} vs {y:?}");
+                                }
+                            }
+                            (Err(g), Err(w)) => assert_eq!(g, w, "{ctx}: error"),
+                            (g, w) => panic!("{ctx}: {g:?} vs {w:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_min_max_picks_operands_not_promoted_values() {
+    // Min/Max over mixed Int/Real operands picks the *operand* per
+    // element rather than computing a promoted f64, so the kernel must
+    // defer to the reference (per-element result typing feeds the
+    // `from_nums` buffer-type decision) and agree exactly.
+    let a = NumArray::from_i64(vec![1, 5, -3, 7]);
+    let b = NumArray::from_f64(vec![2.0, 4.0, -3.5, 7.0]);
+    for op in [BinOp::Min, BinOp::Max] {
+        let got = a.zip_with(&b, op).unwrap();
+        let want = a.zip_with_ref(&b, op).unwrap();
+        assert_eq!(got.numeric_type(), want.numeric_type(), "{op:?} type");
+        for (i, (x, y)) in got.elements().iter().zip(&want.elements()).enumerate() {
+            assert!(
+                num_bits_eq(x, y),
+                "mixed {op:?} element {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+    // Spot-check the operand-picking semantics: min(Int 5, Real 4.0)
+    // is 4.0, not min(5.0, 4.0) computed then re-typed — visible when
+    // the Int side wins: min(Int 1, Real 2.0) keeps the value 1.
+    let got = a.zip_with(&b, BinOp::Min).unwrap().elements();
+    assert!(
+        num_bits_eq(&got[0], &Num::Real(1.0)),
+        "element 0: {:?}",
+        got[0]
+    );
+    assert!(
+        num_bits_eq(&got[1], &Num::Real(4.0)),
+        "element 1: {:?}",
+        got[1]
+    );
+}
+
+#[test]
+fn division_always_yields_real_and_flags_zero() {
+    let a = NumArray::from_i64(vec![6, 7, 8]);
+    let b = NumArray::from_i64(vec![2, 0, 4]);
+    let got = a.zip_with(&b, BinOp::Div);
+    let want = a.zip_with_ref(&b, BinOp::Div);
+    assert_arrays_eq(&got, &want, "int div by zero");
+    assert_eq!(got.unwrap_err(), ArrayError::DivisionByZero);
+    // Real division by zero does not error (IEEE semantics).
+    let c = NumArray::from_f64(vec![1.0, -1.0, 0.0]);
+    let d = NumArray::from_f64(vec![0.0, 0.0, 0.0]);
+    assert_arrays_eq(
+        &c.zip_with(&d, BinOp::Div),
+        &c.zip_with_ref(&d, BinOp::Div),
+        "real div by zero",
+    );
+}

@@ -12,7 +12,8 @@ use std::fmt;
 use ssdm_array::ArrayError;
 use ssdm_rdf::{Graph, Namespaces, RdfError, Term};
 use ssdm_storage::{
-    ArrayProxy, ArrayStore, ChunkStore, MemoryChunkStore, RetrievalStrategy, StorageError,
+    ArrayProxy, ArrayStore, MemoryChunkStore, ParallelConfig, RetrievalStrategy, SharedChunkStore,
+    StorageError,
 };
 
 use crate::ast::Statement;
@@ -153,8 +154,12 @@ impl QueryResult {
 }
 
 /// A boxed back-end so one dataset type serves all storage choices.
-/// The `ChunkStore` impl for `Box<dyn ChunkStore>` lives in `ssdm-storage`.
-pub type DynChunkStore = Box<dyn ChunkStore>;
+/// [`SharedChunkStore`] combines the mutating `ChunkStore` contract
+/// with the concurrent `SharedChunkRead` one, so the dataset's queries
+/// can take the parallel retrieval/aggregation pipelines; every shipped
+/// back-end (and the cache/resilience wrappers) qualifies. The trait
+/// impls for `Box<dyn SharedChunkStore>` live in `ssdm-storage`.
+pub type DynChunkStore = Box<dyn SharedChunkStore>;
 
 /// Default chunk size for externalized arrays (64 KiB, the sweet spot
 /// found in experiment E3).
@@ -183,6 +188,10 @@ pub struct Dataset {
     /// Chunk size for externalized arrays; 0 selects the auto-tuning
     /// heuristic per array.
     pub chunk_bytes: usize,
+    /// Worker-pool configuration for proxy resolution and streamed
+    /// aggregates. The default (1 worker) is the sequential path;
+    /// results are bit-identical for every worker count.
+    pub parallel: ParallelConfig,
 }
 
 impl Dataset {
@@ -206,6 +215,7 @@ impl Dataset {
             },
             externalize_threshold: usize::MAX,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
+            parallel: ParallelConfig::with_workers(1),
         }
     }
 
@@ -355,7 +365,9 @@ impl Dataset {
     pub fn force_array(&mut self, v: &Value) -> Result<ssdm_array::NumArray, QueryError> {
         match v {
             Value::Term(Term::Array(a)) => Ok(a.clone()),
-            Value::Proxy(p) => Ok(self.arrays.resolve(p, self.strategy)?),
+            Value::Proxy(p) => Ok(self
+                .arrays
+                .resolve_parallel(p, self.strategy, self.parallel)?),
             other => Err(QueryError::Eval(format!("not an array: {other}"))),
         }
     }

@@ -344,7 +344,11 @@ fn array_aggregate(ds: &mut Dataset, args: &[Value], op: AggregateOp) -> EvalRes
         Value::Term(Term::Array(a)) => Ok(a.aggregate(op).ok().map(Value::number)),
         Value::Proxy(p) => {
             let strategy = ds.strategy;
-            match ds.arrays.resolve_aggregate(p, op, strategy) {
+            let parallel = ds.parallel;
+            match ds
+                .arrays
+                .resolve_aggregate_parallel(p, op, strategy, parallel)
+            {
                 Ok(n) => Ok(Some(Value::number(n))),
                 Err(ssdm_storage::StorageError::Backend(_)) => Ok(None),
                 Err(e) => Err(e.into()),

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! ssdm-cli [--backend memory|relational|file:DIR] [--load FILE.ttl]...
-//!          [--threshold N --chunk BYTES] [--cache BYTES]
+//!          [--threshold N --chunk BYTES] [--cache BYTES] [--workers N]
 //!          [--exec 'QUERY'] [--snapshot FILE]
 //! ```
 //!
@@ -20,7 +20,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ssdm-cli [--backend memory|relational|file:DIR]\n\
          \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
-         \x20               [--cache BYTES] [--snapshot FILE] [--exec 'STATEMENT']"
+         \x20               [--cache BYTES] [--workers N] [--snapshot FILE]\n\
+         \x20               [--exec 'STATEMENT']"
     );
     std::process::exit(2)
 }
@@ -31,6 +32,7 @@ fn main() {
     let mut threshold: Option<usize> = None;
     let mut chunk: usize = 64 * 1024;
     let mut cache_bytes: usize = 0;
+    let mut workers: usize = 1;
     let mut exec: Vec<String> = Vec::new();
     let mut snapshot: Option<PathBuf> = None;
 
@@ -68,6 +70,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--exec" => exec.push(args.next().unwrap_or_else(|| usage())),
             "--snapshot" => snapshot = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
@@ -79,6 +87,7 @@ fn main() {
     }
 
     let mut db = Ssdm::open_with_cache(backend, cache_bytes);
+    db.set_parallel_workers(workers);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }

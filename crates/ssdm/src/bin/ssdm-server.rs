@@ -5,7 +5,7 @@
 //! ```text
 //! ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]
 //!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
-//!             [--workers N] [--cache BYTES]
+//!             [--workers N] [--apr-workers N] [--cache BYTES]
 //! ```
 //!
 //! Send the statement `SHUTDOWN` to stop the server, `STATS` for
@@ -20,7 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]\n\
          \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
-         \x20                  [--workers N] [--cache BYTES]"
+         \x20                  [--workers N] [--apr-workers N] [--cache BYTES]"
     );
     std::process::exit(2)
 }
@@ -33,6 +33,7 @@ fn main() {
     let mut chunk: usize = 64 * 1024;
     let mut config = ServerConfig::default();
     let mut cache_bytes: usize = 0;
+    let mut apr_workers: usize = 1;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +41,13 @@ fn main() {
             "--listen" => listen = args.next().unwrap_or_else(|| usage()),
             "--workers" => {
                 config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--apr-workers" => {
+                apr_workers = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
@@ -85,6 +93,7 @@ fn main() {
     }
 
     let mut db = Ssdm::open_with_cache(backend, cache_bytes);
+    db.set_parallel_workers(apr_workers);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }

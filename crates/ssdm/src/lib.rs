@@ -91,12 +91,14 @@ impl Ssdm {
         let cache = backend.cache_stats();
         let res = backend.resilience_stats();
         let apr = self.dataset.arrays.last_stats();
+        let compute = ssdm_array::compute_stats();
         format!(
             "backend: statements={} chunks={} bytes={}\n\
              cache: hits={} misses={} hit_rate={:.1}% evictions={} resident_bytes={} capacity_bytes={}\n\
              resilience: retries={} transient={} permanent={} corruption_detected={} \
              corruption_repaired={} short_reads={} giveups={}\n\
-             last_apr: statements={} chunks={} bytes={} elements={} fallbacks={} retries={} repaired={}\n",
+             last_apr: statements={} chunks={} bytes={} elements={} fallbacks={} retries={} repaired={}\n\
+             compute: kernel_invocations={} elements={} scalar_fallbacks={} parallel_folds={}\n",
             io.statements,
             io.chunks_returned,
             io.bytes_returned,
@@ -120,6 +122,10 @@ impl Ssdm {
             apr.fallbacks,
             apr.retries,
             apr.corruption_repaired,
+            compute.kernel_invocations,
+            compute.elements_processed,
+            compute.scalar_fallbacks,
+            compute.parallel_folds,
         )
     }
 
@@ -149,6 +155,16 @@ impl Ssdm {
     /// Set the retrieval strategy for array-proxy resolution.
     pub fn set_strategy(&mut self, strategy: ssdm_storage::RetrievalStrategy) {
         self.dataset.strategy = strategy;
+    }
+
+    /// Set the worker count for parallel proxy resolution and streamed
+    /// aggregates (1 = sequential; results are bit-identical either
+    /// way). Also sizes the pool the compute kernels use for large
+    /// resident arrays.
+    pub fn set_parallel_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        self.dataset.parallel = ssdm_storage::ParallelConfig::with_workers(workers);
+        ssdm_array::pool::set_compute_workers(workers);
     }
 }
 

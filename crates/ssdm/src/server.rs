@@ -149,47 +149,47 @@ impl Server {
         // Rendezvous-ish queue: a small bound keeps accepted-but-unserved
         // sockets from piling up beyond what the pool can absorb.
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
-        let rx = Arc::new(Mutex::new(rx));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let rx = Arc::clone(&rx);
-                let engine = Arc::clone(&engine);
-                let shutdown = Arc::clone(&shutdown);
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only while waiting for a
-                    // stream, not while serving it.
-                    let next = rx.lock().expect("connection queue").recv();
-                    let Ok(stream) = next else { break };
-                    match handle_connection(stream, &engine, &config) {
-                        Ok(true) => {
-                            shutdown.store(true, Ordering::SeqCst);
-                            // The acceptor may be blocked in accept():
-                            // poke it with a throwaway connection so it
-                            // notices the flag.
-                            let _ = TcpStream::connect(wake_addr);
-                        }
-                        Ok(false) => {}
-                        Err(_) => {} // peer broke mid-frame
+        let rx = Mutex::new(rx);
+        // The shared scoped worker-pool helper runs the acceptor on the
+        // calling thread and joins the workers when it returns.
+        ssdm_array::pool::run_scoped(
+            workers,
+            || loop {
+                // Hold the receiver lock only while waiting for a
+                // stream, not while serving it.
+                let next = rx.lock().expect("connection queue").recv();
+                let Ok(stream) = next else { break };
+                match handle_connection(stream, &engine, &config) {
+                    Ok(true) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // The acceptor may be blocked in accept():
+                        // poke it with a throwaway connection so it
+                        // notices the flag.
+                        let _ = TcpStream::connect(wake_addr);
                     }
-                });
-            }
-            let result = loop {
-                let stream = match listener.accept() {
-                    Ok((stream, _peer)) => stream,
-                    Err(e) => break Err(e),
+                    Ok(false) => {}
+                    Err(_) => {} // peer broke mid-frame
+                }
+            },
+            || {
+                let result = loop {
+                    let stream = match listener.accept() {
+                        Ok((stream, _peer)) => stream,
+                        Err(e) => break Err(e),
+                    };
+                    if shutdown.load(Ordering::SeqCst) {
+                        break Ok(());
+                    }
+                    if tx.send(stream).is_err() {
+                        break Ok(()); // all workers gone
+                    }
                 };
-                if shutdown.load(Ordering::SeqCst) {
-                    break Ok(());
-                }
-                if tx.send(stream).is_err() {
-                    break Ok(()); // all workers gone
-                }
-            };
-            // Closing the channel lets idle workers exit; busy ones
-            // finish their connection first (scope joins them).
-            drop(tx);
-            result
-        })
+                // Closing the channel lets idle workers exit; busy ones
+                // finish their connection first (the pool joins them).
+                drop(tx);
+                result
+            },
+        )
     }
 }
 

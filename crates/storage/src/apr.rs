@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use ssdm_array::{AggregateOp, ArrayData, LinearRuns, Num, NumArray, NumericType};
+use ssdm_array::{kernel, AggregateOp, ArrayData, LinearRuns, Num, NumArray, NumericType};
 
 use crate::chunks::Chunking;
 use crate::meta::{ArrayMeta, ArrayProxy};
@@ -259,6 +259,15 @@ impl<S: ChunkStore> ArrayStore<S> {
     /// Streamed aggregate over a proxy (the AAPR operator): chunks are
     /// fetched batch-wise and folded immediately, so peak memory is one
     /// batch regardless of the view size.
+    ///
+    /// Each chunk's needed elements are decoded densely and folded into
+    /// a *per-chunk partial* by the typed kernels
+    /// (`ssdm_array::kernel`), and partials are combined in plan order —
+    /// the exact same fold structure
+    /// [`resolve_aggregate_parallel`](Self::resolve_aggregate_parallel)
+    /// uses, so sequential and parallel AAPR are bit-identical by
+    /// construction for every strategy (`f64` sums follow the
+    /// documented pairwise order; see DESIGN.md).
     pub fn resolve_aggregate(
         &mut self,
         proxy: &ArrayProxy,
@@ -305,19 +314,120 @@ impl<S: ChunkStore> ArrayStore<S> {
                     continue; // overfetched by a covering range
                 };
                 let (chunk_start, _) = chunking.chunk_span(cid);
-                for &a in addrs {
-                    let v = decode_element(&payload, a - chunk_start, meta.numeric_type).ok_or(
-                        StorageError::MissingChunk {
-                            array_id: meta.array_id,
-                            chunk_id: cid,
-                        },
-                    )?;
-                    n += 1;
-                    acc = Some(match acc {
-                        None => v,
-                        Some(prev) => fold(op, prev, v)?,
-                    });
+                let (part, c) = chunk_partial(
+                    &payload,
+                    addrs,
+                    chunk_start,
+                    meta.numeric_type,
+                    op,
+                    meta.array_id,
+                    cid,
+                )?;
+                n += c;
+                acc = Some(match acc {
+                    None => part,
+                    Some(prev) => fold(op, prev, part)?,
+                });
+            }
+        }
+        self.finish_stats(before, before_res, fallbacks, n as usize);
+        let total = acc.ok_or(StorageError::Backend("no elements resolved".into()))?;
+        Ok(match op {
+            AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
+            _ => total,
+        })
+    }
+
+    /// Parallel AAPR: the fetch plan is partitioned across a scoped
+    /// worker pool and each worker decodes and folds its chunks into
+    /// per-chunk partial aggregates *in place* (via
+    /// [`crate::parallel::run_plan`]), dropping the payloads without
+    /// central assembly — fetch and compute overlap. Partials are then
+    /// combined in deterministic plan order, so the result is
+    /// bit-identical to [`resolve_aggregate`](Self::resolve_aggregate)
+    /// for every worker count and strategy. Degrades to the sequential
+    /// path when `config` requests at most one worker or the back-end
+    /// lacks [`supports_parallel`].
+    ///
+    /// [`supports_parallel`]: crate::Capabilities::supports_parallel
+    pub fn resolve_aggregate_parallel(
+        &mut self,
+        proxy: &ArrayProxy,
+        op: AggregateOp,
+        strategy: RetrievalStrategy,
+        config: crate::ParallelConfig,
+    ) -> Result<Num>
+    where
+        S: crate::SharedChunkRead,
+    {
+        if config.workers <= 1 || !self.backend.capabilities().supports_parallel {
+            return self.resolve_aggregate(proxy, op, strategy);
+        }
+        let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
+        let meta = proxy.meta();
+        let chunking = meta.chunking;
+        let mut by_chunk: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut count = 0u64;
+        proxy.view().for_each_address(|a| {
+            by_chunk.entry(chunking.chunk_of(a)).or_default().push(a);
+            count += 1;
+        });
+        if count == 0 {
+            self.finish_stats(before, before_res, 0, 0);
+            return match op {
+                AggregateOp::Count => Ok(Num::Int(0)),
+                AggregateOp::Sum => Ok(Num::Int(0)),
+                AggregateOp::Prod => Ok(Num::Int(1)),
+                _ => Err(StorageError::Backend(
+                    "aggregate over empty array view".into(),
+                )),
+            };
+        }
+        if op == AggregateOp::Count {
+            self.finish_stats(before, before_res, 0, 0);
+            return Ok(Num::Int(count as i64));
+        }
+        let needed: Vec<u64> = by_chunk.keys().copied().collect();
+        let plan = make_plan(&needed, &chunking, strategy);
+        let (ty, array_id) = (meta.numeric_type, meta.array_id);
+        let by_chunk = &by_chunk;
+        let (per_op, fallbacks) = crate::parallel::run_plan(
+            &self.backend,
+            array_id,
+            &plan,
+            &needed,
+            config.workers,
+            |_, rows| {
+                let mut parts = Vec::with_capacity(rows.len());
+                for (cid, payload) in rows {
+                    let Some(addrs) = by_chunk.get(&cid) else {
+                        continue; // overfetched by a covering range
+                    };
+                    let (chunk_start, _) = chunking.chunk_span(cid);
+                    parts.push(chunk_partial(
+                        &payload,
+                        addrs,
+                        chunk_start,
+                        ty,
+                        op,
+                        array_id,
+                        cid,
+                    )?);
                 }
+                kernel::note_parallel_folds(parts.len() as u64);
+                Ok(parts)
+            },
+        )?;
+        let mut acc: Option<Num> = None;
+        let mut n = 0u64;
+        for parts in per_op {
+            for (part, c) in parts {
+                n += c;
+                acc = Some(match acc {
+                    None => part,
+                    Some(prev) => fold(op, prev, part)?,
+                });
             }
         }
         self.finish_stats(before, before_res, fallbacks, n as usize);
@@ -448,6 +558,44 @@ fn make_plan(needed: &[u64], chunking: &Chunking, strategy: RetrievalStrategy) -
             }
         }
     }
+}
+
+/// Decode one fetched chunk's needed addresses into a dense scratch
+/// vector and fold them into a partial aggregate with the typed
+/// kernels (`ssdm_array::kernel`). Returns the partial and the number
+/// of elements it covers; `Avg` partials are raw sums — the caller
+/// divides once by the total count.
+fn chunk_partial(
+    payload: &[u8],
+    addrs: &[usize],
+    chunk_start: usize,
+    ty: NumericType,
+    op: AggregateOp,
+    array_id: u64,
+    chunk_id: u64,
+) -> Result<(Num, u64)> {
+    let missing = || StorageError::MissingChunk { array_id, chunk_id };
+    let part = match ty {
+        NumericType::Int => {
+            let mut vals = Vec::with_capacity(addrs.len());
+            for &a in addrs {
+                let off = (a - chunk_start) * 8;
+                let bytes = payload.get(off..off + 8).ok_or_else(missing)?;
+                vals.push(i64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+            }
+            kernel::fold_i64(&vals, op).map_err(StorageError::Array)?
+        }
+        NumericType::Real => {
+            let mut vals = Vec::with_capacity(addrs.len());
+            for &a in addrs {
+                let off = (a - chunk_start) * 8;
+                let bytes = payload.get(off..off + 8).ok_or_else(missing)?;
+                vals.push(f64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+            }
+            kernel::fold_f64(&vals, op).map_err(StorageError::Array)?
+        }
+    };
+    Ok((part, addrs.len() as u64))
 }
 
 /// Decode element `off` (in elements) of a chunk payload.

@@ -193,7 +193,10 @@ mod tests {
         // up to a power of two, and is always usable with `Chunking`.
         for e in [0usize, 1, 2, 7, 10, 100, 127, 128, 129, 5000] {
             let c = auto_chunk_bytes(e);
-            assert!(c >= 8 && c.is_multiple_of(8), "chunk {c} not element-aligned");
+            assert!(
+                c >= 8 && c.is_multiple_of(8),
+                "chunk {c} not element-aligned"
+            );
             assert!(
                 c <= (e * 8).max(8).next_power_of_two(),
                 "chunk {c} larger than {e}-element array"

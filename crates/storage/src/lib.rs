@@ -42,7 +42,7 @@ pub use parallel::ParallelConfig;
 pub use resilient::{ResilienceStats, ResilientChunkStore, RetryPolicy};
 pub use store::{
     Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RawChunkAccess,
-    RelChunkStore, SharedChunkRead, StorageError,
+    RelChunkStore, SharedChunkRead, SharedChunkStore, StorageError,
 };
 
 /// Result alias for storage operations.

@@ -25,8 +25,10 @@
 //!
 //! [`Capabilities::supports_parallel`]: crate::Capabilities::supports_parallel
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use ssdm_array::pool;
 
 use crate::spd::FetchOp;
 use crate::store::{ChunkRows, SharedChunkRead};
@@ -69,23 +71,40 @@ pub fn fetch_plan<S: SharedChunkRead + ?Sized>(
     needed: &[u64],
     workers: usize,
 ) -> Result<(Vec<ChunkRows>, u64)> {
-    let fallbacks = AtomicU64::new(0);
+    run_plan(backend, array_id, plan, needed, workers, |_, rows| Ok(rows))
+}
+
+/// The generalized pipeline under [`fetch_plan`]: each claimed op's
+/// rows are handed to `process` *inside the worker that fetched them*,
+/// so per-chunk work (CRC verification, decoding, partial aggregate
+/// folds — see `ArrayStore::resolve_aggregate_parallel`) overlaps the
+/// round trips of the other ops and the payloads can be dropped without
+/// ever being assembled centrally. `process` receives the op's plan
+/// index; results return per op in plan order, and the earliest op's
+/// error (fetch or process) wins deterministically.
+pub fn run_plan<S, T, F>(
+    backend: &S,
+    array_id: u64,
+    plan: &[FetchOp],
+    needed: &[u64],
+    workers: usize,
+    process: F,
+) -> Result<(Vec<T>, u64)>
+where
+    S: SharedChunkRead + ?Sized,
+    T: Send,
+    F: Fn(usize, ChunkRows) -> Result<T> + Sync,
+{
     if plan.is_empty() {
         return Ok((Vec::new(), 0));
     }
+    let fallbacks = AtomicU64::new(0);
     let workers = workers.clamp(1, plan.len());
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<ChunkRows>>>> =
-        plan.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(op) = plan.get(i) else { break };
-                let r = execute_one(backend, array_id, op, needed, &fallbacks);
-                *slots[i].lock().expect("result slot") = Some(r);
-            });
-        }
+    let slots: Vec<Mutex<Option<Result<T>>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    pool::dispatch(workers, plan.len(), |i| {
+        let r = execute_one(backend, array_id, &plan[i], needed, &fallbacks)
+            .and_then(|rows| process(i, rows));
+        *slots[i].lock().expect("result slot") = Some(r);
     });
     let mut out = Vec::with_capacity(plan.len());
     for slot in slots {
