@@ -65,11 +65,9 @@ fn main() {
                     latency: relstore::LatencyModel::local_dbms(),
                 })
                 .expect("db");
-                let mut db = Ssdm {
-                    dataset: scisparql::Dataset::with_backend(Box::new(
-                        ssdm_storage::RelChunkStore::new(db_inner),
-                    )),
-                };
+                let mut db = Ssdm::from_dataset(scisparql::Dataset::with_backend(Box::new(
+                    ssdm_storage::RelChunkStore::new(db_inner),
+                )));
                 db.set_externalize_threshold(256, 4096);
                 db
             }),

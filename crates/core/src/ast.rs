@@ -30,6 +30,21 @@ pub enum Statement {
     },
 }
 
+impl Statement {
+    /// Whether executing this statement mutates the dataset's graphs or
+    /// array store — i.e. whether it must reach the update journal
+    /// before being acknowledged. `DEFINE FUNCTION` is deliberately not
+    /// a mutation here: function definitions are session state, not
+    /// persisted by snapshots, so logging them would make replayed and
+    /// snapshotted states diverge.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Statement::InsertData(_) | Statement::DeleteData(_) | Statement::Modify { .. }
+        )
+    }
+}
+
 /// A SELECT query.
 #[derive(Debug, Clone)]
 pub struct SelectQuery {

@@ -192,6 +192,9 @@ pub struct Dataset {
     /// aggregates. The default (1 worker) is the sequential path;
     /// results are bit-identical for every worker count.
     pub parallel: ParallelConfig,
+    /// Durability hook: when set, every committed update is offered to
+    /// the journal before it is acknowledged (see [`crate::journal`]).
+    pub journal: Option<Box<dyn crate::journal::UpdateJournal>>,
 }
 
 impl Dataset {
@@ -216,7 +219,20 @@ impl Dataset {
             externalize_threshold: usize::MAX,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             parallel: ParallelConfig::with_workers(1),
+            journal: None,
         }
+    }
+
+    /// Offer a committed mutation to the attached journal, mapping a
+    /// journal failure to a query error so the update is not
+    /// acknowledged.
+    fn journal_entry(&mut self, entry: crate::journal::JournalEntry<'_>) -> Result<(), QueryError> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .record(entry)
+                .map_err(|e| QueryError::Eval(format!("update journal: {e}")))?;
+        }
+        Ok(())
     }
 
     /// The graph scans currently target: a named graph while a GRAPH
@@ -235,7 +251,9 @@ impl Dataset {
     /// Load Turtle into a named graph (creating it if needed).
     pub fn load_turtle_named(&mut self, name: &str, text: &str) -> Result<usize, QueryError> {
         let graph = self.named_graphs.entry(name.to_string()).or_default();
-        Ok(ssdm_rdf::turtle::parse_into(graph, text)?)
+        let n = ssdm_rdf::turtle::parse_into(graph, text)?;
+        self.journal_entry(crate::journal::JournalEntry::TurtleNamed { graph: name, text })?;
+        Ok(n)
     }
 
     /// Names of the graphs a `GRAPH ?g` pattern ranges over, sorted for
@@ -253,10 +271,18 @@ impl Dataset {
         names
     }
 
-    /// Parse and execute one SciSPARQL statement.
+    /// Parse and execute one SciSPARQL statement. Mutations are
+    /// journaled (when a journal is attached) after they succeed and
+    /// before they are acknowledged; replay paths use
+    /// [`Dataset::execute`] directly, which does not journal.
     pub fn query(&mut self, text: &str) -> Result<QueryResult, QueryError> {
         let stmt = crate::parser::parse(text)?;
-        self.execute(stmt)
+        let is_mutation = stmt.is_mutation();
+        let result = self.execute(stmt)?;
+        if is_mutation {
+            self.journal_entry(crate::journal::JournalEntry::Statement(text))?;
+        }
+        Ok(result)
     }
 
     /// Execute a pre-parsed statement.
@@ -310,6 +336,7 @@ impl Dataset {
     pub fn load_turtle(&mut self, text: &str) -> Result<usize, QueryError> {
         let n = ssdm_rdf::turtle::parse_into(&mut self.graph, text)?;
         self.externalize_large_arrays()?;
+        self.journal_entry(crate::journal::JournalEntry::TurtleDefault(text))?;
         Ok(n)
     }
 

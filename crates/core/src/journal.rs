@@ -1,0 +1,32 @@
+//! The update-journaling hook: how a durability layer observes every
+//! committed mutation without the core depending on any storage
+//! subsystem.
+//!
+//! SSDM logs updates *logically* — the raw SciSPARQL update text or
+//! Turtle document, not the resulting tuples — so replay is simply
+//! re-execution against the recovered snapshot. The hook fires **after**
+//! the mutation succeeds and **before** the caller sees `Ok`: a journal
+//! failure turns into a query error, so an update is never acknowledged
+//! unless its record is as durable as the journal's fsync policy
+//! promises.
+
+/// One loggable mutation, borrowed from the caller's input text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEntry<'a> {
+    /// A SciSPARQL update statement (`INSERT DATA` / `DELETE DATA` /
+    /// `DELETE ... INSERT ... WHERE`), verbatim.
+    Statement(&'a str),
+    /// A Turtle document loaded into the default graph.
+    TurtleDefault(&'a str),
+    /// A Turtle document loaded into a named graph.
+    TurtleNamed { graph: &'a str, text: &'a str },
+}
+
+/// Receiver for committed updates. Implemented by the durability
+/// layer's WAL appender; attached via `Dataset::journal`.
+pub trait UpdateJournal: Send {
+    /// Persist one entry. Returning `Err` vetoes the acknowledgement:
+    /// the in-memory mutation has already happened, but the caller gets
+    /// a query error and recovery will not replay the update.
+    fn record(&mut self, entry: JournalEntry<'_>) -> Result<(), String>;
+}

@@ -42,12 +42,14 @@ pub mod ast;
 pub mod dataset;
 pub mod eval;
 pub mod functions;
+pub mod journal;
 pub mod parser;
 pub mod update;
 pub mod value;
 
 pub use dataset::{Dataset, QueryError, QueryResult};
 pub use functions::{Closure, ForeignFunction, FunctionCost, FunctionRegistry};
+pub use journal::{JournalEntry, UpdateJournal};
 pub use value::Value;
 
 /// Result alias for query processing.

@@ -230,7 +230,17 @@ impl<'a> Lexer<'a> {
                     }
                     None => return Err(self.err("unterminated IRI")),
                 },
-                Some(c) => out.push(c as char),
+                // Re-assemble UTF-8 multibyte sequences (as lex_string).
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    let mut buf = vec![c];
+                    while self.peek().map(|b| b & 0xC0 == 0x80).unwrap_or(false) {
+                        buf.push(self.bump().unwrap());
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&buf).map_err(|_| self.err("invalid UTF-8 in IRI"))?,
+                    );
+                }
                 None => return Err(self.err("unterminated IRI")),
             }
         }
@@ -1094,5 +1104,15 @@ mod tests {
         let arr = g.term(t.o).as_array().unwrap();
         assert_eq!(arr.get(&[1]).unwrap(), Num::Real(2.5));
         assert_eq!(arr.get(&[0]).unwrap(), Num::Real(1.0));
+    }
+
+    #[test]
+    fn iri_with_multibyte_utf8_round_trips() {
+        // Multi-byte sequences inside an IRIREF must be reassembled,
+        // not widened byte-by-byte into mojibake.
+        let iri = "http://ex.org/éλ日ф%20";
+        let g = parse(&format!("<{iri}> <http://p> 1 ."));
+        let t = g.iter().next().unwrap();
+        assert_eq!(g.term(t.s), &Term::uri(iri));
     }
 }

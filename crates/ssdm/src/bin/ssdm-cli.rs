@@ -5,22 +5,31 @@
 //! ssdm-cli [--backend memory|relational|file:DIR] [--load FILE.ttl]...
 //!          [--threshold N --chunk BYTES] [--cache BYTES] [--workers N]
 //!          [--exec 'QUERY'] [--snapshot FILE]
+//!          [--durable DIR] [--fsync always|interval[:MS]|off]
 //! ```
+//!
+//! `--durable DIR` opens a crash-safe instance: updates are write-ahead
+//! logged under `DIR` and recovered (snapshot + WAL replay) on the next
+//! start; `--fsync` picks the durability/latency trade-off. `--durable`
+//! replaces `--backend`/`--cache`/`--snapshot` (the instance manages
+//! its own chunk store and checkpoints — use `.checkpoint`).
 //!
 //! Without `--exec`, reads statements from stdin; a statement ends at a
 //! line containing only `;;` (queries may span lines). Meta-commands:
-//! `.load FILE`, `.save FILE`, `.stats`, `.help`, `.quit`.
+//! `.load FILE`, `.save FILE`, `.checkpoint`, `.stats`, `.help`,
+//! `.quit`.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
-use ssdm::{Backend, Ssdm};
+use ssdm::{Backend, DurableOptions, FsyncPolicy, Ssdm};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ssdm-cli [--backend memory|relational|file:DIR]\n\
          \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20               [--cache BYTES] [--workers N] [--snapshot FILE]\n\
+         \x20               [--durable DIR] [--fsync always|interval[:MS]|off]\n\
          \x20               [--exec 'STATEMENT']"
     );
     std::process::exit(2)
@@ -35,6 +44,8 @@ fn main() {
     let mut workers: usize = 1;
     let mut exec: Vec<String> = Vec::new();
     let mut snapshot: Option<PathBuf> = None;
+    let mut durable: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,6 +89,14 @@ fn main() {
             }
             "--exec" => exec.push(args.next().unwrap_or_else(|| usage())),
             "--snapshot" => snapshot = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--durable" => durable = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--fsync" => {
+                fsync = args
+                    .next()
+                    .as_deref()
+                    .and_then(FsyncPolicy::parse)
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -86,7 +105,37 @@ fn main() {
         }
     }
 
-    let mut db = Ssdm::open_with_cache(backend, cache_bytes);
+    let mut db = match &durable {
+        Some(dir) => {
+            let options = DurableOptions {
+                fsync,
+                cache_bytes,
+                ..DurableOptions::default()
+            };
+            match Ssdm::open_durable_with(dir, options) {
+                Ok(db) => {
+                    let stats = db.durability_stats().expect("durable instance");
+                    eprintln!(
+                        "durable dir {} recovered: {} wal records replayed in {:.1} ms{}",
+                        dir.display(),
+                        stats.replayed_records,
+                        stats.replay_ms,
+                        if stats.torn_tail_truncations > 0 {
+                            " (torn tail truncated)"
+                        } else {
+                            ""
+                        },
+                    );
+                    db
+                }
+                Err(e) => {
+                    eprintln!("cannot open durable dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Ssdm::open_with_cache(backend, cache_bytes),
+    };
     db.set_parallel_workers(workers);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
@@ -134,6 +183,7 @@ fn main() {
                 (".help", _) => eprintln!(
                     ".load FILE   load a Turtle file\n\
                      .save FILE   write a snapshot\n\
+                     .checkpoint  durability checkpoint (snapshot + WAL truncate)\n\
                      .stats       graph and back-end statistics\n\
                      .quit        exit"
                 ),
@@ -143,6 +193,10 @@ fn main() {
                 },
                 (".save", Some(f)) => match db.save_snapshot(std::path::Path::new(f)) {
                     Ok(()) => eprintln!("snapshot written to {f}"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                (".checkpoint", _) => match db.checkpoint() {
+                    Ok(()) => eprintln!("checkpoint complete"),
                     Err(e) => eprintln!("error: {e}"),
                 },
                 (".stats", _) => {

@@ -6,21 +6,29 @@
 //! ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]
 //!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
 //!             [--workers N] [--apr-workers N] [--cache BYTES]
+//!             [--durable DIR] [--fsync always|interval[:MS]|off]
 //! ```
 //!
+//! `--durable DIR` serves a crash-safe instance: committed updates are
+//! write-ahead logged under `DIR` and recovered on the next start;
+//! clients trigger checkpoints with the `CHECKPOINT` wire statement.
+//! `--durable` replaces `--backend`/`--cache` (the durable instance
+//! manages its own chunk store).
+//!
 //! Send the statement `SHUTDOWN` to stop the server, `STATS` for
-//! back-end/cache/resilience statistics.
+//! back-end/cache/resilience/durability statistics.
 
 use std::path::PathBuf;
 
 use ssdm::server::{Server, ServerConfig};
-use ssdm::{Backend, Ssdm};
+use ssdm::{Backend, DurableOptions, FsyncPolicy, Ssdm};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]\n\
          \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
-         \x20                  [--workers N] [--apr-workers N] [--cache BYTES]"
+         \x20                  [--workers N] [--apr-workers N] [--cache BYTES]\n\
+         \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]"
     );
     std::process::exit(2)
 }
@@ -34,6 +42,8 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut cache_bytes: usize = 0;
     let mut apr_workers: usize = 1;
+    let mut durable: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,6 +94,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--durable" => durable = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--fsync" => {
+                fsync = args
+                    .next()
+                    .as_deref()
+                    .and_then(FsyncPolicy::parse)
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -92,7 +110,32 @@ fn main() {
         }
     }
 
-    let mut db = Ssdm::open_with_cache(backend, cache_bytes);
+    let mut db = match &durable {
+        Some(dir) => {
+            let options = DurableOptions {
+                fsync,
+                cache_bytes,
+                ..DurableOptions::default()
+            };
+            match Ssdm::open_durable_with(dir, options) {
+                Ok(db) => {
+                    let stats = db.durability_stats().expect("durable instance");
+                    eprintln!(
+                        "durable dir {} recovered: {} wal records replayed in {:.1} ms",
+                        dir.display(),
+                        stats.replayed_records,
+                        stats.replay_ms,
+                    );
+                    db
+                }
+                Err(e) => {
+                    eprintln!("cannot open durable dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Ssdm::open_with_cache(backend, cache_bytes),
+    };
     db.set_parallel_workers(apr_workers);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);

@@ -29,6 +29,7 @@
 
 pub mod bistab;
 pub mod datacube;
+pub mod durability;
 pub mod loaders;
 pub mod server;
 pub mod snapshot;
@@ -39,6 +40,9 @@ use std::path::PathBuf;
 
 use scisparql::{Dataset, QueryError, QueryResult};
 use ssdm_storage::{CachedChunkStore, ChunkStore, FileChunkStore, MemoryChunkStore, RelChunkStore};
+
+pub use durability::{DurabilityStats, DurableOptions};
+pub use ssdm_storage::{CrashPlan, FsyncPolicy};
 
 /// Storage back-end selection for externalized arrays.
 pub enum Backend {
@@ -57,14 +61,23 @@ pub struct Ssdm {
     /// The underlying dataset; public for advanced use (registry,
     /// strategy, thresholds).
     pub dataset: Dataset,
+    /// Durability state when opened via [`Ssdm::open_durable`]
+    /// (WAL writer, recovery counters); `None` for volatile instances.
+    pub(crate) durable: Option<durability::DurableState>,
 }
 
 impl Ssdm {
+    /// Wrap an already-configured dataset (no durability).
+    pub fn from_dataset(dataset: Dataset) -> Self {
+        Ssdm {
+            dataset,
+            durable: None,
+        }
+    }
+
     /// Open an instance over the chosen back-end.
     pub fn open(backend: Backend) -> Self {
-        Ssdm {
-            dataset: Dataset::with_backend(raw_store(backend)),
-        }
+        Ssdm::from_dataset(Dataset::with_backend(raw_store(backend)))
     }
 
     /// Open an instance whose back-end is wrapped in a shared LRU chunk
@@ -77,9 +90,7 @@ impl Ssdm {
         }
         let cached: scisparql::dataset::DynChunkStore =
             Box::new(CachedChunkStore::new(raw_store(backend), cache_bytes));
-        Ssdm {
-            dataset: Dataset::with_backend(cached),
-        }
+        Ssdm::from_dataset(Dataset::with_backend(cached))
     }
 
     /// Human-readable back-end/cache/resilience/APR statistics — what
@@ -92,13 +103,34 @@ impl Ssdm {
         let res = backend.resilience_stats();
         let apr = self.dataset.arrays.last_stats();
         let compute = ssdm_array::compute_stats();
+        let durability = match self.durability_stats() {
+            None => "durability: off\n".to_string(),
+            Some(d) => format!(
+                "durability: records={} bytes_appended={} fsyncs={} bytes_fsynced={} \
+                 segments={} rotations={} checkpoints={} replays={} replayed_records={} \
+                 replay_ms={:.1} torn_tails={} last_checkpoint_ms={:.1}\n",
+                d.wal.records_appended,
+                d.wal.bytes_appended,
+                d.wal.fsyncs,
+                d.wal.bytes_fsynced,
+                d.segments,
+                d.wal.segments_rotated,
+                d.wal.checkpoints,
+                d.replays,
+                d.replayed_records,
+                d.replay_ms,
+                d.torn_tail_truncations,
+                d.last_checkpoint_ms,
+            ),
+        };
         format!(
             "backend: statements={} chunks={} bytes={}\n\
              cache: hits={} misses={} hit_rate={:.1}% evictions={} resident_bytes={} capacity_bytes={}\n\
              resilience: retries={} transient={} permanent={} corruption_detected={} \
              corruption_repaired={} short_reads={} giveups={}\n\
              last_apr: statements={} chunks={} bytes={} elements={} fallbacks={} retries={} repaired={}\n\
-             compute: kernel_invocations={} elements={} scalar_fallbacks={} parallel_folds={}\n",
+             compute: kernel_invocations={} elements={} scalar_fallbacks={} parallel_folds={}\n\
+             {}",
             io.statements,
             io.chunks_returned,
             io.bytes_returned,
@@ -126,6 +158,7 @@ impl Ssdm {
             compute.elements_processed,
             compute.scalar_fallbacks,
             compute.parallel_folds,
+            durability,
         )
     }
 

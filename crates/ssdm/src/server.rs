@@ -11,9 +11,11 @@
 //!   names, then one row per solution, arrays in collection notation);
 //!   ASK returns `true`/`false`; updates return `inserted N deleted M`.
 //!
-//! Two statements are handled by the wire layer itself: `SHUTDOWN`
+//! Three statements are handled by the wire layer itself: `SHUTDOWN`
 //! stops the server, `STATS` returns the engine's back-end / cache /
-//! resilience / APR statistics ([`Ssdm::stats_report`]).
+//! resilience / APR / durability statistics ([`Ssdm::stats_report`]),
+//! and `CHECKPOINT` runs a durability checkpoint
+//! ([`Ssdm::checkpoint`]; an error on non-durable engines).
 //!
 //! # Concurrency
 //!
@@ -243,6 +245,17 @@ fn handle_connection(
                 .unwrap_or_else(PoisonError::into_inner)
                 .stats_report();
             write_response(&mut stream, 0, &report, max)?;
+            continue;
+        }
+        if text.trim().eq_ignore_ascii_case("CHECKPOINT") {
+            let outcome = engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .checkpoint();
+            match outcome {
+                Ok(()) => write_response(&mut stream, 0, "checkpoint complete", max)?,
+                Err(e) => write_response(&mut stream, 1, &e.to_string(), max)?,
+            }
             continue;
         }
         // Panic isolation: a query-engine panic poisons only this
@@ -646,11 +659,55 @@ mod tests {
             )
             .unwrap();
         let report = client.query("STATS").unwrap();
-        for section in ["backend:", "cache:", "resilience:", "last_apr:"] {
+        for section in [
+            "backend:",
+            "cache:",
+            "resilience:",
+            "last_apr:",
+            "durability:",
+        ] {
             assert!(report.contains(section), "missing {section} in {report}");
         }
         client.shutdown().unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_statement_over_the_wire() {
+        // Non-durable engine: CHECKPOINT is a clean error.
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect(addr).unwrap();
+        let err = client.query("CHECKPOINT").unwrap_err();
+        assert!(err.to_string().contains("durable"), "got: {err}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        // Durable engine: CHECKPOINT truncates the WAL and the state
+        // survives a server restart over the same directory.
+        let dir = std::env::temp_dir().join(format!("ssdm-srv-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Ssdm::open_durable(&dir).unwrap();
+        let server = Server::bind("127.0.0.1:0", db).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .query("INSERT DATA { <http://s> <http://p> 1 . }")
+            .unwrap();
+        assert_eq!(client.query("CHECKPOINT").unwrap(), "checkpoint complete");
+        let report = client.query("STATS").unwrap();
+        assert!(report.contains("checkpoints=1"), "report: {report}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        let mut db = Ssdm::open_durable(&dir).unwrap();
+        let rows = db
+            .query("SELECT ?o WHERE { <http://s> <http://p> ?o }")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

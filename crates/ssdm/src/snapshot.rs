@@ -8,8 +8,23 @@
 //! Chunk payloads are *not* in the snapshot — they live in the
 //! back-end, which is durable on its own for the file and
 //! relational-file configurations.
+//!
+//! Durability integration (see [`crate::durability`]):
+//!
+//! * Snapshots are published **atomically**: temp file in the same
+//!   directory, `fsync`, rename over the target, directory `fsync`. A
+//!   crash mid-save leaves either the old snapshot or the new one,
+//!   never a torn mix.
+//! * Loads **parse first, commit second**: the file is decoded into
+//!   fresh graphs before anything in the engine changes, so a corrupt
+//!   or truncated snapshot leaves the instance exactly as it was.
+//! * A checkpoint snapshot carries a `[wal N]` line — the WAL LSN up to
+//!   which its state is already included; recovery replays only records
+//!   at or above it.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
 
 use scisparql::QueryError;
@@ -21,12 +36,60 @@ use crate::Ssdm;
 
 const MAGIC: &str = "SSDM-SNAPSHOT v1";
 
+/// Everything a snapshot file decodes to, built before any of it is
+/// committed to an engine instance.
+pub(crate) struct SnapshotContents {
+    /// WAL LSN already reflected in this snapshot (`[wal N]` line);
+    /// 0 for plain `.save` snapshots.
+    pub(crate) wal_lsn: u64,
+    metas: Vec<ArrayMeta>,
+    default_graph: Graph,
+    named: HashMap<String, Graph>,
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, best-effort directory fsync.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("snapshot path has no file name"))?;
+    let tmp = path.with_file_name(format!("{}.tmp", name.to_string_lossy()));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        // Make the rename itself durable. Filesystems that cannot sync
+        // a directory handle set the durability ceiling, not us.
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
+}
+
 impl Ssdm {
-    /// Serialize the instance's graphs and array catalog to a file.
+    /// Serialize the instance's graphs and array catalog to a file
+    /// (atomically — see the module docs).
     pub fn save_snapshot(&self, path: &Path) -> Result<(), QueryError> {
+        self.save_snapshot_with_lsn(path, None)
+    }
+
+    /// As [`Ssdm::save_snapshot`], embedding the WAL LSN this snapshot
+    /// covers (checkpointing's half of the recovery contract).
+    pub(crate) fn save_snapshot_with_lsn(
+        &self,
+        path: &Path,
+        wal_lsn: Option<u64>,
+    ) -> Result<(), QueryError> {
         let mut out = String::new();
         out.push_str(MAGIC);
         out.push('\n');
+        if let Some(lsn) = wal_lsn {
+            writeln!(out, "[wal {lsn}]").expect("string write");
+        }
         out.push_str("[catalog]\n");
         let mut metas: Vec<_> = self.dataset.arrays.catalog().collect();
         metas.sort_by_key(|m| m.array_id);
@@ -56,98 +119,136 @@ impl Ssdm {
             writeln!(out, "[graph {name}]").expect("string write");
             out.push_str(&graph_to_block(&self.dataset.named_graphs[name]));
         }
-        std::fs::write(path, out)
+        atomic_write(path, out.as_bytes())
             .map_err(|e| QueryError::Eval(format!("cannot write snapshot: {e}")))
     }
 
     /// Load a snapshot into this instance, replacing its graphs and
     /// catalog. The back-end must already contain the chunk data the
-    /// catalog references (e.g. a reopened file store).
+    /// catalog references (e.g. a reopened file store). The file is
+    /// fully parsed before the instance is touched, so an error leaves
+    /// the engine unchanged.
     pub fn load_snapshot(&mut self, path: &Path) -> Result<(), QueryError> {
+        self.load_snapshot_contents(path).map(|_| ())
+    }
+
+    /// [`Ssdm::load_snapshot`] returning the snapshot's WAL LSN, for
+    /// the recovery driver.
+    pub(crate) fn load_snapshot_contents(&mut self, path: &Path) -> Result<u64, QueryError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| QueryError::Eval(format!("cannot read snapshot: {e}")))?;
-        let mut lines = text.lines();
-        if lines.next() != Some(MAGIC) {
-            return Err(QueryError::Eval("not an SSDM snapshot".into()));
+        let contents = parse_snapshot(&text)?;
+        let wal_lsn = contents.wal_lsn;
+        // Commit phase: plain moves and catalog links, nothing fallible.
+        self.dataset.graph = contents.default_graph;
+        self.dataset.named_graphs = contents.named;
+        for meta in contents.metas {
+            self.dataset.arrays.link_external(meta);
         }
-        if lines.next() != Some("[catalog]") {
-            return Err(QueryError::Eval("malformed snapshot: no catalog".into()));
-        }
-        self.dataset.graph = Graph::new();
-        self.dataset.named_graphs.clear();
-        let mut section: Option<Option<String>> = None; // None=catalog, Some(g)=graph
-        let mut block = String::new();
-        let flush = |db: &mut Ssdm,
-                     section: &Option<Option<String>>,
-                     block: &str|
-         -> Result<(), QueryError> {
-            if let Some(target) = section {
-                let graph = match target {
-                    None => &mut db.dataset.graph,
-                    Some(name) => db.dataset.named_graphs.entry(name.clone()).or_default(),
-                };
-                ssdm_rdf::turtle::parse_into(graph, block)?;
-                // Restore consolidated arrays and external references.
-                ssdm_rdf::consolidate_collections(graph);
-                relink_array_refs(graph);
-            }
-            Ok(())
-        };
-        for line in lines {
-            if let Some(rest) = line.strip_prefix("[graph") {
-                flush(self, &section, &block)?;
-                block.clear();
-                let name = rest.trim_end_matches(']').trim();
-                section = Some(if name.is_empty() {
-                    None
-                } else {
-                    Some(name.to_string())
-                });
-                continue;
-            }
-            if section.is_none() {
-                // Catalog line: id type shape chunk_bytes
-                let parts: Vec<&str> = line.split_whitespace().collect();
-                if parts.len() != 4 {
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    return Err(QueryError::Eval(format!("malformed catalog line: {line}")));
-                }
-                let id: u64 = parts[0]
-                    .parse()
-                    .map_err(|_| QueryError::Eval("bad catalog id".into()))?;
-                let ty = match parts[1] {
-                    "int" => NumericType::Int,
-                    "real" => NumericType::Real,
-                    other => return Err(QueryError::Eval(format!("bad catalog type {other}"))),
-                };
-                let shape: Vec<usize> = if parts[2].is_empty() {
-                    Vec::new()
-                } else {
-                    parts[2]
-                        .split('x')
-                        .map(|d| d.parse().map_err(|_| QueryError::Eval("bad shape".into())))
-                        .collect::<Result<_, _>>()?
-                };
-                let chunk_bytes: usize = parts[3]
-                    .parse()
-                    .map_err(|_| QueryError::Eval("bad chunk size".into()))?;
-                let total: usize = shape.iter().product();
-                self.dataset.arrays.link_external(ArrayMeta {
-                    array_id: id,
-                    numeric_type: ty,
-                    shape,
-                    chunking: Chunking::new(chunk_bytes, total),
-                });
-            } else {
-                block.push_str(line);
-                block.push('\n');
-            }
-        }
-        flush(self, &section, &block)?;
-        Ok(())
+        Ok(wal_lsn)
     }
+}
+
+/// Decode a snapshot file into fresh graphs and a catalog list, without
+/// touching any engine state.
+fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(QueryError::Eval("not an SSDM snapshot".into()));
+    }
+    let mut contents = SnapshotContents {
+        wal_lsn: 0,
+        metas: Vec::new(),
+        default_graph: Graph::new(),
+        named: HashMap::new(),
+    };
+    let mut header = lines.next();
+    if let Some(lsn) = header
+        .and_then(|l| l.strip_prefix("[wal "))
+        .and_then(|rest| rest.strip_suffix(']'))
+    {
+        contents.wal_lsn = lsn
+            .parse()
+            .map_err(|_| QueryError::Eval("bad snapshot wal lsn".into()))?;
+        header = lines.next();
+    }
+    if header != Some("[catalog]") {
+        return Err(QueryError::Eval("malformed snapshot: no catalog".into()));
+    }
+    // `None` = catalog section, `Some(None)` = default graph,
+    // `Some(Some(name))` = named graph.
+    let mut section: Option<Option<String>> = None;
+    let mut block = String::new();
+    let flush = |contents: &mut SnapshotContents,
+                 section: &Option<Option<String>>,
+                 block: &str|
+     -> Result<(), QueryError> {
+        if let Some(target) = section {
+            let graph = match target {
+                None => &mut contents.default_graph,
+                Some(name) => contents.named.entry(name.clone()).or_default(),
+            };
+            ssdm_rdf::turtle::parse_into(graph, block)?;
+            // Restore consolidated arrays and external references.
+            ssdm_rdf::consolidate_collections(graph);
+            relink_array_refs(graph);
+        }
+        Ok(())
+    };
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("[graph") {
+            flush(&mut contents, &section, &block)?;
+            block.clear();
+            let name = rest.trim_end_matches(']').trim();
+            section = Some(if name.is_empty() {
+                None
+            } else {
+                Some(name.to_string())
+            });
+            continue;
+        }
+        if section.is_none() {
+            // Catalog line: id type shape chunk_bytes
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                return Err(QueryError::Eval(format!("malformed catalog line: {line}")));
+            }
+            let id: u64 = parts[0]
+                .parse()
+                .map_err(|_| QueryError::Eval("bad catalog id".into()))?;
+            let ty = match parts[1] {
+                "int" => NumericType::Int,
+                "real" => NumericType::Real,
+                other => return Err(QueryError::Eval(format!("bad catalog type {other}"))),
+            };
+            let shape: Vec<usize> = if parts[2].is_empty() {
+                Vec::new()
+            } else {
+                parts[2]
+                    .split('x')
+                    .map(|d| d.parse().map_err(|_| QueryError::Eval("bad shape".into())))
+                    .collect::<Result<_, _>>()?
+            };
+            let chunk_bytes: usize = parts[3]
+                .parse()
+                .map_err(|_| QueryError::Eval("bad chunk size".into()))?;
+            let total: usize = shape.iter().product();
+            contents.metas.push(ArrayMeta {
+                array_id: id,
+                numeric_type: ty,
+                shape,
+                chunking: Chunking::new(chunk_bytes, total),
+            });
+        } else {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    flush(&mut contents, &section, &block)?;
+    Ok(contents)
 }
 
 /// Serialize one graph as N-Triples (arrays expand to lists; external
@@ -275,6 +376,66 @@ mod tests {
         std::fs::write(&path, "not a snapshot").unwrap();
         let mut db = Ssdm::open(Backend::Memory);
         assert!(db.load_snapshot(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_leaves_engine_unchanged() {
+        let good = tmp("atomic-good");
+        let bad = tmp("atomic-bad");
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle("<http://s> <http://p> 1 .").unwrap();
+        db.load_turtle_named("http://g", "<http://s2> <http://p2> 2 .")
+            .unwrap();
+        db.save_snapshot(&good).unwrap();
+        // A snapshot truncated mid-triple: valid header, broken body.
+        let mut text = std::fs::read_to_string(&good).unwrap();
+        text.truncate(text.len() - 3);
+        std::fs::write(&bad, &text).unwrap();
+        assert!(db.load_snapshot(&bad).is_err());
+        // The failed load must not have cleared or half-replaced state.
+        assert_eq!(db.dataset.graph.len(), 1);
+        assert_eq!(db.dataset.named_graphs.len(), 1);
+        let rows = db
+            .query("SELECT ?o WHERE { <http://s> <http://p> ?o }")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0][0].as_ref().unwrap().to_string(), "1");
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_replaces_atomically() {
+        let path = tmp("atomic-replace");
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle("<http://s> <http://p> 1 .").unwrap();
+        db.save_snapshot(&path).unwrap();
+        db.load_turtle("<http://s> <http://p> 2 .").unwrap();
+        db.save_snapshot(&path).unwrap();
+        let tmp_path = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(!tmp_path.exists(), "temp file must be renamed away");
+        let mut back = Ssdm::open(Backend::Memory);
+        back.load_snapshot(&path).unwrap();
+        assert_eq!(back.dataset.graph.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_lsn_line_round_trips_and_plain_snapshots_have_none() {
+        let path = tmp("wal-lsn");
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle("<http://s> <http://p> 1 .").unwrap();
+        db.save_snapshot_with_lsn(&path, Some(42)).unwrap();
+        let mut back = Ssdm::open(Backend::Memory);
+        assert_eq!(back.load_snapshot_contents(&path).unwrap(), 42);
+        assert_eq!(back.dataset.graph.len(), 1);
+        db.save_snapshot(&path).unwrap();
+        assert_eq!(back.load_snapshot_contents(&path).unwrap(), 0);
         std::fs::remove_file(&path).ok();
     }
 

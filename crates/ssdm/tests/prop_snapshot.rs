@@ -1,0 +1,214 @@
+//! Property tests: snapshots round-trip arbitrary engine states —
+//! exotic IRIs and literals, empty graphs, Int and Real arrays
+//! (including negative zero, bitwise), and the external-array catalog
+//! over a reopened file back-end.
+
+use proptest::prelude::*;
+use ssdm::{Backend, Ssdm};
+use ssdm_array::NumArray;
+use ssdm_rdf::{Graph, Term};
+
+/// IRI tail characters: plain ASCII, percent-encodings-as-text,
+/// punctuation legal inside an IRIREF, and non-ASCII letters.
+const IRI_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '.', '_', '~', '-', '%', '/', '#', '?', '=', 'é', 'λ', '日',
+    'ф',
+];
+
+/// Literal characters: the escape set (`"`, `\`, newline, carriage
+/// return, tab), spaces, ASCII, and non-ASCII.
+const STR_CHARS: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', ' ', 'a', 'Z', '0', '\'', '<', '>', '{', '}', '^', '@', 'é', 'λ',
+    '日', '𝄞',
+];
+
+fn chars_from(table: &'static [char], range: std::ops::Range<usize>) -> BoxedStrategy<String> {
+    prop::collection::vec(0usize..table.len(), range)
+        .prop_map(move |ix| ix.into_iter().map(|i| table[i]).collect())
+        .boxed()
+}
+
+fn iris() -> BoxedStrategy<String> {
+    chars_from(IRI_CHARS, 1..12)
+        .prop_map(|tail| format!("http://ex.org/{tail}"))
+        .boxed()
+}
+
+/// A random object term: exotic strings, language-tagged and typed
+/// literals, numbers (finite reals only), booleans, and Int/Real
+/// arrays. Real candidates include negative zero.
+fn reals() -> BoxedStrategy<f64> {
+    prop_oneof![-1.0e12f64..1.0e12, Just(-0.0f64), Just(0.0f64)].boxed()
+}
+
+fn objects() -> BoxedStrategy<Term> {
+    prop_oneof![
+        iris().prop_map(Term::uri),
+        chars_from(STR_CHARS, 0..16).prop_map(Term::Str),
+        (chars_from(STR_CHARS, 0..10), "[a-z]{2}")
+            .prop_map(|(value, lang)| Term::LangStr { value, lang }),
+        (chars_from(STR_CHARS, 0..10), iris())
+            .prop_map(|(value, datatype)| Term::Typed { value, datatype }),
+        any::<i64>().prop_map(Term::integer),
+        reals().prop_map(Term::double),
+        any::<bool>().prop_map(Term::Bool),
+        prop::collection::vec(-1000i64..1000, 1..10)
+            .prop_map(|v| Term::Array(NumArray::from_i64(v))),
+        prop::collection::vec(reals(), 1..10).prop_map(|v| Term::Array(NumArray::from_f64(v))),
+    ]
+    .boxed()
+}
+
+type Triples = Vec<(String, String, Term)>;
+
+fn triple_sets() -> BoxedStrategy<Triples> {
+    prop::collection::vec((iris(), iris(), objects()), 0..12).boxed()
+}
+
+fn fill(graph: &mut Graph, triples: &Triples) {
+    for (s, p, o) in triples {
+        graph.insert(Term::uri(s.clone()), Term::uri(p.clone()), o.clone());
+    }
+}
+
+fn graphs_equivalent(a: &Graph, b: &Graph) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|t| {
+        let (s, p, o) = (a.term(t.s), a.term(t.p), a.term(t.o));
+        b.iter()
+            .any(|u| b.term(u.s).value_eq(s) && b.term(u.p).value_eq(p) && b.term(u.o).value_eq(o))
+    })
+}
+
+fn tmp(name: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ssdm-psnap-{name}-{}-{case}", std::process::id()))
+}
+
+/// Case counter so concurrent proptest cases never share a path.
+fn case_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any combination of default graph, named graphs (possibly empty),
+    /// and literal shapes survives save → load into a fresh instance.
+    #[test]
+    fn snapshot_round_trips_random_graphs(
+        default in triple_sets(),
+        named_list in prop::collection::vec((iris(), triple_sets()), 0..3),
+    ) {
+        let path = tmp("graphs", case_id());
+        let mut db = Ssdm::open(Backend::Memory);
+        fill(&mut db.dataset.graph, &default);
+        // Duplicate names collapse into one graph, like repeated loads.
+        let named: std::collections::BTreeMap<String, Triples> =
+            named_list.into_iter().collect();
+        for (name, triples) in &named {
+            let graph = db.dataset.named_graphs.entry(name.clone()).or_default();
+            fill(graph, triples); // may stay empty: empty graphs must survive too
+        }
+        db.save_snapshot(&path).unwrap();
+
+        let mut back = Ssdm::open(Backend::Memory);
+        back.load_snapshot(&path).unwrap();
+        prop_assert!(
+            graphs_equivalent(&db.dataset.graph, &back.dataset.graph),
+            "default graph diverged"
+        );
+        prop_assert_eq!(db.dataset.named_graphs.len(), back.dataset.named_graphs.len());
+        for (name, graph) in &db.dataset.named_graphs {
+            let restored = back.dataset.named_graphs.get(name);
+            prop_assert!(restored.is_some(), "named graph {} lost", name);
+            prop_assert!(
+                graphs_equivalent(graph, restored.unwrap()),
+                "named graph {} diverged", name
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Real arrays round-trip bit-for-bit — `-0.0` keeps its sign.
+    #[test]
+    fn real_arrays_round_trip_bitwise(
+        values in prop::collection::vec(
+            prop_oneof![-1.0e9f64..1.0e9, Just(-0.0f64), Just(0.0f64)],
+            1..12,
+        ),
+    ) {
+        let path = tmp("bits", case_id());
+        let mut db = Ssdm::open(Backend::Memory);
+        db.dataset.graph.insert(
+            Term::uri("http://s"),
+            Term::uri("http://p"),
+            Term::Array(NumArray::from_f64(values.clone())),
+        );
+        db.save_snapshot(&path).unwrap();
+
+        let mut back = Ssdm::open(Backend::Memory);
+        back.load_snapshot(&path).unwrap();
+        let graph = &back.dataset.graph;
+        let restored: Vec<f64> = graph
+            .iter()
+            .find_map(|t| match graph.term(t.o) {
+                Term::Array(a) => Some(
+                    (0..values.len())
+                        .map(|i| a.get(&[i]).unwrap().as_f64())
+                        .collect(),
+                ),
+                _ => None,
+            })
+            .expect("array triple restored");
+        let got: Vec<u64> = restored.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want, "bit patterns diverged (values {:?})", values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The external-array catalog round-trips over a reopened file
+    /// back-end: a fresh instance on the same chunk directory restores
+    /// proxies that resolve to the original data.
+    #[test]
+    fn external_catalog_round_trips_over_file_backend(
+        values in prop::collection::vec(-10_000i64..10_000, 5..40),
+        chunk_bytes in prop_oneof![Just(16usize), Just(64usize), Just(256usize)],
+    ) {
+        let case = case_id();
+        let dir = tmp("chunks", case);
+        let path = tmp("external", case);
+        let list = values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        {
+            let mut db = Ssdm::open(Backend::File(dir.clone()));
+            db.set_externalize_threshold(4, chunk_bytes);
+            db.load_turtle(&format!("<http://r> <http://data> ( {list} ) ."))
+                .unwrap();
+            prop_assert_eq!(db.dataset.arrays.catalog().count(), 1, "array must externalize");
+            db.save_snapshot(&path).unwrap();
+        }
+        let mut back = Ssdm::open(Backend::File(dir.clone()));
+        back.load_snapshot(&path).unwrap();
+        let rows = back
+            .query("SELECT (array_sum(?v) AS ?s) (array_count(?v) AS ?n) \
+                    WHERE { <http://r> <http://data> ?v }")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        let sum: i64 = values.iter().sum();
+        prop_assert_eq!(rows[0][0].as_ref().unwrap().to_string(), sum.to_string());
+        prop_assert_eq!(
+            rows[0][1].as_ref().unwrap().to_string(),
+            values.len().to_string()
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

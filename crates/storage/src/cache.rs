@@ -400,6 +400,12 @@ impl<S: ChunkStore> ChunkStore for CachedChunkStore<S> {
     fn reset_cache_stats(&mut self) {
         self.cache.reset_stats();
     }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        // The cache is write-through, so syncing the inner store covers
+        // everything ever written through this wrapper.
+        self.inner.sync()
+    }
 }
 
 impl<S: SharedChunkRead> SharedChunkRead for CachedChunkStore<S> {

@@ -470,6 +470,10 @@ impl<S: ChunkStore + RawChunkAccess> ChunkStore for FaultInjectingChunkStore<S> 
     fn reset_resilience_stats(&mut self) {
         self.inner.reset_resilience_stats()
     }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.inner.sync()
+    }
 }
 
 impl<S: ChunkStore + RawChunkAccess> RawChunkAccess for FaultInjectingChunkStore<S> {

@@ -32,6 +32,7 @@ pub mod parallel;
 pub mod resilient;
 pub mod spd;
 mod store;
+pub mod wal;
 
 pub use apr::{AprStats, ArrayStore, RetrievalStrategy};
 pub use cache::{CacheStats, CachedChunkStore, ChunkCache};
@@ -43,6 +44,9 @@ pub use resilient::{ResilienceStats, ResilientChunkStore, RetryPolicy};
 pub use store::{
     Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RawChunkAccess,
     RelChunkStore, SharedChunkRead, SharedChunkStore, StorageError,
+};
+pub use wal::{
+    CrashPlan, FsyncPolicy, WalOptions, WalReader, WalRecord, WalRecovery, WalStats, WalWriter,
 };
 
 /// Result alias for storage operations.

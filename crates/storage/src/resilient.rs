@@ -387,6 +387,13 @@ impl<S: ChunkStore> ChunkStore for ResilientChunkStore<S> {
         *self.stats.get_mut().expect("stats mutex") = ResilienceStats::default();
         self.inner.reset_resilience_stats();
     }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        // Not retried: an fsync failure leaves durability unknown, so
+        // surfacing it beats masking it with a retry that may succeed
+        // without the lost writes.
+        self.inner.sync()
+    }
 }
 
 impl<S: ChunkStore + RawChunkAccess> RawChunkAccess for ResilientChunkStore<S> {

@@ -283,6 +283,14 @@ pub trait ChunkStore: Send {
     }
 
     fn reset_cache_stats(&mut self) {}
+
+    /// Flush buffered writes to durable media (fsync). Checkpointing
+    /// calls this before publishing a snapshot so chunk data referenced
+    /// by the snapshot's catalog survives a crash. No-op for purely
+    /// in-memory back-ends.
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// The concurrent read side of a chunk store: the same fetch shapes as
@@ -405,6 +413,10 @@ impl ChunkStore for Box<dyn ChunkStore> {
     fn reset_cache_stats(&mut self) {
         (**self).reset_cache_stats()
     }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        (**self).sync()
+    }
 }
 
 /// [`ChunkStore`] + [`SharedChunkRead`] combined: what a boxed dataset
@@ -490,6 +502,10 @@ impl ChunkStore for Box<dyn SharedChunkStore> {
 
     fn reset_cache_stats(&mut self) {
         (**self).reset_cache_stats()
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        (**self).sync()
     }
 }
 
@@ -736,6 +752,10 @@ pub struct FileChunkStore {
     /// Scratch buffer reused across slot reads on the `&mut` paths, so
     /// a multi-chunk fetch does not allocate one read buffer per chunk.
     scratch: Vec<u8>,
+    /// fsync every chunk write before returning. Off by default; the
+    /// durability layer turns it on under `FsyncPolicy::Always` so
+    /// acknowledged chunk data is on media, not just in the page cache.
+    sync_writes: bool,
 }
 
 /// One open array file and its declared chunk size.
@@ -761,7 +781,15 @@ impl FileChunkStore {
             files: RwLock::new(HashMap::new()),
             stats: Mutex::new(IoStats::default()),
             scratch: Vec::new(),
+            sync_writes: false,
         })
+    }
+
+    /// Make every chunk write fsync before returning (see
+    /// `sync_writes`). Independent of [`ChunkStore::sync`], which
+    /// flushes on demand whatever this knob says.
+    pub fn set_sync_writes(&mut self, on: bool) {
+        self.sync_writes = on;
     }
 
     /// Declare the chunk size of an array before writing it.
@@ -777,6 +805,9 @@ impl FileChunkStore {
         header[..8].copy_from_slice(FILE_MAGIC);
         header[8..12].copy_from_slice(&(chunk_bytes as u32).to_le_bytes());
         file.write_all_at(&header, 0)?;
+        if self.sync_writes {
+            file.sync_all()?;
+        }
         self.files
             .write()
             .expect("files lock")
@@ -979,6 +1010,9 @@ impl ChunkStore for FileChunkStore {
         let af = self.file(array_id)?;
         let offset = FILE_HEADER + chunk_id * Self::slot_bytes(af.chunk_bytes);
         af.file.write_all_at(&crate::frame::encode(data), offset)?;
+        if self.sync_writes {
+            af.file.sync_data()?;
+        }
         Ok(())
     }
 
@@ -1057,6 +1091,13 @@ impl ChunkStore for FileChunkStore {
 
     fn reset_io_stats(&mut self) {
         *self.stats.get_mut().expect("stats mutex") = IoStats::default();
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        for af in self.files.read().expect("files lock").values() {
+            af.file.sync_all()?;
+        }
+        Ok(())
     }
 }
 
@@ -1324,6 +1365,11 @@ impl ChunkStore for RelChunkStore {
 
     fn reset_io_stats(&mut self) {
         self.db.get_mut().expect("db mutex").reset_stats();
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.db.get_mut().expect("db mutex").flush()?;
+        Ok(())
     }
 }
 
