@@ -529,6 +529,35 @@ fn term_pattern_text(tp: &TermPattern) -> String {
     }
 }
 
+/// One-line label for a plan node — the operator name the profiler uses
+/// for its per-operator rows, consistent with [`explain`]'s tree.
+pub fn node_label(plan: &Plan) -> String {
+    match plan {
+        Plan::Empty => "Empty".into(),
+        Plan::Scan(t) => {
+            let pred = match &t.path {
+                Path::Pred(p) => term_pattern_text(p),
+                other => format!("path:{other:?}"),
+            };
+            format!(
+                "Scan {} {} {}",
+                term_pattern_text(&t.subject),
+                pred,
+                term_pattern_text(&t.object)
+            )
+        }
+        Plan::Join(_) => "Join".into(),
+        Plan::LeftJoin { .. } => "LeftJoin (OPTIONAL)".into(),
+        Plan::Union(_) => "Union".into(),
+        Plan::Filter { expr, .. } => format!("Filter {expr:?}"),
+        Plan::Extend { var, expr, .. } => format!("Extend ?{var} := {expr:?}"),
+        Plan::Values { vars, rows } => format!("Values {:?} ({} rows)", vars, rows.len()),
+        Plan::Graph { name, .. } => format!("Graph {}", term_pattern_text(name)),
+        Plan::SubSelect(_) => "SubSelect".into(),
+        Plan::Minus { .. } => "Minus".into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,10 @@ pub enum Statement {
     /// `EXPLAIN <select-query>` — show the optimized operator tree
     /// instead of executing (a window into the §5.4 translation).
     Explain(Box<SelectQuery>),
+    /// `EXPLAIN ANALYZE <select-query>` — execute the query with the
+    /// profiler attached and show the operator tree annotated with
+    /// measured phase timings and per-operator counters.
+    ExplainAnalyze(Box<SelectQuery>),
     /// `DEFINE FUNCTION name(?p1, ?p2) AS <select-query>` — a
     /// parameterized view (thesis §4.2).
     DefineFunction(FunctionDef),

@@ -165,6 +165,13 @@ pub type DynChunkStore = Box<dyn SharedChunkStore>;
 /// found in experiment E3).
 pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
 
+/// Process-wide query latency histogram (whole statements, parse
+/// included).
+fn obs_query_hist() -> &'static std::sync::Arc<ssdm_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<ssdm_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| ssdm_obs::recorder().histogram("ssdm_query_seconds"))
+}
+
 /// An SSDM dataset: graph + arrays + functions.
 pub struct Dataset {
     /// The default graph.
@@ -195,6 +202,10 @@ pub struct Dataset {
     /// Durability hook: when set, every committed update is offered to
     /// the journal before it is acknowledged (see [`crate::journal`]).
     pub journal: Option<Box<dyn crate::journal::UpdateJournal>>,
+    /// Attached while a statement runs under `EXPLAIN ANALYZE` or the
+    /// slow-query log; `None` (the default) keeps every profiling hook
+    /// on the zero-cost path.
+    pub(crate) profiler: Option<crate::profile::QueryProfiler>,
 }
 
 impl Dataset {
@@ -220,6 +231,7 @@ impl Dataset {
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             parallel: ParallelConfig::with_workers(1),
             journal: None,
+            profiler: None,
         }
     }
 
@@ -276,13 +288,115 @@ impl Dataset {
     /// before they are acknowledged; replay paths use
     /// [`Dataset::execute`] directly, which does not journal.
     pub fn query(&mut self, text: &str) -> Result<QueryResult, QueryError> {
+        let _latency = ssdm_obs::Span::start(obs_query_hist());
+        let parse_start = std::time::Instant::now();
         let stmt = crate::parser::parse(text)?;
+        let parse_micros = parse_start.elapsed().as_micros() as u64;
+        if let Statement::ExplainAnalyze(q) = stmt {
+            // Capture the real parse time instead of the zero the
+            // pre-parsed `execute` path would report.
+            let (_, profile) =
+                self.with_profiler(parse_micros, |ds| crate::eval::execute_select(ds, &q))?;
+            return Ok(QueryResult::Text(profile));
+        }
         let is_mutation = stmt.is_mutation();
         let result = self.execute(stmt)?;
         if is_mutation {
             self.journal_entry(crate::journal::JournalEntry::Statement(text))?;
         }
         Ok(result)
+    }
+
+    /// Parse and execute one statement with the profiler attached,
+    /// returning the result *and* the rendered profile — the substrate
+    /// of the slow-query log. Mutations journal exactly as in
+    /// [`query`](Self::query).
+    pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, String), QueryError> {
+        let _latency = ssdm_obs::Span::start(obs_query_hist());
+        let parse_start = std::time::Instant::now();
+        let stmt = crate::parser::parse(text)?;
+        let parse_micros = parse_start.elapsed().as_micros() as u64;
+        let is_mutation = stmt.is_mutation();
+        let (result, profile) = self.with_profiler(parse_micros, |ds| ds.execute(stmt))?;
+        if is_mutation {
+            self.journal_entry(crate::journal::JournalEntry::Statement(text))?;
+        }
+        Ok((result, profile))
+    }
+
+    /// Run `f` with a fresh profiler attached, returning its result and
+    /// the rendered profile. Nested invocations (an `EXPLAIN ANALYZE`
+    /// arriving through [`query_profiled`](Self::query_profiled))
+    /// stack: the inner run gets its own profiler and the outer one is
+    /// restored afterwards.
+    fn with_profiler<T>(
+        &mut self,
+        parse_micros: u64,
+        f: impl FnOnce(&mut Self) -> Result<T, QueryError>,
+    ) -> Result<(T, String), QueryError> {
+        let saved = self.profiler.take();
+        self.profiler = Some(crate::profile::QueryProfiler::new(parse_micros));
+        let begin = self.counter_snapshot();
+        let start = std::time::Instant::now();
+        let result = f(self);
+        let exec_total = start.elapsed();
+        let end = self.counter_snapshot();
+        let profiler = self.profiler.take().expect("profiler still attached");
+        self.profiler = saved;
+        let value = result?;
+        let totals = end.since(&begin);
+        Ok((value, profiler.render(exec_total, &totals)))
+    }
+
+    /// Snapshot every counter the profiler attributes to operators.
+    pub(crate) fn counter_snapshot(&self) -> crate::profile::CounterSnapshot {
+        let io = self.arrays.backend().io_stats();
+        let cache = self.arrays.backend().cache_stats();
+        let apr = self.arrays.cumulative_stats();
+        let compute = ssdm_array::compute_stats();
+        crate::profile::CounterSnapshot {
+            statements: io.statements,
+            chunks_fetched: io.chunks_returned,
+            bytes_fetched: io.bytes_returned,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            kernel_elements: compute.elements_processed,
+            fallbacks: apr.fallbacks,
+        }
+    }
+
+    /// Open a profiled operator frame. No-op when no profiler is
+    /// attached — callers gate on `profiling()` to skip label building.
+    pub(crate) fn prof_enter(&mut self, label: String, rows_in: u64) {
+        if self.profiler.is_some() {
+            let snap = self.counter_snapshot();
+            if let Some(p) = self.profiler.as_mut() {
+                p.enter(label, snap, rows_in);
+            }
+        }
+    }
+
+    /// Close the innermost profiled operator frame.
+    pub(crate) fn prof_exit(&mut self, rows_out: u64) {
+        if self.profiler.is_some() {
+            let snap = self.counter_snapshot();
+            if let Some(p) = self.profiler.as_mut() {
+                p.exit(snap, rows_out);
+            }
+        }
+    }
+
+    /// Add to a profiled phase timing.
+    pub(crate) fn prof_phase(&mut self, name: &'static str, elapsed: std::time::Duration) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.phase(name, elapsed);
+        }
+    }
+
+    /// Whether a profiler is attached (evaluation hooks check this
+    /// before doing any per-operator work).
+    pub(crate) fn profiling(&self) -> bool {
+        self.profiler.is_some()
     }
 
     /// Execute a pre-parsed statement.
@@ -298,6 +412,14 @@ impl Dataset {
                     &plan,
                     &self.graph,
                 )))
+            }
+            Statement::ExplainAnalyze(q) => {
+                // Pre-parsed entry (wire protocol, replay): no parse
+                // phase to report. `Dataset::query` intercepts the
+                // parsed-from-text case to include it.
+                let (_, profile) =
+                    self.with_profiler(0, |ds| crate::eval::execute_select(ds, &q))?;
+                Ok(QueryResult::Text(profile))
             }
             Statement::Describe(targets) => {
                 let mut out = Graph::new();

@@ -83,6 +83,14 @@ fn select_solutions_inner(
         || items.iter().any(|i| i.expr.has_aggregate())
         || q.having.as_ref().map(Expr::has_aggregate).unwrap_or(false);
 
+    // Projection (and aggregation) resolves array proxies *outside* the
+    // plan tree — e.g. `array_sum(?a)` in the SELECT clause fetches
+    // chunks here. A synthetic operator row keeps that work attributed,
+    // so per-operator counters still sum to the query totals.
+    let profiling = ds.profiling();
+    if profiling {
+        ds.prof_enter("Project".into(), solutions.len() as u64);
+    }
     let mut out_rows: Vec<Vec<Option<Value>>> = if needs_grouping {
         agg::grouped_projection(ds, &items, &q.group_by, &q.having, &solutions)?
     } else {
@@ -96,9 +104,16 @@ fn select_solutions_inner(
         }
         out
     };
+    if profiling {
+        ds.prof_exit(out_rows.len() as u64);
+    }
 
-    // ORDER BY.
+    // ORDER BY. Sort keys can also force proxy resolution, hence the
+    // synthetic operator row.
     if !q.order_by.is_empty() {
+        if profiling {
+            ds.prof_enter("OrderBy".into(), out_rows.len() as u64);
+        }
         // Order keys evaluate against the projected row when they are
         // output aliases, else against the source solution.
         type Keyed = (Vec<Option<Value>>, Vec<Option<Value>>);
@@ -149,6 +164,9 @@ fn select_solutions_inner(
             std::cmp::Ordering::Equal
         });
         out_rows = keyed.into_iter().map(|(_, c)| c).collect();
+        if profiling {
+            ds.prof_exit(out_rows.len() as u64);
+        }
     }
 
     // DISTINCT.
@@ -242,12 +260,37 @@ pub fn eval_pattern(
     pattern: &GroupPattern,
     input: Vec<Row>,
 ) -> Result<Vec<Row>, QueryError> {
+    if ds.profiling() {
+        let t0 = std::time::Instant::now();
+        let translated = algebra::translate(pattern);
+        let t1 = std::time::Instant::now();
+        let plan = algebra::optimize(translated, ds.active());
+        let t2 = std::time::Instant::now();
+        ds.prof_phase("rewrite", t1.duration_since(t0));
+        ds.prof_phase("plan", t2.duration_since(t1));
+        return eval_plan(ds, &plan, input);
+    }
     let plan = algebra::optimize(algebra::translate(pattern), ds.active());
     eval_plan(ds, &plan, input)
 }
 
-/// Evaluate a plan over input binding rows.
+/// Evaluate a plan over input binding rows. With a profiler attached,
+/// every node becomes one operator row; without, this is a direct call
+/// into the evaluator.
 pub fn eval_plan(ds: &mut Dataset, plan: &Plan, input: Vec<Row>) -> Result<Vec<Row>, QueryError> {
+    if !ds.profiling() {
+        return eval_plan_inner(ds, plan, input);
+    }
+    let rows_in = input.len() as u64;
+    ds.prof_enter(algebra::node_label(plan), rows_in);
+    let result = eval_plan_inner(ds, plan, input);
+    if let Ok(rows) = &result {
+        ds.prof_exit(rows.len() as u64);
+    }
+    result
+}
+
+fn eval_plan_inner(ds: &mut Dataset, plan: &Plan, input: Vec<Row>) -> Result<Vec<Row>, QueryError> {
     match plan {
         Plan::Empty => Ok(input),
         Plan::Scan(t) => {

@@ -44,12 +44,14 @@ pub mod eval;
 pub mod functions;
 pub mod journal;
 pub mod parser;
+pub mod profile;
 pub mod update;
 pub mod value;
 
 pub use dataset::{Dataset, QueryError, QueryResult};
 pub use functions::{Closure, ForeignFunction, FunctionCost, FunctionRegistry};
 pub use journal::{JournalEntry, UpdateJournal};
+pub use profile::{CounterSnapshot, QueryProfiler};
 pub use value::Value;
 
 /// Result alias for query processing.

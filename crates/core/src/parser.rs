@@ -632,11 +632,17 @@ impl<'a> Parser<'a> {
             }))
         } else if self.at_kw("EXPLAIN") {
             self.advance()?;
+            let analyze = self.eat_kw("ANALYZE")?;
             self.parse_prologue()?;
             if !self.at_kw("SELECT") {
                 return Err(self.err("EXPLAIN expects a SELECT query"));
             }
-            Ok(Statement::Explain(Box::new(self.parse_select()?)))
+            let q = Box::new(self.parse_select()?);
+            Ok(if analyze {
+                Statement::ExplainAnalyze(q)
+            } else {
+                Statement::Explain(q)
+            })
         } else if self.at_kw("DESCRIBE") {
             self.advance()?;
             let mut targets = Vec::new();

@@ -1,0 +1,283 @@
+//! The per-query profiler behind `EXPLAIN ANALYZE` and the slow-query
+//! log.
+//!
+//! A [`QueryProfiler`] is attached to a [`Dataset`] for the duration of
+//! one statement. It records:
+//!
+//! * **phase timings** — parse, rewrite (pattern → algebra), plan
+//!   (optimize) and exec, in microseconds;
+//! * **per-operator rows** — one row per evaluated plan node (plus the
+//!   synthetic `Project` / `OrderBy` operators that run outside the
+//!   plan tree), each carrying inclusive wall time, input/output row
+//!   counts, and *exclusive* storage counters (back-end statements,
+//!   chunks and bytes fetched, cache hits/misses, kernel elements,
+//!   fetch fallbacks).
+//!
+//! Counters are attributed by snapshot deltas of the dataset's own
+//! backend statistics ([`CounterSnapshot`]): an operator's exclusive
+//! numbers are its inclusive delta minus its children's inclusive
+//! deltas, so summing the `operator:` rows of a profile reproduces the
+//! `totals:` line — and the totals are exactly the `IoStats`/cache
+//! movement of the query. That reconciliation is tested, which is what
+//! keeps the profile honest as operators evolve.
+//!
+//! [`Dataset`]: crate::dataset::Dataset
+
+use std::time::{Duration, Instant};
+
+/// A point-in-time copy of every counter the profiler attributes to
+/// operators. Taken from the dataset's backend at operator entry/exit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Back-end statements issued (`IoStats::statements`).
+    pub statements: u64,
+    /// Chunks returned by the back-end (`IoStats::chunks_returned`).
+    pub chunks_fetched: u64,
+    /// Bytes returned by the back-end (`IoStats::bytes_returned`).
+    pub bytes_fetched: u64,
+    /// Chunk-cache hits (`CacheStats::hits`).
+    pub cache_hits: u64,
+    /// Chunk-cache misses (`CacheStats::misses`).
+    pub cache_misses: u64,
+    /// Elements processed by typed compute kernels (process-global).
+    pub kernel_elements: u64,
+    /// Batched-fetch fallbacks to per-chunk retrieval (APR cumulative).
+    pub fallbacks: u64,
+}
+
+impl CounterSnapshot {
+    /// Field-wise saturating difference `self - earlier`.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            statements: self.statements.saturating_sub(earlier.statements),
+            chunks_fetched: self.chunks_fetched.saturating_sub(earlier.chunks_fetched),
+            bytes_fetched: self.bytes_fetched.saturating_sub(earlier.bytes_fetched),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            kernel_elements: self.kernel_elements.saturating_sub(earlier.kernel_elements),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+        }
+    }
+
+    fn add(&mut self, other: &CounterSnapshot) {
+        self.statements += other.statements;
+        self.chunks_fetched += other.chunks_fetched;
+        self.bytes_fetched += other.bytes_fetched;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.kernel_elements += other.kernel_elements;
+        self.fallbacks += other.fallbacks;
+    }
+
+    fn render_fields(&self) -> String {
+        format!(
+            "statements={} chunks={} bytes={} cache_hits={} cache_misses={} kernel_elems={} fallbacks={}",
+            self.statements,
+            self.chunks_fetched,
+            self.bytes_fetched,
+            self.cache_hits,
+            self.cache_misses,
+            self.kernel_elements,
+            self.fallbacks
+        )
+    }
+}
+
+/// One profiled operator: a plan node (or synthetic post-plan stage).
+#[derive(Debug, Clone)]
+pub struct OpRow {
+    /// Operator label, as in `EXPLAIN` (see `algebra::node_label`).
+    pub label: String,
+    /// Nesting depth at entry (for tree-shaped indentation).
+    pub depth: usize,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    /// Inclusive wall time (covers children).
+    pub micros: u64,
+    /// Exclusive counters: this operator's work minus its children's.
+    pub counters: CounterSnapshot,
+}
+
+struct Frame {
+    /// Index of this operator's row in `ops`.
+    row: usize,
+    start: Instant,
+    entry: CounterSnapshot,
+    /// Sum of completed children's inclusive deltas.
+    children: CounterSnapshot,
+}
+
+/// Collects one query's phases and operator rows. See the module docs.
+pub struct QueryProfiler {
+    /// Accumulated phase timings in microseconds, in first-seen order.
+    phases: Vec<(&'static str, u64)>,
+    ops: Vec<OpRow>,
+    stack: Vec<Frame>,
+}
+
+impl QueryProfiler {
+    /// A fresh profiler; `parse_micros` is the already-measured parse
+    /// phase (zero when profiling a pre-parsed statement).
+    pub fn new(parse_micros: u64) -> Self {
+        QueryProfiler {
+            phases: vec![("parse", parse_micros)],
+            ops: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Add time to a named phase (accumulates across calls — a query
+    /// with subpatterns rewrites and plans more than once).
+    pub fn phase(&mut self, name: &'static str, elapsed: Duration) {
+        let micros = elapsed.as_micros() as u64;
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += micros,
+            None => self.phases.push((name, micros)),
+        }
+    }
+
+    /// Open an operator frame. Pair with [`exit`](Self::exit); frames
+    /// left open by an error path are simply never rendered.
+    pub fn enter(&mut self, label: String, snapshot: CounterSnapshot, rows_in: u64) {
+        let row = self.ops.len();
+        self.ops.push(OpRow {
+            label,
+            depth: self.stack.len(),
+            rows_in,
+            rows_out: 0,
+            micros: 0,
+            counters: CounterSnapshot::default(),
+        });
+        self.stack.push(Frame {
+            row,
+            start: Instant::now(),
+            entry: snapshot,
+            children: CounterSnapshot::default(),
+        });
+    }
+
+    /// Close the innermost operator frame.
+    pub fn exit(&mut self, snapshot: CounterSnapshot, rows_out: u64) {
+        let Some(frame) = self.stack.pop() else {
+            debug_assert!(false, "profiler exit without enter");
+            return;
+        };
+        let inclusive = snapshot.since(&frame.entry);
+        let row = &mut self.ops[frame.row];
+        row.rows_out = rows_out;
+        row.micros = frame.start.elapsed().as_micros() as u64;
+        row.counters = inclusive.since(&frame.children);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.children.add(&inclusive);
+        }
+    }
+
+    /// The recorded operator rows (pre-order).
+    pub fn ops(&self) -> &[OpRow] {
+        &self.ops
+    }
+
+    /// Render the profile. `exec_total` is the wall time of execution
+    /// (everything after parse); `totals` is the whole-query counter
+    /// delta the per-operator rows must sum to.
+    pub fn render(&self, exec_total: Duration, totals: &CounterSnapshot) -> String {
+        let mut out = String::from("EXPLAIN ANALYZE\n");
+        let exec_micros = exec_total.as_micros() as u64;
+        let planned: u64 = self
+            .phases
+            .iter()
+            .filter(|(n, _)| *n != "parse")
+            .map(|(_, m)| m)
+            .sum();
+        let parse = self
+            .phases
+            .iter()
+            .find(|(n, _)| *n == "parse")
+            .map(|(_, m)| *m)
+            .unwrap_or(0);
+        out.push_str("phases:");
+        for (name, micros) in &self.phases {
+            out.push_str(&format!(" {name}_us={micros}"));
+        }
+        out.push_str(&format!(
+            " exec_us={} total_us={}\n",
+            exec_micros.saturating_sub(planned),
+            parse + exec_micros
+        ));
+        out.push_str("operators:\n");
+        for op in &self.ops {
+            out.push_str(&format!(
+                "{}{} rows_in={} rows_out={} time_us={} {}\n",
+                "  ".repeat(op.depth + 1),
+                op.label,
+                op.rows_in,
+                op.rows_out,
+                op.micros,
+                op.counters.render_fields()
+            ));
+        }
+        out.push_str(&format!("totals: {}\n", totals.render_fields()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(statements: u64, chunks: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            statements,
+            chunks_fetched: chunks,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn exclusive_counters_subtract_children() {
+        let mut p = QueryProfiler::new(10);
+        p.enter("Join".into(), snap(0, 0), 1);
+        p.enter("Scan a".into(), snap(0, 0), 1);
+        p.exit(snap(2, 5), 4); // scan a: 2 statements, 5 chunks
+        p.enter("Scan b".into(), snap(2, 5), 4);
+        p.exit(snap(3, 6), 2); // scan b: 1 statement, 1 chunk
+        p.exit(snap(3, 6), 2); // join itself: nothing beyond children
+        let ops = p.ops();
+        assert_eq!(ops[0].counters, snap(0, 0));
+        assert_eq!(ops[1].counters, snap(2, 5));
+        assert_eq!(ops[2].counters, snap(1, 1));
+        // Exclusive rows sum to the whole-query delta.
+        let mut sum = CounterSnapshot::default();
+        for op in ops {
+            sum.add(&op.counters);
+        }
+        assert_eq!(sum, snap(3, 6));
+    }
+
+    #[test]
+    fn phases_accumulate_and_render() {
+        let mut p = QueryProfiler::new(7);
+        p.phase("rewrite", Duration::from_micros(3));
+        p.phase("plan", Duration::from_micros(5));
+        p.phase("rewrite", Duration::from_micros(2));
+        let text = p.render(Duration::from_micros(100), &snap(0, 0));
+        assert!(text.contains("parse_us=7"));
+        assert!(text.contains("rewrite_us=5"));
+        assert!(text.contains("plan_us=5"));
+        assert!(text.contains("exec_us=90")); // 100 - 5 - 5
+        assert!(text.contains("total_us=107"));
+        assert!(text.contains("totals: statements=0"));
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let mut p = QueryProfiler::new(0);
+        p.enter("Join".into(), snap(0, 0), 1);
+        p.enter("Scan ?s ?p ?o".into(), snap(0, 0), 1);
+        p.exit(snap(0, 0), 3);
+        p.exit(snap(0, 0), 3);
+        let text = p.render(Duration::from_micros(1), &snap(0, 0));
+        assert!(text.contains("\n  Join rows_in=1"));
+        assert!(text.contains("\n    Scan ?s ?p ?o rows_in=1 rows_out=3"));
+    }
+}

@@ -1,0 +1,189 @@
+//! `EXPLAIN ANALYZE` end-to-end: the profile parses, carries the
+//! expected counter names, and its per-operator rows exactly reconcile
+//! with the backend's `IoStats`/cache totals.
+
+use scisparql::{Dataset, QueryResult};
+
+/// A dataset with one externalized 4000-element array so queries do
+/// real chunked I/O.
+fn chunked_dataset() -> Dataset {
+    let mut ds = Dataset::in_memory();
+    ds.externalize_threshold = 16;
+    ds.chunk_bytes = 256; // 32 elements per chunk
+    let elems: Vec<String> = (0..4000).map(|i| i.to_string()).collect();
+    ds.load_turtle(&format!(
+        "@prefix ex: <http://example.org/> .
+         ex:m ex:data ({}) ; ex:station \"Uppsala\" .",
+        elems.join(" ")
+    ))
+    .unwrap();
+    ds
+}
+
+/// Parse `key=value` integer fields out of one profile line.
+fn fields(line: &str) -> std::collections::HashMap<String, u64> {
+    line.split_whitespace()
+        .filter_map(|tok| {
+            let (k, v) = tok.split_once('=')?;
+            Some((k.to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+#[test]
+fn profile_reports_phases_and_operators() {
+    let mut ds = chunked_dataset();
+    let result = ds
+        .query(
+            "PREFIX ex: <http://example.org/>
+             EXPLAIN ANALYZE SELECT (array_sum(?a) AS ?s)
+             WHERE { ?m ex:data ?a }",
+        )
+        .unwrap();
+    let QueryResult::Text(profile) = result else {
+        panic!("EXPLAIN ANALYZE must return text");
+    };
+    for needle in [
+        "EXPLAIN ANALYZE",
+        "phases:",
+        "parse_us=",
+        "rewrite_us=",
+        "plan_us=",
+        "exec_us=",
+        "total_us=",
+        "operators:",
+        "Scan",
+        "Project",
+        "rows_in=",
+        "rows_out=",
+        "time_us=",
+        "statements=",
+        "chunks=",
+        "bytes=",
+        "cache_hits=",
+        "cache_misses=",
+        "kernel_elems=",
+        "fallbacks=",
+        "totals:",
+    ] {
+        assert!(
+            profile.contains(needle),
+            "missing {needle:?} in:\n{profile}"
+        );
+    }
+}
+
+#[test]
+fn operator_counters_reconcile_with_io_totals() {
+    let mut ds = chunked_dataset();
+    let io_before = ds.arrays.backend().io_stats();
+    let cache_before = ds.arrays.backend().cache_stats();
+    let result = ds
+        .query(
+            "PREFIX ex: <http://example.org/>
+             EXPLAIN ANALYZE SELECT ?st (array_max(?a) AS ?m)
+             WHERE { ?x ex:data ?a ; ex:station ?st }
+             ORDER BY ?st",
+        )
+        .unwrap();
+    let QueryResult::Text(profile) = result else {
+        panic!("text result expected");
+    };
+    let io_after = ds.arrays.backend().io_stats();
+    let cache_after = ds.arrays.backend().cache_stats();
+
+    // Sum the exclusive per-operator counters.
+    let mut op_sums: std::collections::HashMap<String, u64> = Default::default();
+    let mut totals: std::collections::HashMap<String, u64> = Default::default();
+    for line in profile.lines() {
+        if line.starts_with("totals:") {
+            totals = fields(line);
+        } else if line.contains("time_us=") {
+            for (k, v) in fields(line) {
+                *op_sums.entry(k).or_default() += v;
+            }
+        }
+    }
+    assert!(!totals.is_empty(), "no totals line in:\n{profile}");
+
+    // Per-operator rows sum exactly to the profile totals...
+    for key in [
+        "statements",
+        "chunks",
+        "bytes",
+        "cache_hits",
+        "cache_misses",
+        "fallbacks",
+    ] {
+        assert_eq!(
+            op_sums.get(key),
+            totals.get(key),
+            "operator {key} rows don't sum to totals in:\n{profile}"
+        );
+    }
+    // ...and the totals are exactly the backend's IoStats/cache
+    // movement over the query.
+    assert_eq!(
+        totals["statements"],
+        io_after.statements - io_before.statements
+    );
+    assert_eq!(
+        totals["chunks"],
+        io_after.chunks_returned - io_before.chunks_returned
+    );
+    assert_eq!(
+        totals["bytes"],
+        io_after.bytes_returned - io_before.bytes_returned
+    );
+    assert_eq!(totals["cache_hits"], cache_after.hits - cache_before.hits);
+    assert_eq!(
+        totals["cache_misses"],
+        cache_after.misses - cache_before.misses
+    );
+    // The query really did chunked work, so the reconciliation above is
+    // not vacuous.
+    assert!(totals["statements"] > 0, "query did no I/O:\n{profile}");
+    assert!(totals["chunks"] > 0);
+}
+
+#[test]
+fn explain_analyze_executes_the_query() {
+    // EXPLAIN ANALYZE must *run* the query: the kernel element counter
+    // moves, unlike plain EXPLAIN which only plans.
+    let mut ds = chunked_dataset();
+    let before = ssdm_array::compute_stats().elements_processed;
+    ds.query(
+        "PREFIX ex: <http://example.org/>
+         EXPLAIN ANALYZE SELECT (array_sum(?a) AS ?s) WHERE { ?m ex:data ?a }",
+    )
+    .unwrap();
+    let after = ssdm_array::compute_stats().elements_processed;
+    assert!(after > before, "EXPLAIN ANALYZE did not execute");
+
+    let plain = ds
+        .query(
+            "PREFIX ex: <http://example.org/>
+             EXPLAIN SELECT (array_sum(?a) AS ?s) WHERE { ?m ex:data ?a }",
+        )
+        .unwrap();
+    let QueryResult::Text(tree) = plain else {
+        panic!()
+    };
+    assert!(tree.contains("Scan"));
+    assert!(!tree.contains("totals:"), "plain EXPLAIN must not profile");
+}
+
+#[test]
+fn query_profiled_returns_result_and_profile() {
+    let mut ds = chunked_dataset();
+    let (result, profile) = ds
+        .query_profiled(
+            "PREFIX ex: <http://example.org/>
+             SELECT ?st WHERE { ?m ex:station ?st }",
+        )
+        .unwrap();
+    let rows = result.into_rows().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(profile.contains("operators:"));
+    assert!(profile.contains("totals:"));
+}

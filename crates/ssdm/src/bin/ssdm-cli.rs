@@ -6,6 +6,7 @@
 //!          [--threshold N --chunk BYTES] [--cache BYTES] [--workers N]
 //!          [--exec 'QUERY'] [--snapshot FILE]
 //!          [--durable DIR] [--fsync always|interval[:MS]|off]
+//!          [--slow-query-ms N]
 //! ```
 //!
 //! `--durable DIR` opens a crash-safe instance: updates are write-ahead
@@ -16,8 +17,10 @@
 //!
 //! Without `--exec`, reads statements from stdin; a statement ends at a
 //! line containing only `;;` (queries may span lines). Meta-commands:
-//! `.load FILE`, `.save FILE`, `.checkpoint`, `.stats`, `.help`,
-//! `.quit`.
+//! `.load FILE`, `.save FILE`, `.checkpoint`, `.stats`, `.metrics`,
+//! `.profile on|off` (print an `EXPLAIN ANALYZE` profile after every
+//! statement), `.help`, `.quit`. `--slow-query-ms N` profiles only
+//! statements taking ≥ N ms.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -30,7 +33,7 @@ fn usage() -> ! {
          \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20               [--cache BYTES] [--workers N] [--snapshot FILE]\n\
          \x20               [--durable DIR] [--fsync always|interval[:MS]|off]\n\
-         \x20               [--exec 'STATEMENT']"
+         \x20               [--slow-query-ms N] [--exec 'STATEMENT']"
     );
     std::process::exit(2)
 }
@@ -46,6 +49,7 @@ fn main() {
     let mut snapshot: Option<PathBuf> = None;
     let mut durable: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut slow_query_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -97,6 +101,13 @@ fn main() {
                     .and_then(FsyncPolicy::parse)
                     .unwrap_or_else(|| usage())
             }
+            "--slow-query-ms" => {
+                slow_query_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -137,6 +148,7 @@ fn main() {
         None => Ssdm::open_with_cache(backend, cache_bytes),
     };
     db.set_parallel_workers(workers);
+    db.set_slow_query_ms(slow_query_ms);
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }
@@ -163,7 +175,7 @@ fn main() {
 
     if !exec.is_empty() {
         for statement in exec {
-            run(&mut db, &statement);
+            run(&mut db, &statement, false);
         }
         save_snapshot_if(&db, &snapshot);
         return;
@@ -173,6 +185,7 @@ fn main() {
     eprintln!("SSDM shell — end statements with a line ';;', '.help' for commands");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut profile = false;
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         let trimmed = line.trim();
@@ -181,11 +194,13 @@ fn main() {
             match (parts.next().unwrap_or(""), parts.next()) {
                 (".quit", _) | (".exit", _) => break,
                 (".help", _) => eprintln!(
-                    ".load FILE   load a Turtle file\n\
-                     .save FILE   write a snapshot\n\
-                     .checkpoint  durability checkpoint (snapshot + WAL truncate)\n\
-                     .stats       graph and back-end statistics\n\
-                     .quit        exit"
+                    ".load FILE       load a Turtle file\n\
+                     .save FILE       write a snapshot\n\
+                     .checkpoint      durability checkpoint (snapshot + WAL truncate)\n\
+                     .stats           graph and back-end statistics\n\
+                     .metrics         Prometheus text-format counter dump\n\
+                     .profile on|off  print an EXPLAIN ANALYZE profile per statement\n\
+                     .quit            exit"
                 ),
                 (".load", Some(f)) => match db.load_turtle_file(std::path::Path::new(f)) {
                     Ok(n) => eprintln!("loaded {n} triples"),
@@ -209,13 +224,25 @@ fn main() {
                     );
                     eprint!("{}", db.stats_report());
                 }
+                (".metrics", _) => eprint!("{}", db.metrics_prometheus()),
+                (".profile", mode) => match mode.map(str::trim) {
+                    Some("on") => {
+                        profile = true;
+                        eprintln!("profiling on: every statement prints its profile");
+                    }
+                    Some("off") => {
+                        profile = false;
+                        eprintln!("profiling off");
+                    }
+                    _ => eprintln!("usage: .profile on|off"),
+                },
                 other => eprintln!("unknown command {other:?}; try .help"),
             }
             continue;
         }
         if trimmed == ";;" {
             if !buffer.trim().is_empty() {
-                run(&mut db, &buffer);
+                run(&mut db, &buffer, profile);
             }
             buffer.clear();
             continue;
@@ -224,12 +251,23 @@ fn main() {
         buffer.push('\n');
     }
     if !buffer.trim().is_empty() {
-        run(&mut db, &buffer);
+        run(&mut db, &buffer, profile);
     }
     save_snapshot_if(&db, &snapshot);
 }
 
-fn run(db: &mut Ssdm, statement: &str) {
+fn run(db: &mut Ssdm, statement: &str, profile: bool) {
+    if profile {
+        match db.dataset.query_profiled(statement) {
+            Ok((result, profile)) => {
+                print!("{}", result.to_table());
+                std::io::stdout().flush().ok();
+                eprint!("{profile}");
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
     match db.query(statement) {
         Ok(result) => {
             print!("{}", result.to_table());

@@ -7,6 +7,7 @@
 //!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
 //!             [--workers N] [--apr-workers N] [--cache BYTES]
 //!             [--durable DIR] [--fsync always|interval[:MS]|off]
+//!             [--metrics ADDR:PORT] [--slow-query-ms N]
 //! ```
 //!
 //! `--durable DIR` serves a crash-safe instance: committed updates are
@@ -16,7 +17,10 @@
 //! manages its own chunk store).
 //!
 //! Send the statement `SHUTDOWN` to stop the server, `STATS` for
-//! back-end/cache/resilience/durability statistics.
+//! back-end/cache/resilience/durability statistics, `METRICS` for the
+//! Prometheus text dump. `--metrics` additionally serves that dump over
+//! plain HTTP for scrapers; `--slow-query-ms N` logs an `EXPLAIN
+//! ANALYZE` profile to stderr for every statement taking ≥ N ms.
 
 use std::path::PathBuf;
 
@@ -28,7 +32,8 @@ fn usage() -> ! {
         "usage: ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]\n\
          \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20                  [--workers N] [--apr-workers N] [--cache BYTES]\n\
-         \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]"
+         \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]\n\
+         \x20                  [--metrics ADDR:PORT] [--slow-query-ms N]"
     );
     std::process::exit(2)
 }
@@ -44,6 +49,8 @@ fn main() {
     let mut apr_workers: usize = 1;
     let mut durable: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut metrics: Option<String> = None;
+    let mut slow_query_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +109,14 @@ fn main() {
                     .and_then(FsyncPolicy::parse)
                     .unwrap_or_else(|| usage())
             }
+            "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
+            "--slow-query-ms" => {
+                slow_query_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -149,13 +164,23 @@ fn main() {
             }
         }
     }
-    let server = match Server::bind_with(&listen, db, config) {
+    db.set_slow_query_ms(slow_query_ms);
+    let mut server = match Server::bind_with(&listen, db, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {listen}: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(addr) = &metrics {
+        match server.enable_metrics(addr) {
+            Ok(bound) => eprintln!("metrics endpoint on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("cannot bind metrics endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "SSDM server listening on {}",
         server.local_addr().map(|a| a.to_string()).unwrap_or(listen)

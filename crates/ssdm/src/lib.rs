@@ -64,6 +64,10 @@ pub struct Ssdm {
     /// Durability state when opened via [`Ssdm::open_durable`]
     /// (WAL writer, recovery counters); `None` for volatile instances.
     pub(crate) durable: Option<durability::DurableState>,
+    /// Slow-query threshold: statements taking at least this many
+    /// milliseconds run with the profiler attached and log their
+    /// profile to stderr. `None` (default) disables the log.
+    slow_query_ms: Option<u64>,
 }
 
 impl Ssdm {
@@ -72,6 +76,7 @@ impl Ssdm {
         Ssdm {
             dataset,
             durable: None,
+            slow_query_ms: None,
         }
     }
 
@@ -93,78 +98,198 @@ impl Ssdm {
         Ssdm::from_dataset(Dataset::with_backend(cached))
     }
 
-    /// Human-readable back-end/cache/resilience/APR statistics — what
-    /// the CLI's `.stats` command and the server's `STATS` statement
-    /// print.
-    pub fn stats_report(&self) -> String {
+    /// Every counter the instance exposes, as one structured
+    /// [`ssdm_obs::Report`]. Lifetime counters carry the `cumulative`
+    /// scope; the array-proxy-resolution section is pushed twice — once
+    /// cumulative, once `last_op` (the most recent retrieval) — so the
+    /// two can never be silently conflated again.
+    pub fn report(&self) -> ssdm_obs::Report {
+        use ssdm_obs::Scope::{Cumulative, LastOp};
         let backend = self.dataset.arrays.backend();
         let io = backend.io_stats();
         let cache = backend.cache_stats();
         let res = backend.resilience_stats();
-        let apr = self.dataset.arrays.last_stats();
         let compute = ssdm_array::compute_stats();
-        let durability = match self.durability_stats() {
-            None => "durability: off\n".to_string(),
-            Some(d) => format!(
-                "durability: records={} bytes_appended={} fsyncs={} bytes_fsynced={} \
-                 segments={} rotations={} checkpoints={} replays={} replayed_records={} \
-                 replay_ms={:.1} torn_tails={} last_checkpoint_ms={:.1}\n",
-                d.wal.records_appended,
-                d.wal.bytes_appended,
-                d.wal.fsyncs,
-                d.wal.bytes_fsynced,
-                d.segments,
-                d.wal.segments_rotated,
-                d.wal.checkpoints,
-                d.replays,
-                d.replayed_records,
-                d.replay_ms,
-                d.torn_tail_truncations,
-                d.last_checkpoint_ms,
-            ),
-        };
-        format!(
-            "backend: statements={} chunks={} bytes={}\n\
-             cache: hits={} misses={} hit_rate={:.1}% evictions={} resident_bytes={} capacity_bytes={}\n\
-             resilience: retries={} transient={} permanent={} corruption_detected={} \
-             corruption_repaired={} short_reads={} giveups={}\n\
-             last_apr: statements={} chunks={} bytes={} elements={} fallbacks={} retries={} repaired={}\n\
-             compute: kernel_invocations={} elements={} scalar_fallbacks={} parallel_folds={}\n\
-             {}",
-            io.statements,
-            io.chunks_returned,
-            io.bytes_returned,
-            cache.hits,
-            cache.misses,
-            cache.hit_rate() * 100.0,
-            cache.evictions,
-            cache.resident_bytes,
-            cache.capacity_bytes,
-            res.retries,
+        let mut r = ssdm_obs::Report::default();
+
+        r.push_int("backend", Cumulative, "statements", io.statements);
+        r.push_int("backend", Cumulative, "chunks", io.chunks_returned);
+        r.push_int("backend", Cumulative, "bytes", io.bytes_returned);
+
+        r.push_int("cache", Cumulative, "hits", cache.hits);
+        r.push_int("cache", Cumulative, "misses", cache.misses);
+        r.push_float("cache", Cumulative, "hit_rate", cache.hit_rate());
+        r.push_int("cache", Cumulative, "evictions", cache.evictions);
+        r.push_int("cache", LastOp, "resident_bytes", cache.resident_bytes);
+        r.push_int("cache", LastOp, "capacity_bytes", cache.capacity_bytes);
+
+        r.push_int("resilience", Cumulative, "retries", res.retries);
+        r.push_int(
+            "resilience",
+            Cumulative,
+            "transient",
             res.transient_failures,
+        );
+        r.push_int(
+            "resilience",
+            Cumulative,
+            "permanent",
             res.permanent_failures,
+        );
+        r.push_int(
+            "resilience",
+            Cumulative,
+            "corruption_detected",
             res.corruption_detected,
+        );
+        r.push_int(
+            "resilience",
+            Cumulative,
+            "corruption_repaired",
             res.corruption_repaired,
-            res.short_reads,
-            res.giveups,
-            apr.statements,
-            apr.chunks_fetched,
-            apr.bytes_fetched,
-            apr.elements_resolved,
-            apr.fallbacks,
-            apr.retries,
-            apr.corruption_repaired,
+        );
+        r.push_int("resilience", Cumulative, "short_reads", res.short_reads);
+        r.push_int("resilience", Cumulative, "giveups", res.giveups);
+
+        for (scope, apr) in [
+            (Cumulative, self.dataset.arrays.cumulative_stats()),
+            (LastOp, self.dataset.arrays.last_stats()),
+        ] {
+            r.push_int("apr", scope, "statements", apr.statements);
+            r.push_int("apr", scope, "chunks", apr.chunks_fetched);
+            r.push_int("apr", scope, "bytes", apr.bytes_fetched);
+            r.push_int("apr", scope, "elements", apr.elements_resolved);
+            r.push_int("apr", scope, "fallbacks", apr.fallbacks);
+            r.push_int("apr", scope, "retries", apr.retries);
+            r.push_int("apr", scope, "repaired", apr.corruption_repaired);
+        }
+
+        r.push_int(
+            "compute",
+            Cumulative,
+            "kernel_invocations",
             compute.kernel_invocations,
+        );
+        r.push_int(
+            "compute",
+            Cumulative,
+            "elements",
             compute.elements_processed,
+        );
+        r.push_int(
+            "compute",
+            Cumulative,
+            "scalar_fallbacks",
             compute.scalar_fallbacks,
+        );
+        r.push_int(
+            "compute",
+            Cumulative,
+            "parallel_folds",
             compute.parallel_folds,
-            durability,
-        )
+        );
+
+        match self.durability_stats() {
+            None => r.push_int("durability", Cumulative, "enabled", 0),
+            Some(d) => {
+                r.push_int("durability", Cumulative, "enabled", 1);
+                r.push_int("durability", Cumulative, "records", d.wal.records_appended);
+                r.push_int(
+                    "durability",
+                    Cumulative,
+                    "bytes_appended",
+                    d.wal.bytes_appended,
+                );
+                r.push_int("durability", Cumulative, "fsyncs", d.wal.fsyncs);
+                r.push_int(
+                    "durability",
+                    Cumulative,
+                    "bytes_fsynced",
+                    d.wal.bytes_fsynced,
+                );
+                r.push_int("durability", Cumulative, "segments", d.segments);
+                r.push_int(
+                    "durability",
+                    Cumulative,
+                    "rotations",
+                    d.wal.segments_rotated,
+                );
+                r.push_int("durability", Cumulative, "checkpoints", d.wal.checkpoints);
+                r.push_int("durability", Cumulative, "replays", d.replays);
+                r.push_int(
+                    "durability",
+                    Cumulative,
+                    "replayed_records",
+                    d.replayed_records,
+                );
+                r.push_float("durability", Cumulative, "replay_ms", d.replay_ms);
+                r.push_int(
+                    "durability",
+                    Cumulative,
+                    "torn_tails",
+                    d.torn_tail_truncations,
+                );
+                r.push_float(
+                    "durability",
+                    LastOp,
+                    "last_checkpoint_ms",
+                    d.last_checkpoint_ms,
+                );
+            }
+        }
+        r
+    }
+
+    /// Human-readable back-end/cache/resilience/APR statistics — what
+    /// the CLI's `.stats` command and the server's `STATS` statement
+    /// print. One line per `section[scope]` of [`Ssdm::report`].
+    pub fn stats_report(&self) -> String {
+        self.report().render_text()
+    }
+
+    /// The Prometheus text-format metrics dump served by the `METRICS`
+    /// wire statement and the server's `--metrics` HTTP endpoint:
+    /// the structured [`Ssdm::report`] counters plus the process-wide
+    /// recorder's latency histograms (chunk fetch, WAL fsync, query).
+    pub fn metrics_prometheus(&self) -> String {
+        // Pre-register the core histograms so a scrape sees stable
+        // series (with zero counts) even before the first observation.
+        let rec = ssdm_obs::recorder();
+        for name in [
+            "ssdm_chunk_fetch_seconds",
+            "ssdm_wal_fsync_seconds",
+            "ssdm_query_seconds",
+        ] {
+            let _ = rec.histogram(name);
+        }
+        let mut out = self.report().render_prometheus();
+        out.push_str(&rec.prometheus_text());
+        out
+    }
+
+    /// Enable (`Some(ms)`) or disable (`None`) the slow-query log:
+    /// statements at or above the threshold run profiled and print
+    /// their `EXPLAIN ANALYZE` profile to stderr.
+    pub fn set_slow_query_ms(&mut self, ms: Option<u64>) {
+        self.slow_query_ms = ms;
     }
 
     /// Parse and execute one SciSPARQL statement.
     pub fn query(&mut self, text: &str) -> Result<QueryResult, QueryError> {
-        self.dataset.query(text)
+        let Some(threshold) = self.slow_query_ms else {
+            return self.dataset.query(text);
+        };
+        let start = std::time::Instant::now();
+        let (result, profile) = self.dataset.query_profiled(text)?;
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        if elapsed_ms >= threshold {
+            eprintln!(
+                "[ssdm] slow query: {elapsed_ms} ms (threshold {threshold} ms)\n\
+                 {}\n{profile}",
+                text.trim()
+            );
+        }
+        Ok(result)
     }
 
     /// Load Turtle text (collections consolidate into arrays; arrays

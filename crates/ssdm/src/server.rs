@@ -11,11 +11,17 @@
 //!   names, then one row per solution, arrays in collection notation);
 //!   ASK returns `true`/`false`; updates return `inserted N deleted M`.
 //!
-//! Three statements are handled by the wire layer itself: `SHUTDOWN`
+//! Four statements are handled by the wire layer itself: `SHUTDOWN`
 //! stops the server, `STATS` returns the engine's back-end / cache /
 //! resilience / APR / durability statistics ([`Ssdm::stats_report`]),
+//! `METRICS` returns the same counters plus the process-wide latency
+//! histograms in Prometheus text format ([`Ssdm::metrics_prometheus`]),
 //! and `CHECKPOINT` runs a durability checkpoint
 //! ([`Ssdm::checkpoint`]; an error on non-durable engines).
+//!
+//! An optional plain-HTTP metrics endpoint ([`Server::enable_metrics`],
+//! the `--metrics` flag of `ssdm-server`) serves the same Prometheus
+//! dump to scrapers that speak HTTP rather than the framed protocol.
 //!
 //! # Concurrency
 //!
@@ -93,6 +99,7 @@ pub struct Server {
     listener: TcpListener,
     db: Ssdm,
     config: ServerConfig,
+    metrics: Option<TcpListener>,
 }
 
 /// What reading one request frame produced.
@@ -121,12 +128,28 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             db,
             config,
+            metrics: None,
         })
     }
 
     /// The bound address (to hand to clients).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// Bind a plain-HTTP Prometheus metrics endpoint (use port 0 for an
+    /// ephemeral port); returns the bound address. Every HTTP request
+    /// is answered with [`Ssdm::metrics_prometheus`]. The endpoint
+    /// thread starts with [`Server::serve`] and lives for the rest of
+    /// the process.
+    pub fn enable_metrics(
+        &mut self,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<std::net::SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        self.metrics = Some(listener);
+        Ok(bound)
     }
 
     /// Serve connections until a client sends the statement `SHUTDOWN`.
@@ -143,8 +166,13 @@ impl Server {
             listener,
             db,
             config,
+            metrics,
         } = self;
         let engine = Arc::new(Mutex::new(db));
+        if let Some(metrics_listener) = metrics {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || serve_metrics(metrics_listener, engine));
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let wake_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
@@ -247,6 +275,14 @@ fn handle_connection(
             write_response(&mut stream, 0, &report, max)?;
             continue;
         }
+        if text.trim().eq_ignore_ascii_case("METRICS") {
+            let metrics = engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .metrics_prometheus();
+            write_response(&mut stream, 0, &metrics, max)?;
+            continue;
+        }
         if text.trim().eq_ignore_ascii_case("CHECKPOINT") {
             let outcome = engine
                 .lock()
@@ -286,6 +322,43 @@ fn handle_connection(
                 )?;
             }
         }
+    }
+}
+
+/// The accept loop of the HTTP metrics endpoint: answer any request on
+/// any path with the current Prometheus dump, then close. Minimal by
+/// design — a scraper target, not a web server.
+fn serve_metrics(listener: TcpListener, engine: Arc<Mutex<Ssdm>>) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        // Drain the request head; we answer identically regardless.
+        let mut buf = [0u8; 4096];
+        let mut head = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 64 * 1024 {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let body = engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .metrics_prometheus();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.flush();
     }
 }
 
@@ -660,14 +733,95 @@ mod tests {
             .unwrap();
         let report = client.query("STATS").unwrap();
         for section in [
-            "backend:",
-            "cache:",
-            "resilience:",
-            "last_apr:",
-            "durability:",
+            "backend[cumulative]:",
+            "cache[cumulative]:",
+            "resilience[cumulative]:",
+            "apr[cumulative]:",
+            "apr[last_op]:",
+            "compute[cumulative]:",
+            "durability[cumulative]:",
         ] {
             assert!(report.contains(section), "missing {section} in {report}");
         }
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_statement_returns_valid_prometheus_text() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .query(
+                "PREFIX ex: <http://e#>
+                 SELECT (array_sum(?v) AS ?s) WHERE { ex:a ex:v ?v }",
+            )
+            .unwrap();
+        let metrics = client.query("METRICS").unwrap();
+        ssdm_obs::validate_prometheus_text(&metrics)
+            .unwrap_or_else(|e| panic!("invalid Prometheus text: {e}\n{metrics}"));
+        for series in [
+            "ssdm_backend_statements_total",
+            "ssdm_cache_hits_total",
+            "ssdm_compute_elements_total",
+            "ssdm_chunk_fetch_seconds",
+            "ssdm_wal_fsync_seconds",
+            "ssdm_query_seconds_count",
+        ] {
+            assert!(metrics.contains(series), "missing {series} in:\n{metrics}");
+        }
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn explain_analyze_over_the_wire() {
+        let (addr, handle) = spawn_server();
+        let mut client = Client::connect(addr).unwrap();
+        let profile = client
+            .query(
+                "PREFIX ex: <http://e#>
+                 EXPLAIN ANALYZE SELECT (array_sum(?v) AS ?s) WHERE { ex:a ex:v ?v }",
+            )
+            .unwrap();
+        for needle in [
+            "EXPLAIN ANALYZE",
+            "phases:",
+            "operators:",
+            "totals:",
+            "time_us=",
+        ] {
+            assert!(profile.contains(needle), "missing {needle} in:\n{profile}");
+        }
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn http_metrics_endpoint_serves_prometheus_dump() {
+        let db = Ssdm::open(Backend::Memory);
+        let mut server = Server::bind("127.0.0.1:0", db).unwrap();
+        let addr = server.local_addr().unwrap();
+        let metrics_addr = server.enable_metrics("127.0.0.1:0").unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let mut http = TcpStream::connect(metrics_addr).unwrap();
+        http.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+            .unwrap();
+        http.flush().unwrap();
+        let mut response = String::new();
+        http.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"), "{response}");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b)
+            .unwrap_or_default();
+        ssdm_obs::validate_prometheus_text(body)
+            .unwrap_or_else(|e| panic!("invalid Prometheus text: {e}\n{body}"));
+        assert!(body.contains("ssdm_backend_statements_total"), "{body}");
+
+        let mut client = Client::connect(addr).unwrap();
         client.shutdown().unwrap();
         handle.join().unwrap();
     }

@@ -10,7 +10,7 @@
 //! performed on the server" behaviour of the abstract.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ssdm_array::{kernel, AggregateOp, ArrayData, LinearRuns, Num, NumArray, NumericType};
 
@@ -75,6 +75,26 @@ impl AprStats {
     pub fn degraded(&self) -> bool {
         self.fallbacks > 0 || self.retries > 0 || self.corruption_repaired > 0
     }
+
+    /// Field-wise accumulation (used for the store-lifetime totals).
+    fn accumulate(&mut self, delta: &AprStats) {
+        self.statements += delta.statements;
+        self.chunks_fetched += delta.chunks_fetched;
+        self.bytes_fetched += delta.bytes_fetched;
+        self.elements_resolved += delta.elements_resolved;
+        self.fallbacks += delta.fallbacks;
+        self.retries += delta.retries;
+        self.corruption_repaired += delta.corruption_repaired;
+    }
+}
+
+/// Process-wide chunk-fetch latency histogram. Sequential fetch ops
+/// ([`ArrayStore::execute`]) and parallel workers
+/// ([`crate::parallel::fetch_plan`]) both time each back-end statement
+/// into it.
+pub(crate) fn obs_chunk_fetch_hist() -> &'static Arc<ssdm_obs::Histogram> {
+    static H: OnceLock<Arc<ssdm_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| ssdm_obs::recorder().histogram("ssdm_chunk_fetch_seconds"))
 }
 
 /// The array catalog plus its chunk back-end: SSDM's handle on
@@ -84,6 +104,7 @@ pub struct ArrayStore<S: ChunkStore> {
     catalog: HashMap<u64, Arc<ArrayMeta>>,
     next_id: u64,
     last_stats: AprStats,
+    cumulative: AprStats,
 }
 
 impl<S: ChunkStore> ArrayStore<S> {
@@ -93,6 +114,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             catalog: HashMap::new(),
             next_id: 1,
             last_stats: AprStats::default(),
+            cumulative: AprStats::default(),
         }
     }
 
@@ -107,6 +129,13 @@ impl<S: ChunkStore> ArrayStore<S> {
     /// Statistics of the most recent resolve call.
     pub fn last_stats(&self) -> AprStats {
         self.last_stats
+    }
+
+    /// Totals accumulated over every resolve this store has performed.
+    /// Reported alongside [`last_stats`](Self::last_stats) under an
+    /// explicit `cumulative` scope so the two can't be conflated.
+    pub fn cumulative_stats(&self) -> AprStats {
+        self.cumulative
     }
 
     /// Linearize and store an array in chunks of `chunk_bytes`,
@@ -456,6 +485,7 @@ impl<S: ChunkStore> ArrayStore<S> {
     }
 
     fn execute(&mut self, array_id: u64, op: &FetchOp) -> Result<Vec<(u64, Vec<u8>)>> {
+        let _span = ssdm_obs::Span::start(obs_chunk_fetch_hist());
         match op {
             FetchOp::Range { lo, hi } => self.backend.get_chunk_range(array_id, *lo, *hi),
             FetchOp::In(ids) => {
@@ -525,6 +555,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             retries: res.retries,
             corruption_repaired: res.corruption_repaired,
         };
+        self.cumulative.accumulate(&self.last_stats);
     }
 }
 

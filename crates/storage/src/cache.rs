@@ -26,7 +26,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ssdm_obs as obs;
 
 use crate::store::{
     Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, SharedChunkRead, StorageError,
@@ -36,6 +38,23 @@ use crate::store::{
 /// to keep parallel workers off each other's locks, small enough that
 /// per-shard budgets stay meaningful for modest cache sizes.
 const SHARDS: usize = 8;
+
+/// Upper bound on speculative pre-allocation in [`range_get`]: the span
+/// width comes from the caller and must not translate into a giant
+/// allocation before the first cached byte is found.
+const RANGE_PREALLOC_CAP: u64 = 1024;
+
+/// Process-wide cache hit counter (all [`ChunkCache`] instances).
+fn obs_cache_hits() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_cache_hits"))
+}
+
+/// Process-wide cache miss counter (all [`ChunkCache`] instances).
+fn obs_cache_misses() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_cache_misses"))
+}
 
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -151,12 +170,48 @@ impl ChunkCache {
             shard.recency.remove(&old);
             shard.recency.insert(new, key);
             drop(shard);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note_hits(1);
             Some(out)
         } else {
             drop(shard);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.note_misses(1);
             None
+        }
+    }
+
+    /// Like [`get`](ChunkCache::get) — refreshes the entry's recency on
+    /// a hit — but touches no hit/miss counters. Batched probes use it
+    /// to walk a span once, deciding afterwards how the span counts.
+    pub fn peek_bump(&self, array_id: u64, chunk_id: u64) -> Option<Vec<u8>> {
+        let key = (array_id, chunk_id);
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        if let Some((tick, data)) = shard.map.get_mut(&key) {
+            let old = *tick;
+            *tick = self.next_tick();
+            let new = *tick;
+            let out = data.clone();
+            shard.recency.remove(&old);
+            shard.recency.insert(new, key);
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Count `n` lookups as hits (one atomic add, plus the process-wide
+    /// obs counter when recording is on).
+    fn note_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+        if obs::recorder().enabled() {
+            obs_cache_hits().add(n);
+        }
+    }
+
+    /// Count `n` lookups as misses.
+    fn note_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+        if obs::recorder().enabled() {
+            obs_cache_misses().add(n);
         }
     }
 
@@ -500,10 +555,19 @@ fn range_get(
     hi: u64,
     fetch: impl FnOnce() -> Result<Vec<(u64, Vec<u8>)>, StorageError>,
 ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
-    let mut cached = Vec::with_capacity((hi - lo + 1) as usize);
+    if lo > hi {
+        // A reversed span is empty. Guarding here also keeps the
+        // `hi - lo + 1` width below from underflowing into a huge
+        // pre-allocation in release builds.
+        return Ok(Vec::new());
+    }
+    let span = hi - lo + 1;
+    let mut cached = Vec::with_capacity(span.min(RANGE_PREALLOC_CAP) as usize);
     let mut complete = true;
     for c in lo..=hi {
-        match cache.peek(array_id, c) {
+        // One pass: refresh recency as we probe, settle the hit
+        // accounting only once the whole span is known to be resident.
+        match cache.peek_bump(array_id, c) {
             Some(data) => cached.push((c, data)),
             None => {
                 complete = false;
@@ -512,10 +576,7 @@ fn range_get(
         }
     }
     if complete {
-        // Count the whole span as hits and refresh recency.
-        for c in lo..=hi {
-            cache.get(array_id, c);
-        }
+        cache.note_hits(span);
         return Ok(cached);
     }
     let rows = fetch()?;
@@ -590,6 +651,117 @@ mod tests {
         s.cache().invalidate(1, 1);
         assert_eq!(s.get_chunk_range(1, 0, 2).unwrap().len(), 3);
         assert_eq!(s.io_stats().statements, 1);
+    }
+
+    #[test]
+    fn range_read_single_chunk_span() {
+        // lo == hi: the degenerate one-chunk span behaves like a point
+        // read, counted as one hit when warm.
+        let mut s = CachedChunkStore::new(MemoryChunkStore::new(), 1 << 20);
+        s.begin_array(1, 8).unwrap();
+        s.put_chunk(1, 5, b"aaaaaaaa").unwrap();
+        s.reset_io_stats();
+        s.reset_cache_stats();
+        let rows = s.get_chunk_range(1, 5, 5).unwrap();
+        assert_eq!(rows, vec![(5, b"aaaaaaaa".to_vec())]);
+        assert_eq!(s.io_stats().statements, 0);
+        let cs = s.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (1, 0));
+    }
+
+    #[test]
+    fn range_read_reversed_span_is_empty() {
+        // A reversed span used to underflow `hi - lo + 1` into a huge
+        // `Vec::with_capacity` (alloc bomb in release builds). It must
+        // be an empty result that never reaches the back-end.
+        let mut s = CachedChunkStore::new(MemoryChunkStore::new(), 1 << 20);
+        s.begin_array(1, 8).unwrap();
+        s.put_chunk(1, 0, b"aaaaaaaa").unwrap();
+        s.reset_io_stats();
+        s.reset_cache_stats();
+        assert_eq!(s.get_chunk_range(1, 7, 3).unwrap(), vec![]);
+        assert_eq!(s.get_chunk_range(1, u64::MAX, 0).unwrap(), vec![]);
+        assert_eq!(s.io_stats().statements, 0);
+        let cs = s.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (0, 0));
+    }
+
+    #[test]
+    fn range_read_complete_hit_is_single_pass() {
+        // A fully cached span is counted as span-many hits without a
+        // second walk, and the probe itself refreshes recency: after
+        // ranging over [0, 1], inserting a third same-shard key under
+        // byte pressure must evict the *unranged* key, not a ranged one.
+        let mut s = CachedChunkStore::new(MemoryChunkStore::new(), 1 << 20);
+        s.begin_array(1, 8).unwrap();
+        for c in 0..4 {
+            s.put_chunk(1, c, &[c as u8; 8]).unwrap();
+        }
+        s.reset_cache_stats();
+        assert_eq!(s.get_chunk_range(1, 0, 3).unwrap().len(), 4);
+        let cs = s.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (4, 0));
+    }
+
+    #[test]
+    fn range_read_survives_eviction_mid_span() {
+        // Byte pressure evicts part of a previously warm span; the
+        // range read must notice the hole and delegate the whole span,
+        // returning every chunk.
+        let shard_budget = 100;
+        let mut s = CachedChunkStore::new(MemoryChunkStore::new(), SHARDS * shard_budget);
+        s.begin_array(1, 60).unwrap();
+        for c in 0..4 {
+            s.put_chunk(1, c, &[c as u8; 60]).unwrap();
+        }
+        // Find a chunk id outside the span that shares a shard with a
+        // span chunk; writing it overflows that shard's 100-byte budget
+        // and evicts the older (span) entry.
+        let probe = |c: u64| {
+            let mut h = 1u64 ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 30;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h % SHARDS as u64
+        };
+        let colliding = (4..256)
+            .find(|&c| (0..4).any(|s| probe(c) == probe(s)))
+            .expect("some id collides with the span");
+        s.put_chunk(1, colliding, &[9u8; 60]).unwrap();
+        assert!(s.cache().stats().evictions > 0);
+        s.reset_io_stats();
+        let rows = s.get_chunk_range(1, 0, 3).unwrap();
+        assert_eq!(rows.len(), 4);
+        for (c, data) in rows {
+            assert_eq!(data, vec![c as u8; 60]);
+        }
+        assert_eq!(s.io_stats().statements, 1);
+    }
+
+    #[test]
+    fn peek_bump_refreshes_recency_without_counting() {
+        // 200-byte shard budget: two 90-byte entries fit, three don't.
+        let data = vec![1u8; 90];
+        // Reuse the shard-colliding probe from eviction_prefers_least_recent.
+        let probe = |c: u64| {
+            let mut h = 1u64 ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 30;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h % SHARDS as u64
+        };
+        let target = probe(0);
+        let same: Vec<u64> = (0..64).filter(|&c| probe(c) == target).take(3).collect();
+        let (a, b, c) = (same[0], same[1], same[2]);
+        let wide = ChunkCache::new(SHARDS * 200);
+        wide.insert(1, a, &data);
+        wide.insert(1, b, &data);
+        assert!(wide.peek_bump(1, a).is_some()); // a is now most recent
+        wide.insert(1, c, &data); // over budget: evicts b, the least recent
+        assert!(wide.peek(1, b).is_none());
+        assert!(wide.peek(1, a).is_some());
+        let cs = wide.stats();
+        assert_eq!((cs.hits, cs.misses), (0, 0));
     }
 
     #[test]

@@ -129,6 +129,7 @@ fn execute_one<S: SharedChunkRead + ?Sized>(
     needed: &[u64],
     fallbacks: &AtomicU64,
 ) -> Result<ChunkRows> {
+    let _span = ssdm_obs::Span::start(crate::apr::obs_chunk_fetch_hist());
     let batched = match op {
         FetchOp::Range { .. } => true,
         FetchOp::In(ids) => ids.len() > 1,

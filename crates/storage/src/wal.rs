@@ -57,7 +57,15 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Process-wide WAL fsync stall histogram: every `sync_data` the writer
+/// issues is timed into it, so `METRICS` exposes fsync tail latency.
+fn obs_fsync_hist() -> &'static Arc<ssdm_obs::Histogram> {
+    static H: OnceLock<Arc<ssdm_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| ssdm_obs::recorder().histogram("ssdm_wal_fsync_seconds"))
+}
 
 use crate::frame;
 use crate::store::StorageError;
@@ -86,7 +94,10 @@ pub enum FsyncPolicy {
 
 impl FsyncPolicy {
     /// Parse a CLI spelling: `always`, `off`, `interval` (default
-    /// 100ms) or `interval:MILLIS`.
+    /// 100ms) or `interval:MILLIS`. `interval:0` normalises to
+    /// `always` — a zero period means "fsync due on every append", and
+    /// reporting it as an interval would misstate the durability
+    /// contract actually in force.
     pub fn parse(text: &str) -> Option<FsyncPolicy> {
         match text {
             "always" => Some(FsyncPolicy::Always),
@@ -94,7 +105,11 @@ impl FsyncPolicy {
             "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(100))),
             other => {
                 let ms: u64 = other.strip_prefix("interval:")?.parse().ok()?;
-                Some(FsyncPolicy::Interval(Duration::from_millis(ms)))
+                if ms == 0 {
+                    Some(FsyncPolicy::Always)
+                } else {
+                    Some(FsyncPolicy::Interval(Duration::from_millis(ms)))
+                }
             }
         }
     }
@@ -577,7 +592,9 @@ impl WalWriter {
                 return Err(simulated_crash());
             }
         }
+        let span = ssdm_obs::Span::start(obs_fsync_hist());
         self.file.sync_data()?;
+        drop(span);
         self.stats.fsyncs += 1;
         self.stats.bytes_fsynced += self.pending_bytes;
         self.pending_bytes = 0;
@@ -944,6 +961,37 @@ mod tests {
             FsyncPolicy::Interval(Duration::from_millis(250)).to_string(),
             "interval:250"
         );
+    }
+
+    #[test]
+    fn fsync_policy_zero_interval_normalises_to_always() {
+        // `interval:0` used to be accepted verbatim: it fsynced on
+        // every append (a zero period is always elapsed) while
+        // *reporting* itself as `interval:0` — the displayed policy and
+        // the durability behaviour disagreed.
+        assert_eq!(FsyncPolicy::parse("interval:0"), Some(FsyncPolicy::Always));
+        assert_eq!(
+            FsyncPolicy::parse("interval:0").unwrap().to_string(),
+            "always"
+        );
+    }
+
+    #[test]
+    fn fsync_policy_parse_display_round_trips() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Off,
+            FsyncPolicy::Interval(Duration::from_millis(1)),
+            FsyncPolicy::Interval(Duration::from_millis(100)),
+            FsyncPolicy::Interval(Duration::from_millis(250)),
+        ] {
+            let spelled = policy.to_string();
+            assert_eq!(
+                FsyncPolicy::parse(&spelled),
+                Some(policy),
+                "round-trip through {spelled:?}"
+            );
+        }
     }
 
     #[test]
