@@ -4,6 +4,7 @@
 //! ```text
 //! ssdm-cli [--backend memory|relational|file:DIR] [--load FILE.ttl]...
 //!          [--threshold N --chunk BYTES] [--cache BYTES] [--workers N]
+//!          [--shards N] [--replicas K]
 //!          [--exec 'QUERY'] [--snapshot FILE]
 //!          [--durable DIR] [--fsync always|interval[:MS]|off]
 //!          [--slow-query-ms N]
@@ -14,6 +15,12 @@
 //! start; `--fsync` picks the durability/latency trade-off. `--durable`
 //! replaces `--backend`/`--cache`/`--snapshot` (the instance manages
 //! its own chunk store and checkpoints — use `.checkpoint`).
+//!
+//! `--shards N` spreads externalized arrays over N back-ends of the
+//! chosen kind by rendezvous placement; `--replicas K` adds K
+//! WAL-shipping read replicas per shard (failover and breaker counters
+//! show under `.stats`). Not combinable with `--durable`, whose
+//! statement journal manages a single store.
 //!
 //! Without `--exec`, reads statements from stdin; a statement ends at a
 //! line containing only `;;` (queries may span lines). Meta-commands:
@@ -32,6 +39,7 @@ fn usage() -> ! {
         "usage: ssdm-cli [--backend memory|relational|file:DIR]\n\
          \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20               [--cache BYTES] [--workers N] [--snapshot FILE]\n\
+         \x20               [--shards N] [--replicas K]\n\
          \x20               [--durable DIR] [--fsync always|interval[:MS]|off]\n\
          \x20               [--slow-query-ms N] [--exec 'STATEMENT']"
     );
@@ -50,6 +58,8 @@ fn main() {
     let mut durable: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut slow_query_ms: Option<u64> = None;
+    let mut shards: usize = 1;
+    let mut replicas: usize = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,6 +118,18 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--replicas" => {
+                replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -116,6 +138,10 @@ fn main() {
         }
     }
 
+    if durable.is_some() && (shards > 1 || replicas > 0) {
+        eprintln!("--shards/--replicas cannot be combined with --durable");
+        std::process::exit(2);
+    }
     let mut db = match &durable {
         Some(dir) => {
             let options = DurableOptions {
@@ -144,6 +170,9 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        None if shards > 1 || replicas > 0 => {
+            Ssdm::open_sharded(backend, shards, replicas, cache_bytes)
         }
         None => Ssdm::open_with_cache(backend, cache_bytes),
     };

@@ -6,6 +6,7 @@
 //! ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]
 //!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
 //!             [--workers N] [--apr-workers N] [--cache BYTES]
+//!             [--shards N] [--replicas K]
 //!             [--durable DIR] [--fsync always|interval[:MS]|off]
 //!             [--metrics ADDR:PORT] [--slow-query-ms N]
 //! ```
@@ -15,6 +16,11 @@
 //! clients trigger checkpoints with the `CHECKPOINT` wire statement.
 //! `--durable` replaces `--backend`/`--cache` (the durable instance
 //! manages its own chunk store).
+//!
+//! `--shards N` spreads externalized arrays over N back-ends of the
+//! chosen kind; `--replicas K` adds K WAL-shipping read replicas per
+//! shard, with automatic failover (counters under `STATS` and the
+//! Prometheus dump). Not combinable with `--durable`.
 //!
 //! Send the statement `SHUTDOWN` to stop the server, `STATS` for
 //! back-end/cache/resilience/durability statistics, `METRICS` for the
@@ -32,6 +38,7 @@ fn usage() -> ! {
         "usage: ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]\n\
          \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20                  [--workers N] [--apr-workers N] [--cache BYTES]\n\
+         \x20                  [--shards N] [--replicas K]\n\
          \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]\n\
          \x20                  [--metrics ADDR:PORT] [--slow-query-ms N]"
     );
@@ -51,6 +58,8 @@ fn main() {
     let mut fsync = FsyncPolicy::Always;
     let mut metrics: Option<String> = None;
     let mut slow_query_ms: Option<u64> = None;
+    let mut shards: usize = 1;
+    let mut replicas: usize = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -110,6 +119,18 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--replicas" => {
+                replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--slow-query-ms" => {
                 slow_query_ms = Some(
                     args.next()
@@ -125,6 +146,10 @@ fn main() {
         }
     }
 
+    if durable.is_some() && (shards > 1 || replicas > 0) {
+        eprintln!("--shards/--replicas cannot be combined with --durable");
+        std::process::exit(2);
+    }
     let mut db = match &durable {
         Some(dir) => {
             let options = DurableOptions {
@@ -148,6 +173,9 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        None if shards > 1 || replicas > 0 => {
+            Ssdm::open_sharded(backend, shards, replicas, cache_bytes)
         }
         None => Ssdm::open_with_cache(backend, cache_bytes),
     };

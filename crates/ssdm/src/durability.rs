@@ -202,6 +202,12 @@ impl Ssdm {
                     db.dataset.load_turtle_named(graph, text)?;
                 }
                 WalRecord::Checkpoint { .. } => {}
+                // Chunk-level records belong to shard-replication WALs
+                // (`ShardedChunkStore`), never to the statement journal;
+                // skip them rather than fail recovery if one strays in.
+                WalRecord::BeginArray { .. }
+                | WalRecord::PutChunk { .. }
+                | WalRecord::DeleteArray { .. } => {}
             }
             replayed_records += 1;
         }

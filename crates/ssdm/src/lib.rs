@@ -39,10 +39,13 @@ pub mod workflow;
 use std::path::PathBuf;
 
 use scisparql::{Dataset, QueryError, QueryResult};
-use ssdm_storage::{CachedChunkStore, ChunkStore, FileChunkStore, MemoryChunkStore, RelChunkStore};
+use ssdm_storage::{
+    CachedChunkStore, ChunkStore, FileChunkStore, MemoryChunkStore, RelChunkStore,
+    ShardedChunkStore, SharedChunkStore,
+};
 
 pub use durability::{DurabilityStats, DurableOptions};
-pub use ssdm_storage::{CrashPlan, FsyncPolicy};
+pub use ssdm_storage::{CrashPlan, FsyncPolicy, ShardOptions, ShardStats};
 
 /// Storage back-end selection for externalized arrays.
 pub enum Backend {
@@ -96,6 +99,37 @@ impl Ssdm {
         let cached: scisparql::dataset::DynChunkStore =
             Box::new(CachedChunkStore::new(raw_store(backend), cache_bytes));
         Ssdm::from_dataset(Dataset::with_backend(cached))
+    }
+
+    /// Open an instance whose arrays are spread across `shards`
+    /// independent back-ends of the chosen kind by rendezvous placement
+    /// on `(array_id, chunk_id)`, each shard optionally carrying
+    /// `replicas` WAL-shipping read replicas ([`ShardedChunkStore`]).
+    /// `cache_bytes > 0` fronts the whole cluster with the shared LRU
+    /// chunk cache, exactly as [`Ssdm::open_with_cache`] does for a
+    /// single back-end. `shards <= 1` with no replicas degenerates to
+    /// the unsharded open (results are bit-identical either way).
+    pub fn open_sharded(
+        backend: Backend,
+        shards: usize,
+        replicas: usize,
+        cache_bytes: usize,
+    ) -> Self {
+        let shards = shards.max(1);
+        if shards == 1 && replicas == 0 {
+            return Self::open_with_cache(backend, cache_bytes);
+        }
+        let opts = ShardOptions {
+            replicas,
+            ..ShardOptions::default()
+        };
+        let store = sharded_store(backend, shards, opts);
+        let boxed: scisparql::dataset::DynChunkStore = if cache_bytes == 0 {
+            Box::new(store)
+        } else {
+            Box::new(CachedChunkStore::new(store, cache_bytes))
+        };
+        Ssdm::from_dataset(Dataset::with_backend(boxed))
     }
 
     /// Every counter the instance exposes, as one structured
@@ -237,6 +271,46 @@ impl Ssdm {
                 );
             }
         }
+
+        if let Some(sh) = backend.shard_stats() {
+            r.push_int("shards", Cumulative, "count", sh.shards.len() as u64);
+            r.push_int("shards", Cumulative, "failovers", sh.failovers);
+            r.push_int("shards", Cumulative, "breaker_opens", sh.breaker_opens);
+            r.push_int("shards", Cumulative, "degraded_reads", sh.degraded_reads);
+            for (i, s) in sh.shards.iter().enumerate() {
+                r.push_int(
+                    "shards",
+                    Cumulative,
+                    interned(format!("shard{i}_primary_reads")),
+                    s.primary_reads,
+                );
+                r.push_int(
+                    "shards",
+                    Cumulative,
+                    interned(format!("shard{i}_replica_reads")),
+                    s.replica_reads,
+                );
+                r.push_int(
+                    "shards",
+                    Cumulative,
+                    interned(format!("shard{i}_failovers")),
+                    s.failovers,
+                );
+                r.push_int(
+                    "shards",
+                    LastOp,
+                    interned(format!("shard{i}_alive")),
+                    u64::from(s.primary_alive)
+                        + s.replicas.iter().filter(|rep| rep.alive).count() as u64,
+                );
+                r.push_int(
+                    "shards",
+                    LastOp,
+                    interned(format!("shard{i}_replica_lag")),
+                    s.replicas.iter().map(|rep| rep.lag).max().unwrap_or(0),
+                );
+            }
+        }
         r
     }
 
@@ -337,4 +411,81 @@ fn raw_store(backend: Backend) -> scisparql::dataset::DynChunkStore {
             RelChunkStore::create_file(&path, options).expect("cannot create database file"),
         ),
     }
+}
+
+/// Build the sharded cluster for [`Ssdm::open_sharded`]: one primary of
+/// the chosen kind per shard. Persistent kinds split their on-disk
+/// location per shard (`dir/shard-N`, `path.shardN`) and keep the
+/// replication state (WALs, replica segment copies) next to the data;
+/// volatile kinds use a private temp root removed on drop.
+fn sharded_store(backend: Backend, shards: usize, opts: ShardOptions) -> ShardedChunkStore {
+    let boxed = |s: Vec<_>| -> Vec<Box<dyn SharedChunkStore>> { s };
+    match backend {
+        Backend::Memory => ShardedChunkStore::new(
+            (0..shards)
+                .map(|_| Box::new(MemoryChunkStore::new()) as Box<dyn SharedChunkStore>)
+                .collect(),
+            opts,
+        ),
+        Backend::Relational => ShardedChunkStore::new(
+            (0..shards)
+                .map(|_| {
+                    Box::new(RelChunkStore::open_memory().expect("in-memory store"))
+                        as Box<dyn SharedChunkStore>
+                })
+                .collect(),
+            opts,
+        ),
+        Backend::File(dir) => ShardedChunkStore::with_root(
+            boxed(
+                (0..shards)
+                    .map(|i| {
+                        Box::new(
+                            FileChunkStore::new(dir.join(format!("shard-{i}")))
+                                .expect("cannot create array directory"),
+                        ) as Box<dyn SharedChunkStore>
+                    })
+                    .collect(),
+            ),
+            dir.join("replication"),
+            opts,
+        ),
+        Backend::RelationalFile(path, options) => {
+            let shard_path = |i: usize| PathBuf::from(format!("{}.shard{i}", path.display()));
+            ShardedChunkStore::with_root(
+                boxed(
+                    (0..shards)
+                        .map(|i| {
+                            Box::new(
+                                RelChunkStore::create_file(&shard_path(i), options.clone())
+                                    .expect("cannot create database file"),
+                            ) as Box<dyn SharedChunkStore>
+                        })
+                        .collect(),
+                ),
+                PathBuf::from(format!("{}.replication", path.display())),
+                opts,
+            )
+        }
+    }
+    .expect("cannot initialize sharded store")
+}
+
+/// Intern a dynamically built per-shard counter name so it satisfies
+/// the report's `&'static str` name contract. Bounded: the set of names
+/// is (shard count x 5), re-used across every report.
+fn interned(name: String) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES
+        .get_or_init(Default::default)
+        .lock()
+        .expect("name intern mutex");
+    if let Some(s) = map.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
 }

@@ -56,7 +56,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use scisparql::{QueryError, QueryResult};
 
@@ -80,6 +80,12 @@ pub struct ServerConfig {
     /// Connection-handling worker threads (minimum 1). Connections
     /// beyond this many queue in the accept backlog.
     pub workers: usize,
+    /// Graceful-drain bound after `SHUTDOWN`: in-flight requests finish
+    /// and get their responses, idle connections close, and a peer
+    /// stalled mid-frame is abandoned once this much drain time has
+    /// elapsed — so `serve` returns within roughly this bound plus the
+    /// longest in-flight statement.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,7 +96,48 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_protocol_errors: 3,
             workers: 4,
+            drain_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+/// Shared shutdown-drain state: flipped by the worker that receives
+/// `SHUTDOWN`, observed by every connection loop.
+struct DrainState {
+    draining: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl DrainState {
+    fn new() -> Self {
+        DrainState {
+            draining: AtomicBool::new(false),
+            deadline: Mutex::new(None),
+        }
+    }
+
+    fn begin(&self, timeout: Duration) {
+        *self.deadline.lock().expect("drain deadline") = Some(Instant::now() + timeout);
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drain time left, floored so an expired deadline still gives the
+    /// socket a non-zero (i.e. not "block forever") timeout.
+    fn remaining(&self) -> Option<Duration> {
+        if !self.draining() {
+            return None;
+        }
+        let deadline = self.deadline.lock().expect("drain deadline");
+        Some(
+            deadline
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::ZERO)
+                .max(Duration::from_millis(10)),
+        )
     }
 }
 
@@ -158,9 +205,13 @@ impl Server {
     /// [`ServerConfig::workers`] threads sharing one engine; each
     /// connection carries any number of statements until the peer
     /// closes it. A connection-level I/O error drops that connection
-    /// only — the pool keeps serving. On SHUTDOWN the acceptor stops
-    /// taking connections and in-flight connections are drained before
-    /// this returns.
+    /// only — the pool keeps serving. On SHUTDOWN the server drains
+    /// gracefully: the acceptor stops taking connections, requests
+    /// already in flight finish and get their responses, idle
+    /// connections close within one poll slice, and peers stalled
+    /// mid-frame are abandoned after [`ServerConfig::drain_timeout`] —
+    /// so this returns within roughly that bound plus the longest
+    /// in-flight statement.
     pub fn serve(self) -> std::io::Result<()> {
         let Server {
             listener,
@@ -174,6 +225,7 @@ impl Server {
             std::thread::spawn(move || serve_metrics(metrics_listener, engine));
         }
         let shutdown = Arc::new(AtomicBool::new(false));
+        let drain = DrainState::new();
         let wake_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         // Rendezvous-ish queue: a small bound keeps accepted-but-unserved
@@ -189,8 +241,9 @@ impl Server {
                 // stream, not while serving it.
                 let next = rx.lock().expect("connection queue").recv();
                 let Ok(stream) = next else { break };
-                match handle_connection(stream, &engine, &config) {
+                match handle_connection(stream, &engine, &config, &drain) {
                     Ok(true) => {
+                        drain.begin(config.drain_timeout);
                         shutdown.store(true, Ordering::SeqCst);
                         // The acceptor may be blocked in accept():
                         // poke it with a throwaway connection so it
@@ -223,18 +276,75 @@ impl Server {
     }
 }
 
+/// How often an idle connection re-checks its idle deadline and the
+/// shutdown-drain flag while waiting for request bytes.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Wait until the connection has request bytes pending, the peer
+/// closes, the idle read timeout expires, or a shutdown drain begins —
+/// whichever comes first. Returns whether a request is arriving.
+///
+/// Polling with `peek` (which never consumes) lets the timeout fire
+/// between frames only; once bytes are pending, `read_frame` reads them
+/// with exact blocking reads and the framing cannot tear. This is also
+/// what lets an *idle* connection notice `SHUTDOWN` within one poll
+/// slice instead of pinning its worker — and the whole server — for the
+/// full idle timeout.
+fn await_request(
+    stream: &TcpStream,
+    config: &ServerConfig,
+    drain: &DrainState,
+) -> std::io::Result<bool> {
+    use std::io::ErrorKind;
+    let idle_deadline = config.read_timeout.map(|t| Instant::now() + t);
+    loop {
+        if drain.draining() {
+            // Nothing of this connection's is in flight (bytes already
+            // pending won the peek on an earlier iteration): close.
+            return Ok(false);
+        }
+        let mut slice = POLL_SLICE;
+        if let Some(deadline) = idle_deadline {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(false); // idle too long, same as peer closing
+            }
+            slice = slice.min(left.max(Duration::from_millis(10)));
+        }
+        stream.set_read_timeout(Some(slice))?;
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(false), // peer closed
+            Ok(_) => return Ok(true),  // a frame is arriving
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Serve one connection against the shared engine. Returns true when a
 /// SHUTDOWN was received.
 fn handle_connection(
     mut stream: TcpStream,
     engine: &Mutex<Ssdm>,
     config: &ServerConfig,
+    drain: &DrainState,
 ) -> std::io::Result<bool> {
-    stream.set_read_timeout(config.read_timeout)?;
     stream.set_write_timeout(config.write_timeout)?;
     let max = config.max_frame;
     let mut protocol_errors = 0u32;
     loop {
+        if !await_request(&stream, config, drain)? {
+            return Ok(false);
+        }
+        // Frame reads run under the configured stall bound, tightened
+        // to the remaining drain budget once a shutdown is in progress
+        // (a peer mid-frame gets that long to finish sending).
+        let stall_bound = match drain.remaining() {
+            Some(left) => Some(config.read_timeout.map_or(left, |t| t.min(left))),
+            None => config.read_timeout,
+        };
+        stream.set_read_timeout(stall_bound)?;
         let request = match read_frame(&mut stream, max)? {
             Frame::Closed => return Ok(false),
             Frame::TooLarge(len) => {
@@ -862,6 +972,96 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_in_flight_query_completes_during_shutdown() {
+        use ssdm_storage::RelChunkStore;
+
+        // A back-end charging 150 ms per statement makes the query
+        // reliably still in flight when SHUTDOWN lands.
+        let mut rel = RelChunkStore::open_memory().unwrap();
+        rel.db_mut().set_latency(relstore::LatencyModel {
+            per_statement: Duration::from_millis(150),
+            per_row: Duration::ZERO,
+            per_kib: Duration::ZERO,
+        });
+        let mut db = Ssdm::from_dataset(scisparql::Dataset::with_backend(Box::new(rel)));
+        db.set_externalize_threshold(8, 64);
+        let values: Vec<String> = (1..=64).map(|i| i.to_string()).collect();
+        db.load_turtle(&format!(
+            "@prefix ex: <http://e#> . ex:a ex:v ({}) .",
+            values.join(" ")
+        ))
+        .unwrap();
+
+        let server = Server::bind("127.0.0.1:0", db).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let slow = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query_rows(
+                "PREFIX ex: <http://e#>
+                 SELECT (array_sum(?v) AS ?s) WHERE { ex:a ex:v ?v }",
+            )
+            .unwrap()
+        });
+        // Let the slow query get read and start evaluating, then pull
+        // the plug from another session.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut killer = Client::connect(addr).unwrap();
+        killer.shutdown().unwrap();
+
+        // The drain must deliver the in-flight response, complete and
+        // correct, before the server exits.
+        let (_, rows) = slow.join().unwrap();
+        assert_eq!(rows, vec![vec![(1..=64).sum::<i64>().to_string()]]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn parked_idle_connection_does_not_pin_shutdown() {
+        let db = Ssdm::open(Backend::Memory);
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            db,
+            ServerConfig {
+                // The old behavior pinned serve() on this for 30 s.
+                read_timeout: Some(Duration::from_secs(30)),
+                drain_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        // A healthy session that then just sits there, holding its
+        // connection open with no request in flight.
+        let mut parked = Client::connect(addr).unwrap();
+        parked.query("ASK { }").unwrap();
+
+        let mut killer = Client::connect(addr).unwrap();
+        let started = Instant::now();
+        killer.shutdown().unwrap();
+
+        // serve() must return promptly despite the parked connection;
+        // join through a channel so a regression fails instead of
+        // hanging the test suite.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(handle.join());
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("serve() still pinned by the parked connection")
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "drain took {:?}",
+            started.elapsed()
+        );
+        drop(parked);
     }
 
     #[test]

@@ -444,6 +444,10 @@ impl<S: ChunkStore> ChunkStore for CachedChunkStore<S> {
         self.inner.resilience_stats()
     }
 
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        self.inner.shard_stats()
+    }
+
     fn reset_resilience_stats(&mut self) {
         self.inner.reset_resilience_stats();
     }

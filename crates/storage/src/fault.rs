@@ -24,11 +24,13 @@
 //! production one. Latency spikes reuse [`relstore::busy_wait`], the
 //! same calibrated-delay machinery as the statement latency model.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::resilient::ResilienceStats;
 use crate::store::{
-    Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, StorageError,
+    Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, SharedChunkRead, StorageError,
 };
 
 /// The flavors of injectable fault.
@@ -217,14 +219,26 @@ fn splitmix64(seed: u64, counter: u64) -> u64 {
 pub struct FaultInjectingChunkStore<S: ChunkStore + RawChunkAccess> {
     inner: S,
     plan: FaultPlan,
+    /// Counters behind a mutex so the shared-read paths can draw from
+    /// many worker threads at once. The decision stream stays counter-
+    /// indexed, so fault *totals* are schedule-independent; which
+    /// concurrent operation draws which fault is scheduling-dependent.
+    state: Mutex<FaultState>,
+    /// Disarms injection while the injector calls back into itself
+    /// (bit-flip restore paths must not draw new faults).
+    disarmed: AtomicBool,
+    /// Whether [`Capabilities::supports_parallel`] is advertised; off by
+    /// default so existing capability-downgrade behavior is unchanged.
+    parallel_ok: bool,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
     /// Global operation counter (drives the decision stream).
     calls: u64,
     /// Per-[`OpKind`] call counters (drive scripted schedules).
     op_calls: [u64; 3],
     stats: FaultStats,
-    /// Disarms injection while the injector calls back into itself
-    /// (bit-flip restore paths must not draw new faults).
-    disarmed: bool,
 }
 
 impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
@@ -232,10 +246,9 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
         FaultInjectingChunkStore {
             inner,
             plan,
-            calls: 0,
-            op_calls: [0; 3],
-            stats: FaultStats::default(),
-            disarmed: false,
+            state: Mutex::new(FaultState::default()),
+            disarmed: AtomicBool::new(false),
+            parallel_ok: false,
         }
     }
 
@@ -244,11 +257,11 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
     }
 
     pub fn fault_stats(&self) -> FaultStats {
-        self.stats
+        self.state.lock().expect("fault state").stats
     }
 
     pub fn reset_fault_stats(&mut self) {
-        self.stats = FaultStats::default();
+        self.state.get_mut().expect("fault state").stats = FaultStats::default();
     }
 
     pub fn inner(&self) -> &S {
@@ -266,29 +279,42 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
     /// Stop injecting (keeps counters); useful to compare faulty and
     /// clean phases on one store.
     pub fn disarm(&mut self) {
-        self.disarmed = true;
+        self.disarmed.store(true, Ordering::Relaxed);
     }
 
     pub fn arm(&mut self) {
-        self.disarmed = false;
+        self.disarmed.store(false, Ordering::Relaxed);
     }
 
-    /// Decide the fault (if any) for the current call of `op`.
-    fn draw(&mut self, op: OpKind) -> Option<FaultKind> {
-        if self.disarmed {
+    /// Advertise [`Capabilities::supports_parallel`], letting callers
+    /// route concurrent shared reads through the injector. Opt-in: the
+    /// per-operation fault *schedule* then depends on thread timing
+    /// (totals stay deterministic), so tests that assert exact per-call
+    /// placement should leave it off.
+    pub fn enable_parallel(&mut self) {
+        self.parallel_ok = true;
+    }
+
+    /// Decide the fault (if any) for the current call of `op`. Returns
+    /// the drawn fault and the call number (for derived draws).
+    fn draw(&self, op: OpKind) -> Option<(FaultKind, u64)> {
+        if self.disarmed.load(Ordering::Relaxed) {
             return None;
         }
-        self.calls += 1;
-        self.op_calls[op.index()] += 1;
-        self.stats.ops[op.index()] += 1;
-        let nth = self.op_calls[op.index()];
+        let mut state = self.state.lock().expect("fault state");
+        state.calls += 1;
+        state.op_calls[op.index()] += 1;
+        state.stats.ops[op.index()] += 1;
+        let calls = state.calls;
+        let nth = state.op_calls[op.index()];
+        drop(state);
         if let Some(s) = self
             .plan
             .scripted
             .iter()
             .find(|s| s.op == op && s.nth == nth)
         {
-            return Some(s.fault);
+            return Some((s.fault, calls));
         }
         let rate = self.plan.rate(op);
         if rate <= 0.0 {
@@ -298,34 +324,43 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
         if total == 0 {
             return None;
         }
-        let roll = splitmix64(self.plan.seed, self.calls);
+        let roll = splitmix64(self.plan.seed, calls);
         // Top 53 bits -> uniform in [0, 1).
         let u = (roll >> 11) as f64 / (1u64 << 53) as f64;
         if u >= rate {
             return None;
         }
         // Second, independent draw selects the flavor.
-        let mut pick = (splitmix64(self.plan.seed ^ 0xFA17, self.calls) % total as u64) as u32;
+        let mut pick = (splitmix64(self.plan.seed ^ 0xFA17, calls) % total as u64) as u32;
         for kind in FaultKind::ALL {
             let w = self.plan.weights[kind.index()];
             if pick < w {
-                return Some(kind);
+                return Some((kind, calls));
             }
             pick -= w;
         }
         None
     }
 
+    fn record_injected(&self, kind: FaultKind) {
+        self.state.lock().expect("fault state").stats.injected[kind.index()] += 1;
+    }
+
     /// Apply a drawn fault to an operation touching `(array_id,
     /// chunk_id)` (a representative chunk for batched ops). Returns
     /// `None` when the operation should proceed normally (latency spike
     /// already charged, or bit already flipped at rest).
-    fn pre_fault(&mut self, kind: FaultKind, array_id: u64, chunk_id: u64) -> Option<StorageError> {
-        self.stats.injected[kind.index()] += 1;
+    fn pre_fault(
+        &self,
+        kind: FaultKind,
+        array_id: u64,
+        chunk_id: u64,
+        calls: u64,
+    ) -> Option<StorageError> {
+        self.record_injected(kind);
         match kind {
             FaultKind::Transient => Some(StorageError::Transient(format!(
-                "injected transient fault (call {})",
-                self.calls
+                "injected transient fault (call {calls})"
             ))),
             FaultKind::LatencySpike => {
                 relstore::busy_wait(self.plan.spike);
@@ -351,11 +386,11 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
     ) -> Result<T, StorageError> {
         match self.draw(OpKind::Read) {
             None => op(&mut self.inner),
-            Some(FaultKind::BitFlip) => {
-                self.stats.injected[FaultKind::BitFlip.index()] += 1;
+            Some((FaultKind::BitFlip, calls)) => {
+                self.record_injected(FaultKind::BitFlip);
                 // Corrupt at rest, read through the back-end's checksum
                 // path, then restore: in-transit corruption semantics.
-                let bit = splitmix64(self.plan.seed ^ 0xB17F, self.calls) | 1;
+                let bit = splitmix64(self.plan.seed ^ 0xB17F, calls) | 1;
                 let flipped = self
                     .inner
                     .flip_stored_bit(target.0, target.1, bit)
@@ -368,7 +403,7 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
                 // surface as an error; pass whatever the back-end said.
                 result
             }
-            Some(kind) => match self.pre_fault(kind, target.0, target.1) {
+            Some((kind, calls)) => match self.pre_fault(kind, target.0, target.1, calls) {
                 Some(err) => Err(err),
                 None => op(&mut self.inner),
             },
@@ -382,12 +417,68 @@ impl<S: ChunkStore + RawChunkAccess> FaultInjectingChunkStore<S> {
         op: impl FnOnce(&mut S) -> Result<T, StorageError>,
     ) -> Result<T, StorageError> {
         match self.draw(kind) {
-            None | Some(FaultKind::BitFlip) => op(&mut self.inner),
-            Some(f) => match self.pre_fault(f, target.0, target.1) {
+            None | Some((FaultKind::BitFlip, _)) => op(&mut self.inner),
+            Some((f, calls)) => match self.pre_fault(f, target.0, target.1, calls) {
                 Some(err) => Err(err),
                 None => op(&mut self.inner),
             },
         }
+    }
+}
+
+impl<S: ChunkStore + RawChunkAccess + SharedChunkRead> FaultInjectingChunkStore<S> {
+    /// The shared-read twin of [`Self::read_op`]. Bit flips cannot touch
+    /// the at-rest representation here (that needs `&mut`), so the
+    /// injector fabricates the [`StorageError::Corrupt`] the checksum
+    /// would have raised for an in-transit flip — same error class, same
+    /// transience, no stored state mutated, so a retry succeeds exactly
+    /// as it does on the exclusive path.
+    fn shared_read_op<T>(
+        &self,
+        target: (u64, u64),
+        op: impl FnOnce(&S) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        match self.draw(OpKind::Read) {
+            None => op(&self.inner),
+            Some((FaultKind::BitFlip, _)) => {
+                self.record_injected(FaultKind::BitFlip);
+                Err(StorageError::Corrupt {
+                    array_id: target.0,
+                    chunk_id: target.1,
+                    detail: "injected in-transit bit flip".into(),
+                })
+            }
+            Some((kind, calls)) => match self.pre_fault(kind, target.0, target.1, calls) {
+                Some(err) => Err(err),
+                None => op(&self.inner),
+            },
+        }
+    }
+}
+
+impl<S: ChunkStore + RawChunkAccess + SharedChunkRead> SharedChunkRead
+    for FaultInjectingChunkStore<S>
+{
+    fn read_chunk(&self, array_id: u64, chunk_id: u64) -> Result<Vec<u8>, StorageError> {
+        self.shared_read_op((array_id, chunk_id), |s| s.read_chunk(array_id, chunk_id))
+    }
+
+    fn read_chunks_in(
+        &self,
+        array_id: u64,
+        chunk_ids: &[u64],
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let rep = chunk_ids.first().copied().unwrap_or(0);
+        self.shared_read_op((array_id, rep), |s| s.read_chunks_in(array_id, chunk_ids))
+    }
+
+    fn read_chunk_range(
+        &self,
+        array_id: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        self.shared_read_op((array_id, lo), |s| s.read_chunk_range(array_id, lo, hi))
     }
 }
 
@@ -448,9 +539,11 @@ impl<S: ChunkStore + RawChunkAccess> ChunkStore for FaultInjectingChunkStore<S> 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             // The injector's deterministic fault schedule is keyed to
-            // operation order, which concurrent shared reads would
-            // scramble — callers must take the sequential path.
-            supports_parallel: false,
+            // operation order, which concurrent shared reads scramble —
+            // callers take the sequential path unless the test opted in
+            // via [`Self::enable_parallel`] (fault totals stay exact
+            // either way; per-call placement does not).
+            supports_parallel: self.parallel_ok && self.inner.capabilities().supports_parallel,
             ..self.inner.capabilities()
         }
     }
@@ -465,6 +558,10 @@ impl<S: ChunkStore + RawChunkAccess> ChunkStore for FaultInjectingChunkStore<S> 
 
     fn resilience_stats(&self) -> ResilienceStats {
         self.inner.resilience_stats()
+    }
+
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        self.inner.shard_stats()
     }
 
     fn reset_resilience_stats(&mut self) {

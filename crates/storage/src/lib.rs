@@ -29,7 +29,9 @@ pub mod fault;
 pub mod frame;
 mod meta;
 pub mod parallel;
+pub mod replica;
 pub mod resilient;
+pub mod shard;
 pub mod spd;
 mod store;
 pub mod wal;
@@ -40,7 +42,9 @@ pub use chunks::{auto_chunk_bytes, chunk_of, chunk_range_for_run, Chunking};
 pub use fault::{FaultInjectingChunkStore, FaultKind, FaultPlan, FaultStats, OpKind};
 pub use meta::{ArrayMeta, ArrayProxy};
 pub use parallel::ParallelConfig;
+pub use replica::{Breaker, BreakerState, Replica, ReplicaHealth};
 pub use resilient::{ResilienceStats, ResilientChunkStore, RetryPolicy};
+pub use shard::{ShardHealth, ShardOptions, ShardStats, ShardedChunkStore};
 pub use store::{
     Capabilities, ChunkStore, FileChunkStore, IoStats, MemoryChunkStore, RawChunkAccess,
     RelChunkStore, SharedChunkRead, SharedChunkStore, StorageError,

@@ -26,13 +26,21 @@
 //! [`Capabilities::supports_parallel`]: crate::Capabilities::supports_parallel
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use ssdm_array::pool;
+use ssdm_obs as obs;
 
 use crate::spd::FetchOp;
 use crate::store::{ChunkRows, SharedChunkRead};
 use crate::Result;
+
+/// Process-wide count of batched statements that degraded to per-chunk
+/// fallback retrieval (all parallel fetch pipelines).
+fn obs_apr_fallbacks() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_apr_fallbacks"))
+}
 
 /// Tuning for parallel resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,29 +103,50 @@ where
     T: Send,
     F: Fn(usize, ChunkRows) -> Result<T> + Sync,
 {
-    if plan.is_empty() {
-        return Ok((Vec::new(), 0));
-    }
     let fallbacks = AtomicU64::new(0);
-    let workers = workers.clamp(1, plan.len());
-    let slots: Vec<Mutex<Option<Result<T>>>> = plan.iter().map(|_| Mutex::new(None)).collect();
-    pool::dispatch(workers, plan.len(), |i| {
-        let r = execute_one(backend, array_id, &plan[i], needed, &fallbacks)
-            .and_then(|rows| process(i, rows));
-        *slots[i].lock().expect("result slot") = Some(r);
+    let results = scatter_gather(workers, plan, |i, op| {
+        execute_one(backend, array_id, op, needed, &fallbacks).and_then(|rows| process(i, rows))
     });
     let mut out = Vec::with_capacity(plan.len());
-    for slot in slots {
+    for r in results {
         // Plan-order iteration: the earliest failing op's error is the
         // one reported, matching what sequential execution would hit
         // first.
-        out.push(
-            slot.into_inner()
-                .expect("result slot")
-                .expect("op claimed")?,
-        );
+        out.push(r?);
     }
     Ok((out, fallbacks.load(Ordering::Relaxed)))
+}
+
+/// The scatter-gather engine under [`run_plan`], generalized from "N
+/// workers over one backend's fetch plan" to any job list — the sharded
+/// store ([`crate::ShardedChunkStore`]) reuses it to run "N workers
+/// over N shards". Workers claim jobs from a shared cursor and deposit
+/// each result into that job's slot; the returned vector is in **job
+/// order**, so callers that iterate it report errors deterministically
+/// regardless of worker timing.
+pub fn scatter_gather<J, T, E>(workers: usize, jobs: &[J], execute: E) -> Vec<Result<T>>
+where
+    J: Sync,
+    T: Send,
+    E: Fn(usize, &J) -> Result<T> + Sync,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let slots: Vec<Mutex<Option<Result<T>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    pool::dispatch(workers, jobs.len(), |i| {
+        let r = execute(i, &jobs[i]);
+        *slots[i].lock().expect("result slot") = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("job claimed")
+        })
+        .collect()
 }
 
 /// Execute one fetch op with the same statement shapes and batched-
@@ -146,6 +175,9 @@ fn execute_one<S: SharedChunkRead + ?Sized>(
         Err(e) if !batched => Err(e),
         Err(_) => {
             fallbacks.fetch_add(1, Ordering::Relaxed);
+            if obs::recorder().enabled() {
+                obs_apr_fallbacks().add(1);
+            }
             let ids: Vec<u64> = match op {
                 FetchOp::In(ids) => ids.clone(),
                 FetchOp::Range { lo, hi } => needed

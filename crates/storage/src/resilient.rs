@@ -12,12 +12,37 @@
 //! [`ResilienceStats`], which the APR folds into its per-query
 //! statistics so degraded runs are *visible*, not silent.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use ssdm_obs as obs;
 
 use crate::store::{
     Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, SharedChunkRead, StorageError,
 };
+
+/// Process-wide resilience counters (all [`ResilientChunkStore`]
+/// instances), mirrored into the obs registry so the Prometheus
+/// endpoint sees retries without a query in flight.
+fn obs_retries() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_resilience_retries"))
+}
+
+fn obs_giveups() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_resilience_giveups"))
+}
+
+fn obs_corruption_detected() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_resilience_corruption_detected"))
+}
+
+fn obs_corruption_repaired() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::recorder().counter("ssdm_resilience_corruption_repaired"))
+}
 
 /// Bounded-retry configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,6 +258,9 @@ fn retry_loop<T>(
             Ok(v) => {
                 if saw_corruption {
                     stats.lock().expect("stats mutex").corruption_repaired += 1;
+                    if obs::recorder().enabled() {
+                        obs_corruption_repaired().add(1);
+                    }
                 }
                 return Ok(v);
             }
@@ -241,7 +269,12 @@ fn retry_loop<T>(
                 {
                     let mut st = stats.lock().expect("stats mutex");
                     match &e {
-                        StorageError::Corrupt { .. } => st.corruption_detected += 1,
+                        StorageError::Corrupt { .. } => {
+                            st.corruption_detected += 1;
+                            if obs::recorder().enabled() {
+                                obs_corruption_detected().add(1);
+                            }
+                        }
                         StorageError::ShortRead { .. } => st.short_reads += 1,
                         _ => {}
                     }
@@ -262,6 +295,9 @@ fn retry_loop<T>(
                     .is_some_and(|d| start.elapsed() + backoff >= d);
                 if out_of_attempts || out_of_time {
                     stats.lock().expect("stats mutex").giveups += 1;
+                    if obs::recorder().enabled() {
+                        obs_giveups().add(1);
+                    }
                     return Err(StorageError::DeadlineExceeded {
                         op: name,
                         attempts: attempt,
@@ -269,6 +305,9 @@ fn retry_loop<T>(
                     });
                 }
                 stats.lock().expect("stats mutex").retries += 1;
+                if obs::recorder().enabled() {
+                    obs_retries().add(1);
+                }
                 pause(backoff);
             }
         }
@@ -386,6 +425,10 @@ impl<S: ChunkStore> ChunkStore for ResilientChunkStore<S> {
     fn reset_resilience_stats(&mut self) {
         *self.stats.get_mut().expect("stats mutex") = ResilienceStats::default();
         self.inner.reset_resilience_stats();
+    }
+
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        self.inner.shard_stats()
     }
 
     fn sync(&mut self) -> Result<(), StorageError> {

@@ -62,6 +62,15 @@ pub enum StorageError {
         attempts: u32,
         last_error: String,
     },
+    /// One or more shards of a [`crate::ShardedChunkStore`] could not
+    /// serve the read: the primary is down and every replica failed or
+    /// lags past the bound. Carries the failed shard indices so callers
+    /// can report *which* partitions are dark. Not transient: the
+    /// sharded store already exhausted its failover hop before raising
+    /// this, so an outer retry cannot help.
+    ShardUnavailable {
+        shards: Vec<usize>,
+    },
 }
 
 impl StorageError {
@@ -82,7 +91,8 @@ impl StorageError {
             | StorageError::MissingChunk { .. }
             | StorageError::MissingArray(_)
             | StorageError::Array(_)
-            | StorageError::DeadlineExceeded { .. } => false,
+            | StorageError::DeadlineExceeded { .. }
+            | StorageError::ShardUnavailable { .. } => false,
         }
     }
 
@@ -138,6 +148,10 @@ impl std::fmt::Display for StorageError {
                 f,
                 "{op} failed after {attempts} attempts (retry budget exhausted): {last_error}"
             ),
+            StorageError::ShardUnavailable { shards } => {
+                let list: Vec<String> = shards.iter().map(|s| s.to_string()).collect();
+                write!(f, "shard(s) {} unavailable", list.join(", "))
+            }
         }
     }
 }
@@ -284,6 +298,13 @@ pub trait ChunkStore: Send {
 
     fn reset_cache_stats(&mut self) {}
 
+    /// Placement/failover/replica-lag counters of the sharded store, if
+    /// this stack routes reads across shards. Unsharded stacks report
+    /// `None`.
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        None
+    }
+
     /// Flush buffered writes to durable media (fsync). Checkpointing
     /// calls this before publishing a snapshot so chunk data referenced
     /// by the snapshot's catalog survives a crash. No-op for purely
@@ -414,6 +435,10 @@ impl ChunkStore for Box<dyn ChunkStore> {
         (**self).reset_cache_stats()
     }
 
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        (**self).shard_stats()
+    }
+
     fn sync(&mut self) -> Result<(), StorageError> {
         (**self).sync()
     }
@@ -423,9 +448,11 @@ impl ChunkStore for Box<dyn ChunkStore> {
 /// back-end must provide so *both* the mutating store path and the
 /// parallel read pipeline work through one trait object. Blanket-
 /// implemented for every type with both traits — all shipped back-ends
-/// (memory, file, relational, and their cache/resilience wrappers)
-/// qualify; the deterministic fault injector deliberately does not, and
-/// callers that need it keep using a generic `ArrayStore<S>`.
+/// (memory, file, relational, their cache/resilience wrappers, the
+/// sharded store, and the fault injector over a shared-readable inner
+/// store) qualify. The injector still advertises `supports_parallel:
+/// false` unless a test opts in via `enable_parallel`, so capability-
+/// based downgrades to the sequential path are unchanged.
 pub trait SharedChunkStore: ChunkStore + SharedChunkRead {}
 
 impl<T: ChunkStore + SharedChunkRead> SharedChunkStore for T {}
@@ -502,6 +529,10 @@ impl ChunkStore for Box<dyn SharedChunkStore> {
 
     fn reset_cache_stats(&mut self) {
         (**self).reset_cache_stats()
+    }
+
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        (**self).shard_stats()
     }
 
     fn sync(&mut self) -> Result<(), StorageError> {

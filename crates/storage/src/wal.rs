@@ -137,12 +137,28 @@ pub enum WalRecord {
     /// Marks a completed checkpoint at the given recovery LSN.
     /// Informational; replay ignores it.
     Checkpoint { wal_lsn: u64 },
+    /// A chunked array announced to a back-end shard (`begin_array`).
+    /// Chunk-level records (kinds 5–7) are what the sharded store's
+    /// WAL-shipping replicas replay to follow their primary.
+    BeginArray { array_id: u64, chunk_bytes: u64 },
+    /// One chunk written (`put_chunk`); the body carries the raw
+    /// (unframed) chunk payload.
+    PutChunk {
+        array_id: u64,
+        chunk_id: u64,
+        data: Vec<u8>,
+    },
+    /// All chunks of an array dropped (`delete_array`).
+    DeleteArray { array_id: u64, chunk_count: u64 },
 }
 
 const KIND_STATEMENT: u8 = 1;
 const KIND_TURTLE_DEFAULT: u8 = 2;
 const KIND_TURTLE_NAMED: u8 = 3;
 const KIND_CHECKPOINT: u8 = 4;
+const KIND_BEGIN_ARRAY: u8 = 5;
+const KIND_PUT_CHUNK: u8 = 6;
+const KIND_DELETE_ARRAY: u8 = 7;
 
 /// Serialise `(lsn, record)` into a frame payload.
 pub fn encode_payload(lsn: u64, record: &WalRecord) -> Vec<u8> {
@@ -166,6 +182,32 @@ pub fn encode_payload(lsn: u64, record: &WalRecord) -> Vec<u8> {
         WalRecord::Checkpoint { wal_lsn } => {
             out.push(KIND_CHECKPOINT);
             out.extend_from_slice(&wal_lsn.to_le_bytes());
+        }
+        WalRecord::BeginArray {
+            array_id,
+            chunk_bytes,
+        } => {
+            out.push(KIND_BEGIN_ARRAY);
+            out.extend_from_slice(&array_id.to_le_bytes());
+            out.extend_from_slice(&chunk_bytes.to_le_bytes());
+        }
+        WalRecord::PutChunk {
+            array_id,
+            chunk_id,
+            data,
+        } => {
+            out.push(KIND_PUT_CHUNK);
+            out.extend_from_slice(&array_id.to_le_bytes());
+            out.extend_from_slice(&chunk_id.to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        WalRecord::DeleteArray {
+            array_id,
+            chunk_count,
+        } => {
+            out.push(KIND_DELETE_ARRAY);
+            out.extend_from_slice(&array_id.to_le_bytes());
+            out.extend_from_slice(&chunk_count.to_le_bytes());
         }
     }
     out
@@ -206,6 +248,34 @@ pub fn decode_payload(bytes: &[u8]) -> Result<(u64, WalRecord), String> {
             }
             WalRecord::Checkpoint {
                 wal_lsn: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+            }
+        }
+        KIND_BEGIN_ARRAY => {
+            if body.len() < 16 {
+                return Err("begin-array record too short".into());
+            }
+            WalRecord::BeginArray {
+                array_id: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                chunk_bytes: u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")),
+            }
+        }
+        KIND_PUT_CHUNK => {
+            if body.len() < 16 {
+                return Err("put-chunk record shorter than its key".into());
+            }
+            WalRecord::PutChunk {
+                array_id: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                chunk_id: u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")),
+                data: body[16..].to_vec(),
+            }
+        }
+        KIND_DELETE_ARRAY => {
+            if body.len() < 16 {
+                return Err("delete-array record too short".into());
+            }
+            WalRecord::DeleteArray {
+                array_id: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                chunk_count: u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")),
             }
         }
         other => return Err(format!("unknown wal record kind {other}")),
@@ -736,6 +806,19 @@ mod tests {
                 text: "<urn:x> <urn:y> \"z\" .".into(),
             },
             WalRecord::Checkpoint { wal_lsn: 42 },
+            WalRecord::BeginArray {
+                array_id: 7,
+                chunk_bytes: 1024,
+            },
+            WalRecord::PutChunk {
+                array_id: 7,
+                chunk_id: 3,
+                data: vec![0xDE, 0xAD, 0x00, 0xBE, 0xEF],
+            },
+            WalRecord::DeleteArray {
+                array_id: 7,
+                chunk_count: 4,
+            },
         ]
     }
 
@@ -759,8 +842,8 @@ mod tests {
             for record in &records {
                 writer.append(record).unwrap();
             }
-            assert_eq!(writer.stats().records_appended, 4);
-            assert_eq!(writer.stats().fsyncs, 4);
+            assert_eq!(writer.stats().records_appended, records.len() as u64);
+            assert_eq!(writer.stats().fsyncs, records.len() as u64);
         }
         let (writer, recovery) = WalWriter::open(&dir, WalOptions::default()).unwrap();
         assert!(!recovery.truncated_tail);
@@ -816,9 +899,10 @@ mod tests {
             .unwrap()
             .set_len(len - 3)
             .unwrap();
+        let all = sample_records().len();
         let (mut writer, recovery) = WalWriter::open(&dir, WalOptions::default()).unwrap();
         assert!(recovery.truncated_tail);
-        assert_eq!(recovery.records.len(), 3);
+        assert_eq!(recovery.records.len(), all - 1);
         // The writer appends cleanly after the truncation point.
         writer
             .append(&WalRecord::Statement("ASK { }".into()))
@@ -826,8 +910,8 @@ mod tests {
         drop(writer);
         let (_, recovery) = WalWriter::open(&dir, WalOptions::default()).unwrap();
         assert!(!recovery.truncated_tail);
-        assert_eq!(recovery.records.len(), 4);
-        assert_eq!(recovery.records[3].0, 3);
+        assert_eq!(recovery.records.len(), all);
+        assert_eq!(recovery.records[all - 1].0, (all - 1) as u64);
         let _ = fs::remove_dir_all(&dir);
     }
 
