@@ -135,6 +135,9 @@ mod tests {
     #[test]
     fn measurements_are_consistent() {
         let mut store = ArrayStore::new(MemoryChunkStore::new());
+        // Pin the raw codec: this test checks *wire* overfetch against
+        // bytes needed, an invariant compression deliberately breaks.
+        store.set_codec(ssdm_storage::CodecPolicy::Raw);
         let m = QueryGenerator::matrix(64, 64);
         let base = store.store_array(&m, 512).unwrap();
         let mut gen = QueryGenerator::new(64, 64, 3);

@@ -362,6 +362,9 @@ impl Dataset {
             cache_misses: cache.misses,
             kernel_elements: compute.elements_processed,
             fallbacks: apr.fallbacks,
+            chunks_skipped: apr.chunks_skipped,
+            chunks_decoded: apr.chunks_decoded,
+            bytes_decoded: apr.bytes_decoded,
         }
     }
 

@@ -162,6 +162,13 @@ pub fn call_builtin(ds: &mut Dataset, name: &str, args: &[Value]) -> Option<Eval
         "array_max" | "amax" => array_aggregate(ds, args, AggregateOp::Max),
         "array_prod" | "aprod" => array_aggregate(ds, args, AggregateOp::Prod),
         "array_count" | "acount" => array_aggregate(ds, args, AggregateOp::Count),
+        // --- filtered aggregates (zone-map-aware) --------------------------
+        "array_sum_range" => array_aggregate_range(ds, args, AggregateOp::Sum),
+        "array_avg_range" => array_aggregate_range(ds, args, AggregateOp::Avg),
+        "array_min_range" => array_aggregate_range(ds, args, AggregateOp::Min),
+        "array_max_range" => array_aggregate_range(ds, args, AggregateOp::Max),
+        "array_count_range" => array_aggregate_range(ds, args, AggregateOp::Count),
+        "array_contains" | "acontains" => array_contains(ds, args),
         // --- array constructors / transforms -------------------------------
         "array" => {
             let mut nums = Vec::with_capacity(args.len());
@@ -350,6 +357,99 @@ fn array_aggregate(ds: &mut Dataset, args: &[Value], op: AggregateOp) -> EvalRes
                 .resolve_aggregate_parallel(p, op, strategy, parallel)
             {
                 Ok(n) => Ok(Some(Value::number(n))),
+                Err(ssdm_storage::StorageError::Backend(_)) => Ok(None),
+                Err(e) => Err(e.into()),
+            }
+        }
+        _ => Ok(None),
+    }
+}
+
+/// `array_*_range(A, lo, hi)`: aggregate only the elements in the
+/// inclusive value range `[lo, hi]`. Proxies stream through the
+/// storage layer's *filtered* AAPR, which consults per-chunk summary
+/// zone maps to skip chunks that provably hold no qualifying element;
+/// resident arrays filter in memory with identical semantics. An empty
+/// filtered view is unbound, except `Count` (0) and `Sum` (0).
+fn array_aggregate_range(ds: &mut Dataset, args: &[Value], op: AggregateOp) -> EvalResult {
+    let (Some(v), Some(lo), Some(hi)) = (
+        args.first(),
+        args.get(1).and_then(Value::as_num),
+        args.get(2).and_then(Value::as_num),
+    ) else {
+        return Ok(None);
+    };
+    let pred = ssdm_storage::ValuePredicate::Range { lo, hi };
+    match v {
+        Value::Term(Term::Array(a)) => {
+            let matched: Vec<Num> = a
+                .elements()
+                .into_iter()
+                .filter(|n| pred.matches(*n))
+                .collect();
+            Ok(resident_filtered_aggregate(&matched, op).map(Value::number))
+        }
+        Value::Proxy(p) => {
+            let strategy = ds.strategy;
+            let parallel = ds.parallel;
+            match ds
+                .arrays
+                .resolve_aggregate_filtered_parallel(p, &pred, op, strategy, parallel)
+            {
+                Ok(n) => Ok(Some(Value::number(n))),
+                Err(ssdm_storage::StorageError::Backend(_)) => Ok(None),
+                Err(e) => Err(e.into()),
+            }
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Fold an in-memory filtered view with the same empty-view semantics
+/// as the storage layer's filtered AAPR.
+fn resident_filtered_aggregate(matched: &[Num], op: AggregateOp) -> Option<Num> {
+    if matched.is_empty() {
+        return match op {
+            AggregateOp::Count | AggregateOp::Sum => Some(Num::Int(0)),
+            AggregateOp::Prod => Some(Num::Int(1)),
+            _ => None,
+        };
+    }
+    if op == AggregateOp::Count {
+        return Some(Num::Int(matched.len() as i64));
+    }
+    NumArray::from_data(ssdm_array::ArrayData::from_nums(matched), &[matched.len()])
+        .ok()?
+        .aggregate(op)
+        .ok()
+}
+
+/// `array_contains(A, v, ...)`: whether any element of `A` equals one
+/// of the given values. Proxies use the storage layer's existence scan
+/// (zone maps prune chunks, the scan stops at the first match).
+fn array_contains(ds: &mut Dataset, args: &[Value]) -> EvalResult {
+    let Some(v) = args.first() else {
+        return Ok(None);
+    };
+    let mut needles = Vec::with_capacity(args.len().saturating_sub(1));
+    for a in &args[1..] {
+        match a.as_num() {
+            Some(n) => needles.push(n),
+            None => return Ok(None),
+        }
+    }
+    if needles.is_empty() {
+        return Ok(None);
+    }
+    let pred = ssdm_storage::ValuePredicate::In(needles);
+    match v {
+        Value::Term(Term::Array(a)) => Ok(Some(Value::boolean(
+            a.elements().into_iter().any(|n| pred.matches(n)),
+        ))),
+        Value::Proxy(p) => {
+            let strategy = ds.strategy;
+            match ds.arrays.resolve_exists(p, &pred, strategy) {
+                Ok(found) => Ok(Some(Value::boolean(found))),
                 Err(ssdm_storage::StorageError::Backend(_)) => Ok(None),
                 Err(e) => Err(e.into()),
             }

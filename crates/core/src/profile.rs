@@ -43,6 +43,12 @@ pub struct CounterSnapshot {
     pub kernel_elements: u64,
     /// Batched-fetch fallbacks to per-chunk retrieval (APR cumulative).
     pub fallbacks: u64,
+    /// Chunks skipped by zone-map predicate pruning (APR cumulative).
+    pub chunks_skipped: u64,
+    /// `SCC1` codec frames decoded (APR cumulative).
+    pub chunks_decoded: u64,
+    /// Uncompressed bytes produced by codec decodes (APR cumulative).
+    pub bytes_decoded: u64,
 }
 
 impl CounterSnapshot {
@@ -56,6 +62,9 @@ impl CounterSnapshot {
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             kernel_elements: self.kernel_elements.saturating_sub(earlier.kernel_elements),
             fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+            chunks_skipped: self.chunks_skipped.saturating_sub(earlier.chunks_skipped),
+            chunks_decoded: self.chunks_decoded.saturating_sub(earlier.chunks_decoded),
+            bytes_decoded: self.bytes_decoded.saturating_sub(earlier.bytes_decoded),
         }
     }
 
@@ -67,18 +76,24 @@ impl CounterSnapshot {
         self.cache_misses += other.cache_misses;
         self.kernel_elements += other.kernel_elements;
         self.fallbacks += other.fallbacks;
+        self.chunks_skipped += other.chunks_skipped;
+        self.chunks_decoded += other.chunks_decoded;
+        self.bytes_decoded += other.bytes_decoded;
     }
 
     fn render_fields(&self) -> String {
         format!(
-            "statements={} chunks={} bytes={} cache_hits={} cache_misses={} kernel_elems={} fallbacks={}",
+            "statements={} chunks={} bytes={} cache_hits={} cache_misses={} kernel_elems={} fallbacks={} skipped={} decoded={} bytes_decoded={}",
             self.statements,
             self.chunks_fetched,
             self.bytes_fetched,
             self.cache_hits,
             self.cache_misses,
             self.kernel_elements,
-            self.fallbacks
+            self.fallbacks,
+            self.chunks_skipped,
+            self.chunks_decoded,
+            self.bytes_decoded
         )
     }
 }

@@ -64,6 +64,9 @@ fn profile_reports_phases_and_operators() {
         "cache_misses=",
         "kernel_elems=",
         "fallbacks=",
+        "skipped=",
+        "decoded=",
+        "bytes_decoded=",
         "totals:",
     ] {
         assert!(
@@ -114,6 +117,9 @@ fn operator_counters_reconcile_with_io_totals() {
         "cache_hits",
         "cache_misses",
         "fallbacks",
+        "skipped",
+        "decoded",
+        "bytes_decoded",
     ] {
         assert_eq!(
             op_sums.get(key),
@@ -144,6 +150,10 @@ fn operator_counters_reconcile_with_io_totals() {
     // not vacuous.
     assert!(totals["statements"] > 0, "query did no I/O:\n{profile}");
     assert!(totals["chunks"] > 0);
+    // Externalized arrays are stored as SCC1 codec frames, so every
+    // fetched chunk is decoded and the decode counters must move.
+    assert!(totals["decoded"] > 0, "no decodes recorded:\n{profile}");
+    assert!(totals["bytes_decoded"] > 0);
 }
 
 #[test]

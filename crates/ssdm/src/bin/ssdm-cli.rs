@@ -4,11 +4,16 @@
 //! ```text
 //! ssdm-cli [--backend memory|relational|file:DIR] [--load FILE.ttl]...
 //!          [--threshold N --chunk BYTES] [--cache BYTES] [--workers N]
-//!          [--shards N] [--replicas K]
+//!          [--shards N] [--replicas K] [--codec raw|delta-bp|rle|auto]
 //!          [--exec 'QUERY'] [--snapshot FILE]
 //!          [--durable DIR] [--fsync always|interval[:MS]|off]
 //!          [--slow-query-ms N]
 //! ```
+//!
+//! `--codec` picks the chunk compression policy for newly externalized
+//! arrays (`auto`, the default, chooses per chunk; the `SSDM_CODEC`
+//! environment variable sets the same default process-wide). Every
+//! policy reads every frame, so mixed stores are fine.
 //!
 //! `--durable DIR` opens a crash-safe instance: updates are write-ahead
 //! logged under `DIR` and recovered (snapshot + WAL replay) on the next
@@ -40,6 +45,7 @@ fn usage() -> ! {
          \x20               [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20               [--cache BYTES] [--workers N] [--snapshot FILE]\n\
          \x20               [--shards N] [--replicas K]\n\
+         \x20               [--codec raw|delta-bp|rle|auto]\n\
          \x20               [--durable DIR] [--fsync always|interval[:MS]|off]\n\
          \x20               [--slow-query-ms N] [--exec 'STATEMENT']"
     );
@@ -60,6 +66,7 @@ fn main() {
     let mut slow_query_ms: Option<u64> = None;
     let mut shards: usize = 1;
     let mut replicas: usize = 0;
+    let mut codec: Option<ssdm_storage::CodecPolicy> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -130,6 +137,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--codec" => {
+                codec = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(ssdm_storage::CodecPolicy::parse)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -178,6 +193,9 @@ fn main() {
     };
     db.set_parallel_workers(workers);
     db.set_slow_query_ms(slow_query_ms);
+    if let Some(c) = codec {
+        db.set_codec(c);
+    }
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }

@@ -6,10 +6,14 @@
 //! ssdm-server [--listen ADDR:PORT] [--backend memory|relational|file:DIR]
 //!             [--load FILE.ttl]... [--threshold N --chunk BYTES]
 //!             [--workers N] [--apr-workers N] [--cache BYTES]
-//!             [--shards N] [--replicas K]
+//!             [--shards N] [--replicas K] [--codec raw|delta-bp|rle|auto]
 //!             [--durable DIR] [--fsync always|interval[:MS]|off]
 //!             [--metrics ADDR:PORT] [--slow-query-ms N]
 //! ```
+//!
+//! `--codec` picks the chunk compression policy for newly externalized
+//! arrays (default `auto`, or the `SSDM_CODEC` environment variable);
+//! every policy reads every frame, so mixed stores are fine.
 //!
 //! `--durable DIR` serves a crash-safe instance: committed updates are
 //! write-ahead logged under `DIR` and recovered on the next start;
@@ -39,6 +43,7 @@ fn usage() -> ! {
          \x20                  [--load FILE.ttl]... [--threshold N --chunk BYTES]\n\
          \x20                  [--workers N] [--apr-workers N] [--cache BYTES]\n\
          \x20                  [--shards N] [--replicas K]\n\
+         \x20                  [--codec raw|delta-bp|rle|auto]\n\
          \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]\n\
          \x20                  [--metrics ADDR:PORT] [--slow-query-ms N]"
     );
@@ -60,6 +65,7 @@ fn main() {
     let mut slow_query_ms: Option<u64> = None;
     let mut shards: usize = 1;
     let mut replicas: usize = 0;
+    let mut codec: Option<ssdm_storage::CodecPolicy> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,6 +144,14 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--codec" => {
+                codec = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(ssdm_storage::CodecPolicy::parse)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -180,6 +194,9 @@ fn main() {
         None => Ssdm::open_with_cache(backend, cache_bytes),
     };
     db.set_parallel_workers(apr_workers);
+    if let Some(c) = codec {
+        db.set_codec(c);
+    }
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);
     }

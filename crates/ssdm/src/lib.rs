@@ -196,6 +196,9 @@ impl Ssdm {
             r.push_int("apr", scope, "fallbacks", apr.fallbacks);
             r.push_int("apr", scope, "retries", apr.retries);
             r.push_int("apr", scope, "repaired", apr.corruption_repaired);
+            r.push_int("apr", scope, "chunks_skipped", apr.chunks_skipped);
+            r.push_int("apr", scope, "chunks_decoded", apr.chunks_decoded);
+            r.push_int("apr", scope, "bytes_decoded", apr.bytes_decoded);
         }
 
         r.push_int(
@@ -336,6 +339,11 @@ impl Ssdm {
         ] {
             let _ = rec.histogram(name);
         }
+        // Likewise the codec counters, which otherwise first appear on
+        // the first skipped or decoded chunk.
+        for name in ["ssdm_chunks_skipped", "ssdm_chunks_decoded"] {
+            let _ = rec.counter(name);
+        }
         let mut out = self.report().render_prometheus();
         out.push_str(&rec.prometheus_text());
         out
@@ -387,6 +395,21 @@ impl Ssdm {
     /// Set the retrieval strategy for array-proxy resolution.
     pub fn set_strategy(&mut self, strategy: ssdm_storage::RetrievalStrategy) {
         self.dataset.strategy = strategy;
+    }
+
+    /// Set the chunk codec policy for arrays stored from now on
+    /// (already-stored arrays keep the frames they were written with;
+    /// every policy decodes every frame). The default comes from the
+    /// `SSDM_CODEC` environment variable, falling back to `auto`.
+    pub fn set_codec(&mut self, codec: ssdm_storage::CodecPolicy) {
+        self.dataset.arrays.set_codec(codec);
+    }
+
+    /// Enable or disable zone-map chunk skipping for filtered
+    /// resolutions. On by default; results are bit-identical either
+    /// way — skipping only changes how many chunks are fetched.
+    pub fn set_chunk_skipping(&mut self, enabled: bool) {
+        self.dataset.arrays.set_skip_enabled(enabled);
     }
 
     /// Set the worker count for parallel proxy resolution and streamed

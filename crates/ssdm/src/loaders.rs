@@ -52,6 +52,9 @@ impl Ssdm {
             numeric_type,
             shape,
             chunking: Chunking::new(chunk_bytes, total),
+            // External tools write raw little-endian elements, not
+            // SCC1 codec frames.
+            encoded: false,
         };
         let proxy = self.dataset.arrays.link_external(meta);
         self.dataset

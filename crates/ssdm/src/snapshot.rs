@@ -30,7 +30,7 @@ use std::path::Path;
 use scisparql::QueryError;
 use ssdm_array::NumericType;
 use ssdm_rdf::Graph;
-use ssdm_storage::{ArrayMeta, Chunking};
+use ssdm_storage::{ArrayMeta, ChunkSummary, Chunking, ZoneMap};
 
 use crate::Ssdm;
 
@@ -43,6 +43,10 @@ pub(crate) struct SnapshotContents {
     /// 0 for plain `.save` snapshots.
     pub(crate) wal_lsn: u64,
     metas: Vec<ArrayMeta>,
+    /// Chunk-summary zone maps (`zm` catalog lines), keyed by array id.
+    /// Restored after the catalog link so skipping survives restarts
+    /// without re-reading any chunk.
+    zone_maps: HashMap<u64, Vec<ChunkSummary>>,
     default_graph: Graph,
     named: HashMap<String, Graph>,
 }
@@ -104,12 +108,37 @@ impl Ssdm {
                 .map(|d| d.to_string())
                 .collect::<Vec<_>>()
                 .join("x");
-            writeln!(
-                out,
-                "{} {} {} {}",
-                m.array_id, ty, shape, m.chunking.chunk_bytes
-            )
-            .expect("string write");
+            // A fifth token marks arrays stored as SCC1 codec frames;
+            // older four-token lines read back as raw (`encoded:
+            // false`), so pre-codec snapshots keep loading.
+            if m.encoded {
+                writeln!(
+                    out,
+                    "{} {} {} {} scc1",
+                    m.array_id, ty, shape, m.chunking.chunk_bytes
+                )
+                .expect("string write");
+            } else {
+                writeln!(
+                    out,
+                    "{} {} {} {}",
+                    m.array_id, ty, shape, m.chunking.chunk_bytes
+                )
+                .expect("string write");
+            }
+            // Persist the chunk-summary zone map so predicate-driven
+            // skipping works immediately after a restart, without
+            // touching the back-end: one `count:nulls:min:max` cell
+            // per chunk (bit patterns, so NaN/-0.0 survive exactly).
+            if let Some(zm) = self.dataset.arrays.zone_map(m.array_id) {
+                let cells = zm
+                    .summaries
+                    .iter()
+                    .map(|s| format!("{}:{}:{}:{}", s.count, s.nulls, s.min_bits, s.max_bits))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                writeln!(out, "zm {} {}", m.array_id, cells).expect("string write");
+            }
         }
         out.push_str("[graph]\n");
         out.push_str(&graph_to_block(&self.dataset.graph));
@@ -142,11 +171,51 @@ impl Ssdm {
         // Commit phase: plain moves and catalog links, nothing fallible.
         self.dataset.graph = contents.default_graph;
         self.dataset.named_graphs = contents.named;
+        let mut zone_maps = contents.zone_maps;
         for meta in contents.metas {
+            let ty = meta.numeric_type;
+            let array_id = meta.array_id;
             self.dataset.arrays.link_external(meta);
+            if let Some(summaries) = zone_maps.remove(&array_id) {
+                self.dataset
+                    .arrays
+                    .set_zone_map(array_id, ZoneMap { ty, summaries });
+            }
         }
         Ok(wal_lsn)
     }
+}
+
+/// Decode one `zm <id> <count:nulls:min:max>,...` catalog line into an
+/// array id plus its per-chunk summaries. A two-token line (an array
+/// with zero chunks) decodes to an empty summary list.
+fn parse_zone_map_line(parts: &[&str]) -> Result<(u64, Vec<ChunkSummary>), QueryError> {
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(QueryError::Eval("malformed zone-map line".into()));
+    }
+    let id: u64 = parts[1]
+        .parse()
+        .map_err(|_| QueryError::Eval("bad zone-map array id".into()))?;
+    let mut summaries = Vec::new();
+    if let Some(cells) = parts.get(2) {
+        for cell in cells.split(',') {
+            let fields: Vec<&str> = cell.split(':').collect();
+            if fields.len() != 4 {
+                return Err(QueryError::Eval(format!("malformed zone-map cell {cell}")));
+            }
+            let parse = |s: &str| -> Result<u64, QueryError> {
+                s.parse()
+                    .map_err(|_| QueryError::Eval("bad zone-map number".into()))
+            };
+            summaries.push(ChunkSummary {
+                count: parse(fields[0])?,
+                nulls: parse(fields[1])?,
+                min_bits: parse(fields[2])?,
+                max_bits: parse(fields[3])?,
+            });
+        }
+    }
+    Ok((id, summaries))
 }
 
 /// Decode a snapshot file into fresh graphs and a catalog list, without
@@ -159,6 +228,7 @@ fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
     let mut contents = SnapshotContents {
         wal_lsn: 0,
         metas: Vec::new(),
+        zone_maps: HashMap::new(),
         default_graph: Graph::new(),
         named: HashMap::new(),
     };
@@ -208,9 +278,15 @@ fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
             continue;
         }
         if section.is_none() {
-            // Catalog line: id type shape chunk_bytes
+            // Catalog line: `id type shape chunk_bytes [scc1]`, or a
+            // zone-map line `zm id count:nulls:min:max,...`.
             let parts: Vec<&str> = line.split_whitespace().collect();
-            if parts.len() != 4 {
+            if parts.first() == Some(&"zm") {
+                let (id, summaries) = parse_zone_map_line(&parts)?;
+                contents.zone_maps.insert(id, summaries);
+                continue;
+            }
+            if parts.len() != 4 && parts.len() != 5 {
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -235,12 +311,20 @@ fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
             let chunk_bytes: usize = parts[3]
                 .parse()
                 .map_err(|_| QueryError::Eval("bad chunk size".into()))?;
+            let encoded = match parts.get(4) {
+                None => false,
+                Some(&"scc1") => true,
+                Some(other) => {
+                    return Err(QueryError::Eval(format!("bad catalog codec tag {other}")))
+                }
+            };
             let total: usize = shape.iter().product();
             contents.metas.push(ArrayMeta {
                 array_id: id,
                 numeric_type: ty,
                 shape,
                 chunking: Chunking::new(chunk_bytes, total),
+                encoded,
             });
         } else {
             block.push_str(line);
@@ -454,16 +538,23 @@ mod tests {
 
         let mut back = Ssdm::open(Backend::Memory);
         back.load_snapshot(&path).unwrap();
-        // Refill the chunk store with the original bytes.
+        // Refill the chunk store with the original content. The
+        // catalog marks the array `scc1`-encoded, so the refill must
+        // write codec frames, exactly as the original store did.
         let chunking = meta[0].chunking;
         let data: Vec<i64> = vec![7, 8, 9];
         for c in 0..chunking.chunk_count() {
             let (s, e) = chunking.chunk_span(c);
             let bytes: Vec<u8> = data[s..e].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let (frame, _) = ssdm_storage::codec::encode_chunk(
+                &bytes,
+                meta[0].numeric_type,
+                ssdm_storage::CodecPolicy::default(),
+            );
             back.dataset
                 .arrays
                 .backend_mut()
-                .put_chunk(meta[0].array_id, c, &bytes)
+                .put_chunk(meta[0].array_id, c, &frame)
                 .unwrap();
         }
         let rows = back

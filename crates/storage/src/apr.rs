@@ -15,6 +15,7 @@ use std::sync::{Arc, OnceLock};
 use ssdm_array::{kernel, AggregateOp, ArrayData, LinearRuns, Num, NumArray, NumericType};
 
 use crate::chunks::Chunking;
+use crate::codec::{self, ChunkSummary, CodecPolicy, ValuePredicate, ZoneMap};
 use crate::meta::{ArrayMeta, ArrayProxy};
 use crate::resilient::ResilienceStats;
 use crate::spd::{self, FetchOp, SpdOptions};
@@ -67,6 +68,15 @@ pub struct AprStats {
     /// Checksum violations that were healed by a successful re-read
     /// during this resolution.
     pub corruption_repaired: u64,
+    /// Chunks the zone map proved irrelevant for a filtered resolution:
+    /// they were dropped from the fetch plan before any back-end
+    /// statement was issued.
+    pub chunks_skipped: u64,
+    /// Fetched `SCC1` frames that were decompressed during this
+    /// resolution (zero for raw-stored arrays).
+    pub chunks_decoded: u64,
+    /// Uncompressed bytes produced by those decodes.
+    pub bytes_decoded: u64,
 }
 
 impl AprStats {
@@ -85,6 +95,69 @@ impl AprStats {
         self.fallbacks += delta.fallbacks;
         self.retries += delta.retries;
         self.corruption_repaired += delta.corruption_repaired;
+        self.chunks_skipped += delta.chunks_skipped;
+        self.chunks_decoded += delta.chunks_decoded;
+        self.bytes_decoded += delta.bytes_decoded;
+    }
+}
+
+/// Process-wide count of chunks skipped via zone-map pruning.
+fn obs_chunks_skipped() -> &'static Arc<ssdm_obs::Counter> {
+    static C: OnceLock<Arc<ssdm_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| ssdm_obs::recorder().counter("ssdm_chunks_skipped"))
+}
+
+/// Process-wide count of `SCC1` frames decompressed.
+fn obs_chunks_decoded() -> &'static Arc<ssdm_obs::Counter> {
+    static C: OnceLock<Arc<ssdm_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| ssdm_obs::recorder().counter("ssdm_chunks_decoded"))
+}
+
+/// Decode tallies of one resolution (chunk frames decompressed and the
+/// uncompressed bytes they produced).
+#[derive(Debug, Default, Clone, Copy)]
+struct DecodeTally {
+    chunks: u64,
+    bytes: u64,
+}
+
+impl DecodeTally {
+    fn note(&mut self, decoded_bytes: u64) {
+        if decoded_bytes > 0 {
+            self.chunks += 1;
+            self.bytes += decoded_bytes;
+        }
+    }
+}
+
+/// Decode a fetched payload back to raw little-endian elements when the
+/// owning array stores `SCC1` frames; raw-stored arrays pass through
+/// untouched. Returns the raw payload and the decoded byte count (zero
+/// when no decode happened). Malformed frames surface as the same typed
+/// [`StorageError::Corrupt`] the CRC layer raises, so resilience and
+/// retry accounting treat codec damage exactly like frame damage.
+pub(crate) fn decode_payload(
+    encoded: bool,
+    payload: Vec<u8>,
+    array_id: u64,
+    chunk_id: u64,
+) -> Result<(Vec<u8>, u64)> {
+    if !encoded {
+        return Ok((payload, 0));
+    }
+    match codec::decode_chunk(&payload) {
+        Ok(raw) => {
+            let bytes = raw.len() as u64;
+            if ssdm_obs::recorder().enabled() {
+                obs_chunks_decoded().add(1);
+            }
+            Ok((raw, bytes))
+        }
+        Err(e) => Err(StorageError::Corrupt {
+            array_id,
+            chunk_id,
+            detail: e.to_string(),
+        }),
     }
 }
 
@@ -102,6 +175,13 @@ pub(crate) fn obs_chunk_fetch_hist() -> &'static Arc<ssdm_obs::Histogram> {
 pub struct ArrayStore<S: ChunkStore> {
     backend: S,
     catalog: HashMap<u64, Arc<ArrayMeta>>,
+    /// Chunk-summary catalog: one zone map per *stored* array (linked
+    /// external arrays have none until one is restored from a
+    /// snapshot), consulted by the filtered resolve paths to skip
+    /// chunks before fetch.
+    zone_maps: HashMap<u64, Arc<ZoneMap>>,
+    codec: CodecPolicy,
+    skip_enabled: bool,
     next_id: u64,
     last_stats: AprStats,
     cumulative: AprStats,
@@ -112,10 +192,44 @@ impl<S: ChunkStore> ArrayStore<S> {
         ArrayStore {
             backend,
             catalog: HashMap::new(),
+            zone_maps: HashMap::new(),
+            codec: CodecPolicy::from_env(),
+            skip_enabled: true,
             next_id: 1,
             last_stats: AprStats::default(),
             cumulative: AprStats::default(),
         }
+    }
+
+    /// The codec policy newly stored arrays are encoded with.
+    pub fn codec(&self) -> CodecPolicy {
+        self.codec
+    }
+
+    pub fn set_codec(&mut self, codec: CodecPolicy) {
+        self.codec = codec;
+    }
+
+    /// Whether filtered resolutions consult zone maps to skip chunks.
+    /// On by default; turning it off never changes results (skipping is
+    /// strictly conservative), only how many chunks are fetched.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip_enabled
+    }
+
+    pub fn set_skip_enabled(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+    }
+
+    /// The zone map of a stored array, if one exists.
+    pub fn zone_map(&self, array_id: u64) -> Option<&Arc<ZoneMap>> {
+        self.zone_maps.get(&array_id)
+    }
+
+    /// Install a zone map for an array (snapshot restore of linked
+    /// external arrays).
+    pub fn set_zone_map(&mut self, array_id: u64, zone_map: ZoneMap) {
+        self.zone_maps.insert(array_id, Arc::new(zone_map));
     }
 
     pub fn backend(&self) -> &S {
@@ -152,17 +266,24 @@ impl<S: ChunkStore> ArrayStore<S> {
         };
         let shape = dense.shape();
         let chunking = Chunking::new(chunk_bytes, dense.element_count());
+        let ty = dense.numeric_type();
         self.backend.begin_array(array_id, chunk_bytes)?;
+        let mut summaries: Vec<ChunkSummary> = Vec::with_capacity(chunking.chunk_count() as usize);
         for c in 0..chunking.chunk_count() {
             let (start, end) = chunking.chunk_span(c);
-            let payload = dense.data().serialize_range(start, end);
-            self.backend.put_chunk(array_id, c, &payload)?;
+            let raw = dense.data().serialize_range(start, end);
+            let (frame, summary) = codec::encode_chunk(&raw, ty, self.codec);
+            summaries.push(summary);
+            self.backend.put_chunk(array_id, c, &frame)?;
         }
+        self.zone_maps
+            .insert(array_id, Arc::new(ZoneMap { ty, summaries }));
         let meta = Arc::new(ArrayMeta {
             array_id,
-            numeric_type: dense.numeric_type(),
+            numeric_type: ty,
             shape,
             chunking,
+            encoded: true,
         });
         self.catalog.insert(array_id, Arc::clone(&meta));
         Ok(ArrayProxy::whole(meta))
@@ -198,6 +319,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             .catalog
             .remove(&array_id)
             .ok_or(StorageError::MissingArray(array_id))?;
+        self.zone_maps.remove(&array_id);
         self.backend
             .delete_array(array_id, meta.chunking.chunk_count())
     }
@@ -211,7 +333,15 @@ impl<S: ChunkStore> ArrayStore<S> {
         let addresses = proxy.view().addresses();
         let needed = needed_chunks(proxy, &chunking);
         let mut fallbacks = 0u64;
-        let chunks = self.fetch(meta.array_id, &chunking, &needed, strategy, &mut fallbacks)?;
+        let mut decoded = DecodeTally::default();
+        let chunks = self.fetch(
+            meta,
+            &chunking,
+            &needed,
+            strategy,
+            &mut fallbacks,
+            &mut decoded,
+        )?;
         let nums = gather(
             &chunks,
             &chunking,
@@ -219,7 +349,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             &addresses,
             meta.array_id,
         )?;
-        self.finish_stats(before, before_res, fallbacks, addresses.len());
+        self.finish_stats(before, before_res, fallbacks, addresses.len(), 0, decoded);
         let data = match meta.numeric_type {
             NumericType::Int => ArrayData::from_i64(nums.iter().map(|n| n.as_i64()).collect()),
             NumericType::Real => ArrayData::from_f64(nums.iter().map(|n| n.as_f64()).collect()),
@@ -257,12 +387,30 @@ impl<S: ChunkStore> ArrayStore<S> {
         let addresses = proxy.view().addresses();
         let needed = needed_chunks(proxy, &chunking);
         let plan = make_plan(&needed, &chunking, strategy);
-        let (per_op, fallbacks) = crate::parallel::fetch_plan(
+        let (encoded, array_id) = (meta.encoded, meta.array_id);
+        let dec_chunks = std::sync::atomic::AtomicU64::new(0);
+        let dec_bytes = std::sync::atomic::AtomicU64::new(0);
+        // Decode inside the fetching worker (via `run_plan`'s `process`
+        // hook), so decompression overlaps the round trips of the other
+        // ops exactly like CRC verification does.
+        let (per_op, fallbacks) = crate::parallel::run_plan(
             &self.backend,
-            meta.array_id,
+            array_id,
             &plan,
             &needed,
             config.workers,
+            |_, rows| {
+                let mut out = Vec::with_capacity(rows.len());
+                for (cid, payload) in rows {
+                    let (raw, bytes) = decode_payload(encoded, payload, array_id, cid)?;
+                    if bytes > 0 {
+                        dec_chunks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        dec_bytes.fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    out.push((cid, raw));
+                }
+                Ok(out)
+            },
         )?;
         let mut chunks = HashMap::with_capacity(needed.len());
         for rows in per_op {
@@ -277,7 +425,11 @@ impl<S: ChunkStore> ArrayStore<S> {
             &addresses,
             meta.array_id,
         )?;
-        self.finish_stats(before, before_res, fallbacks, addresses.len());
+        let decoded = DecodeTally {
+            chunks: dec_chunks.into_inner(),
+            bytes: dec_bytes.into_inner(),
+        };
+        self.finish_stats(before, before_res, fallbacks, addresses.len(), 0, decoded);
         let data = match meta.numeric_type {
             NumericType::Int => ArrayData::from_i64(nums.iter().map(|n| n.as_i64()).collect()),
             NumericType::Real => ArrayData::from_f64(nums.iter().map(|n| n.as_f64()).collect()),
@@ -316,7 +468,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             count += 1;
         });
         if count == 0 {
-            self.finish_stats(before, before_res, 0, 0);
+            self.finish_stats(before, before_res, 0, 0, 0, DecodeTally::default());
             return match op {
                 AggregateOp::Count => Ok(Num::Int(0)),
                 AggregateOp::Sum => Ok(Num::Int(0)),
@@ -327,14 +479,16 @@ impl<S: ChunkStore> ArrayStore<S> {
             };
         }
         if op == AggregateOp::Count {
-            self.finish_stats(before, before_res, 0, 0);
+            self.finish_stats(before, before_res, 0, 0, 0, DecodeTally::default());
             return Ok(Num::Int(count as i64));
         }
         let needed: Vec<u64> = by_chunk.keys().copied().collect();
         let plan = make_plan(&needed, &chunking, strategy);
+        let encoded = meta.encoded;
         let mut acc: Option<Num> = None;
         let mut n = 0u64;
         let mut fallbacks = 0u64;
+        let mut decoded = DecodeTally::default();
         for fetch_op in plan {
             let rows =
                 self.execute_with_fallback(meta.array_id, &fetch_op, &needed, &mut fallbacks)?;
@@ -342,6 +496,8 @@ impl<S: ChunkStore> ArrayStore<S> {
                 let Some(addrs) = by_chunk.get(&cid) else {
                     continue; // overfetched by a covering range
                 };
+                let (payload, bytes) = decode_payload(encoded, payload, meta.array_id, cid)?;
+                decoded.note(bytes);
                 let (chunk_start, _) = chunking.chunk_span(cid);
                 let (part, c) = chunk_partial(
                     &payload,
@@ -359,7 +515,7 @@ impl<S: ChunkStore> ArrayStore<S> {
                 });
             }
         }
-        self.finish_stats(before, before_res, fallbacks, n as usize);
+        self.finish_stats(before, before_res, fallbacks, n as usize, 0, decoded);
         let total = acc.ok_or(StorageError::Backend("no elements resolved".into()))?;
         Ok(match op {
             AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
@@ -403,7 +559,7 @@ impl<S: ChunkStore> ArrayStore<S> {
             count += 1;
         });
         if count == 0 {
-            self.finish_stats(before, before_res, 0, 0);
+            self.finish_stats(before, before_res, 0, 0, 0, DecodeTally::default());
             return match op {
                 AggregateOp::Count => Ok(Num::Int(0)),
                 AggregateOp::Sum => Ok(Num::Int(0)),
@@ -414,13 +570,15 @@ impl<S: ChunkStore> ArrayStore<S> {
             };
         }
         if op == AggregateOp::Count {
-            self.finish_stats(before, before_res, 0, 0);
+            self.finish_stats(before, before_res, 0, 0, 0, DecodeTally::default());
             return Ok(Num::Int(count as i64));
         }
         let needed: Vec<u64> = by_chunk.keys().copied().collect();
         let plan = make_plan(&needed, &chunking, strategy);
-        let (ty, array_id) = (meta.numeric_type, meta.array_id);
+        let (ty, array_id, encoded) = (meta.numeric_type, meta.array_id, meta.encoded);
         let by_chunk = &by_chunk;
+        let dec_chunks = std::sync::atomic::AtomicU64::new(0);
+        let dec_bytes = std::sync::atomic::AtomicU64::new(0);
         let (per_op, fallbacks) = crate::parallel::run_plan(
             &self.backend,
             array_id,
@@ -433,6 +591,11 @@ impl<S: ChunkStore> ArrayStore<S> {
                     let Some(addrs) = by_chunk.get(&cid) else {
                         continue; // overfetched by a covering range
                     };
+                    let (payload, bytes) = decode_payload(encoded, payload, array_id, cid)?;
+                    if bytes > 0 {
+                        dec_chunks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        dec_bytes.fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+                    }
                     let (chunk_start, _) = chunking.chunk_span(cid);
                     parts.push(chunk_partial(
                         &payload,
@@ -459,7 +622,11 @@ impl<S: ChunkStore> ArrayStore<S> {
                 });
             }
         }
-        self.finish_stats(before, before_res, fallbacks, n as usize);
+        let decoded = DecodeTally {
+            chunks: dec_chunks.into_inner(),
+            bytes: dec_bytes.into_inner(),
+        };
+        self.finish_stats(before, before_res, fallbacks, n as usize, 0, decoded);
         let total = acc.ok_or(StorageError::Backend("no elements resolved".into()))?;
         Ok(match op {
             AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
@@ -469,16 +636,20 @@ impl<S: ChunkStore> ArrayStore<S> {
 
     fn fetch(
         &mut self,
-        array_id: u64,
+        meta: &ArrayMeta,
         chunking: &Chunking,
         needed: &[u64],
         strategy: RetrievalStrategy,
         fallbacks: &mut u64,
+        decoded: &mut DecodeTally,
     ) -> Result<HashMap<u64, Vec<u8>>> {
+        let (array_id, encoded) = (meta.array_id, meta.encoded);
         let mut out = HashMap::with_capacity(needed.len());
         for op in make_plan(needed, chunking, strategy) {
             for (cid, payload) in self.execute_with_fallback(array_id, &op, needed, fallbacks)? {
-                out.insert(cid, payload);
+                let (raw, bytes) = decode_payload(encoded, payload, array_id, cid)?;
+                decoded.note(bytes);
+                out.insert(cid, raw);
             }
         }
         Ok(out)
@@ -543,6 +714,8 @@ impl<S: ChunkStore> ArrayStore<S> {
         before_res: ResilienceStats,
         fallbacks: u64,
         elements: usize,
+        skipped: u64,
+        decoded: DecodeTally,
     ) {
         let after = self.backend.io_stats();
         let res = self.backend.resilience_stats().since(&before_res);
@@ -554,8 +727,302 @@ impl<S: ChunkStore> ArrayStore<S> {
             fallbacks,
             retries: res.retries,
             corruption_repaired: res.corruption_repaired,
+            chunks_skipped: skipped,
+            chunks_decoded: decoded.chunks,
+            bytes_decoded: decoded.bytes,
         };
         self.cumulative.accumulate(&self.last_stats);
+    }
+
+    /// Drop the chunks of `by_chunk` whose zone-map summary proves they
+    /// cannot hold a match for `pred` — *before* the fetch plan is
+    /// built, so range plans shrink and skipped chunks never reach the
+    /// back-end. Returns the number of chunks skipped. No-ops (and
+    /// stays correct) when skipping is disabled or the array has no
+    /// zone map.
+    fn prune_chunks(
+        &self,
+        array_id: u64,
+        by_chunk: &mut BTreeMap<u64, Vec<usize>>,
+        pred: &ValuePredicate,
+    ) -> u64 {
+        if !self.skip_enabled {
+            return 0;
+        }
+        let Some(zm) = self.zone_maps.get(&array_id) else {
+            return 0;
+        };
+        let before = by_chunk.len();
+        by_chunk.retain(|cid, _| zm.may_match(*cid, pred));
+        let skipped = (before - by_chunk.len()) as u64;
+        if skipped > 0 && ssdm_obs::recorder().enabled() {
+            obs_chunks_skipped().add(skipped);
+        }
+        skipped
+    }
+
+    /// Resolve the elements of a proxy's view that satisfy `pred`, in
+    /// view order (the APR analogue of a `FILTER` scan). Chunks whose
+    /// summary proves no element can match are skipped before fetch;
+    /// the returned values are identical with skipping on or off.
+    pub fn resolve_filtered(
+        &mut self,
+        proxy: &ArrayProxy,
+        pred: &ValuePredicate,
+        strategy: RetrievalStrategy,
+    ) -> Result<Vec<Num>> {
+        let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
+        let meta = Arc::clone(proxy.meta());
+        let chunking = meta.chunking;
+        let addresses = proxy.view().addresses();
+        let mut by_chunk: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for &a in &addresses {
+            by_chunk.entry(chunking.chunk_of(a)).or_default().push(a);
+        }
+        let skipped = self.prune_chunks(meta.array_id, &mut by_chunk, pred);
+        let needed: Vec<u64> = by_chunk.keys().copied().collect();
+        let mut fallbacks = 0u64;
+        let mut decoded = DecodeTally::default();
+        let chunks = self.fetch(
+            &meta,
+            &chunking,
+            &needed,
+            strategy,
+            &mut fallbacks,
+            &mut decoded,
+        )?;
+        let mut out = Vec::new();
+        for &a in &addresses {
+            let cid = chunking.chunk_of(a);
+            if !by_chunk.contains_key(&cid) {
+                continue; // skipped: provably no match at this address
+            }
+            let payload = chunks.get(&cid).ok_or(StorageError::MissingChunk {
+                array_id: meta.array_id,
+                chunk_id: cid,
+            })?;
+            let (start, _) = chunking.chunk_span(cid);
+            let v = decode_element(payload, a - start, meta.numeric_type).ok_or(
+                StorageError::MissingChunk {
+                    array_id: meta.array_id,
+                    chunk_id: cid,
+                },
+            )?;
+            if pred.matches(v) {
+                out.push(v);
+            }
+        }
+        let elements = out.len();
+        self.finish_stats(before, before_res, fallbacks, elements, skipped, decoded);
+        Ok(out)
+    }
+
+    /// Whether any element of the proxy's view satisfies `pred`
+    /// (membership / `EXISTS`). Skips non-qualifying chunks via the
+    /// zone map and stops at the first match.
+    pub fn resolve_exists(
+        &mut self,
+        proxy: &ArrayProxy,
+        pred: &ValuePredicate,
+        strategy: RetrievalStrategy,
+    ) -> Result<bool> {
+        let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
+        let meta = Arc::clone(proxy.meta());
+        let chunking = meta.chunking;
+        let mut by_chunk: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        proxy.view().for_each_address(|a| {
+            by_chunk.entry(chunking.chunk_of(a)).or_default().push(a);
+        });
+        let skipped = self.prune_chunks(meta.array_id, &mut by_chunk, pred);
+        let needed: Vec<u64> = by_chunk.keys().copied().collect();
+        let plan = make_plan(&needed, &chunking, strategy);
+        let mut fallbacks = 0u64;
+        let mut decoded = DecodeTally::default();
+        let mut examined = 0usize;
+        let mut found = false;
+        'ops: for fetch_op in plan {
+            let rows =
+                self.execute_with_fallback(meta.array_id, &fetch_op, &needed, &mut fallbacks)?;
+            for (cid, payload) in rows {
+                let Some(addrs) = by_chunk.get(&cid) else {
+                    continue; // overfetched by a covering range
+                };
+                let (payload, bytes) = decode_payload(meta.encoded, payload, meta.array_id, cid)?;
+                decoded.note(bytes);
+                let (start, _) = chunking.chunk_span(cid);
+                for &a in addrs {
+                    let v = decode_element(&payload, a - start, meta.numeric_type).ok_or(
+                        StorageError::MissingChunk {
+                            array_id: meta.array_id,
+                            chunk_id: cid,
+                        },
+                    )?;
+                    examined += 1;
+                    if pred.matches(v) {
+                        found = true;
+                        break 'ops;
+                    }
+                }
+            }
+        }
+        self.finish_stats(before, before_res, fallbacks, examined, skipped, decoded);
+        Ok(found)
+    }
+
+    /// Streamed aggregate over the elements of a proxy's view that
+    /// satisfy `pred` (filtered AAPR). Non-qualifying chunks are
+    /// skipped before fetch; chunks none of whose addressed elements
+    /// match contribute *no* fold partial, which is what makes the
+    /// result bit-identical with skipping on or off (including `f64`
+    /// sums, whose fold order is structural). With no matching elements
+    /// the result mirrors the empty-view semantics: `Count`/`Sum` are
+    /// 0, `Prod` is 1, the rest error.
+    pub fn resolve_aggregate_filtered(
+        &mut self,
+        proxy: &ArrayProxy,
+        pred: &ValuePredicate,
+        op: AggregateOp,
+        strategy: RetrievalStrategy,
+    ) -> Result<Num> {
+        let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
+        let meta = Arc::clone(proxy.meta());
+        let chunking = meta.chunking;
+        let mut by_chunk: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        proxy.view().for_each_address(|a| {
+            by_chunk.entry(chunking.chunk_of(a)).or_default().push(a);
+        });
+        let skipped = self.prune_chunks(meta.array_id, &mut by_chunk, pred);
+        let needed: Vec<u64> = by_chunk.keys().copied().collect();
+        let plan = make_plan(&needed, &chunking, strategy);
+        let mut acc: Option<Num> = None;
+        let mut n = 0u64;
+        let mut fallbacks = 0u64;
+        let mut decoded = DecodeTally::default();
+        for fetch_op in plan {
+            let rows =
+                self.execute_with_fallback(meta.array_id, &fetch_op, &needed, &mut fallbacks)?;
+            for (cid, payload) in rows {
+                let Some(addrs) = by_chunk.get(&cid) else {
+                    continue; // overfetched by a covering range
+                };
+                let (payload, bytes) = decode_payload(meta.encoded, payload, meta.array_id, cid)?;
+                decoded.note(bytes);
+                let (chunk_start, _) = chunking.chunk_span(cid);
+                if let Some((part, c)) = chunk_partial_filtered(
+                    &payload,
+                    addrs,
+                    chunk_start,
+                    meta.numeric_type,
+                    op,
+                    pred,
+                    meta.array_id,
+                    cid,
+                )? {
+                    n += c;
+                    acc = Some(match acc {
+                        None => part,
+                        Some(prev) => fold(combine_op(op), prev, part)?,
+                    });
+                }
+            }
+        }
+        self.finish_stats(before, before_res, fallbacks, n as usize, skipped, decoded);
+        finish_filtered_aggregate(acc, n, op)
+    }
+
+    /// Parallel filtered AAPR: zone-map pruning happens up front, then
+    /// the surviving plan is partitioned across the worker pool with
+    /// decode + filter + fold inside the fetching workers. Partials
+    /// combine in plan order, so the result is bit-identical to
+    /// [`resolve_aggregate_filtered`](Self::resolve_aggregate_filtered)
+    /// for every worker count. Degrades to the sequential path when the
+    /// back-end lacks `supports_parallel` or at most one worker is
+    /// requested.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_aggregate_filtered_parallel(
+        &mut self,
+        proxy: &ArrayProxy,
+        pred: &ValuePredicate,
+        op: AggregateOp,
+        strategy: RetrievalStrategy,
+        config: crate::ParallelConfig,
+    ) -> Result<Num>
+    where
+        S: crate::SharedChunkRead,
+    {
+        if config.workers <= 1 || !self.backend.capabilities().supports_parallel {
+            return self.resolve_aggregate_filtered(proxy, pred, op, strategy);
+        }
+        let before = self.backend.io_stats();
+        let before_res = self.backend.resilience_stats();
+        let meta = Arc::clone(proxy.meta());
+        let chunking = meta.chunking;
+        let mut by_chunk: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        proxy.view().for_each_address(|a| {
+            by_chunk.entry(chunking.chunk_of(a)).or_default().push(a);
+        });
+        let skipped = self.prune_chunks(meta.array_id, &mut by_chunk, pred);
+        let needed: Vec<u64> = by_chunk.keys().copied().collect();
+        let plan = make_plan(&needed, &chunking, strategy);
+        let (ty, array_id, encoded) = (meta.numeric_type, meta.array_id, meta.encoded);
+        let by_chunk = &by_chunk;
+        let dec_chunks = std::sync::atomic::AtomicU64::new(0);
+        let dec_bytes = std::sync::atomic::AtomicU64::new(0);
+        let (per_op, fallbacks) = crate::parallel::run_plan(
+            &self.backend,
+            array_id,
+            &plan,
+            &needed,
+            config.workers,
+            |_, rows| {
+                let mut parts = Vec::with_capacity(rows.len());
+                for (cid, payload) in rows {
+                    let Some(addrs) = by_chunk.get(&cid) else {
+                        continue; // overfetched by a covering range
+                    };
+                    let (payload, bytes) = decode_payload(encoded, payload, array_id, cid)?;
+                    if bytes > 0 {
+                        dec_chunks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        dec_bytes.fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    let (chunk_start, _) = chunking.chunk_span(cid);
+                    if let Some(part) = chunk_partial_filtered(
+                        &payload,
+                        addrs,
+                        chunk_start,
+                        ty,
+                        op,
+                        pred,
+                        array_id,
+                        cid,
+                    )? {
+                        parts.push(part);
+                    }
+                }
+                kernel::note_parallel_folds(parts.len() as u64);
+                Ok(parts)
+            },
+        )?;
+        let mut acc: Option<Num> = None;
+        let mut n = 0u64;
+        for parts in per_op {
+            for (part, c) in parts {
+                n += c;
+                acc = Some(match acc {
+                    None => part,
+                    Some(prev) => fold(combine_op(op), prev, part)?,
+                });
+            }
+        }
+        let decoded = DecodeTally {
+            chunks: dec_chunks.into_inner(),
+            bytes: dec_bytes.into_inner(),
+        };
+        self.finish_stats(before, before_res, fallbacks, n as usize, skipped, decoded);
+        finish_filtered_aggregate(acc, n, op)
     }
 }
 
@@ -627,6 +1094,99 @@ fn chunk_partial(
         }
     };
     Ok((part, addrs.len() as u64))
+}
+
+/// Like [`chunk_partial`], but folding only the addressed elements that
+/// satisfy `pred`. Returns `None` when no addressed element matches —
+/// the chunk then contributes nothing to the combine, exactly as if the
+/// zone map had skipped it, which is what keeps filtered aggregates
+/// bit-identical with skipping on or off. `Count` partials are element
+/// counts and combine by addition.
+#[allow(clippy::too_many_arguments)]
+fn chunk_partial_filtered(
+    payload: &[u8],
+    addrs: &[usize],
+    chunk_start: usize,
+    ty: NumericType,
+    op: AggregateOp,
+    pred: &ValuePredicate,
+    array_id: u64,
+    chunk_id: u64,
+) -> Result<Option<(Num, u64)>> {
+    let missing = || StorageError::MissingChunk { array_id, chunk_id };
+    let part = match ty {
+        NumericType::Int => {
+            let mut vals = Vec::with_capacity(addrs.len());
+            for &a in addrs {
+                let off = (a - chunk_start) * 8;
+                let bytes = payload.get(off..off + 8).ok_or_else(missing)?;
+                let v = i64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                if pred.matches(Num::Int(v)) {
+                    vals.push(v);
+                }
+            }
+            if vals.is_empty() {
+                return Ok(None);
+            }
+            if op == AggregateOp::Count {
+                return Ok(Some((Num::Int(vals.len() as i64), vals.len() as u64)));
+            }
+            let n = vals.len() as u64;
+            (kernel::fold_i64(&vals, op).map_err(StorageError::Array)?, n)
+        }
+        NumericType::Real => {
+            let mut vals = Vec::with_capacity(addrs.len());
+            for &a in addrs {
+                let off = (a - chunk_start) * 8;
+                let bytes = payload.get(off..off + 8).ok_or_else(missing)?;
+                let v = f64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                if pred.matches(Num::Real(v)) {
+                    vals.push(v);
+                }
+            }
+            if vals.is_empty() {
+                return Ok(None);
+            }
+            if op == AggregateOp::Count {
+                return Ok(Some((Num::Int(vals.len() as i64), vals.len() as u64)));
+            }
+            let n = vals.len() as u64;
+            (kernel::fold_f64(&vals, op).map_err(StorageError::Array)?, n)
+        }
+    };
+    Ok(Some(part))
+}
+
+/// The operator used to *combine* per-chunk partials of `op`: `Count`
+/// partials are counts, so they add; everything else combines with the
+/// aggregate itself (`Avg` partials are raw sums, divided once by the
+/// caller).
+fn combine_op(op: AggregateOp) -> AggregateOp {
+    match op {
+        AggregateOp::Count => AggregateOp::Sum,
+        other => other,
+    }
+}
+
+/// Final-value semantics of a filtered aggregate: with no matching
+/// elements, mirror the empty-view behaviour of `resolve_aggregate`
+/// (`Count`/`Sum` 0, `Prod` 1, the rest error); otherwise divide `Avg`
+/// by the matched count.
+fn finish_filtered_aggregate(acc: Option<Num>, n: u64, op: AggregateOp) -> Result<Num> {
+    match acc {
+        None => match op {
+            AggregateOp::Count => Ok(Num::Int(0)),
+            AggregateOp::Sum => Ok(Num::Int(0)),
+            AggregateOp::Prod => Ok(Num::Int(1)),
+            _ => Err(StorageError::Backend(
+                "aggregate over empty filtered view".into(),
+            )),
+        },
+        Some(total) => Ok(match op {
+            AggregateOp::Avg => Num::Real(total.as_f64() / n as f64),
+            _ => total,
+        }),
+    }
 }
 
 /// Decode element `off` (in elements) of a chunk payload.
@@ -856,10 +1416,185 @@ mod tests {
             numeric_type: NumericType::Int,
             shape: vec![10],
             chunking,
+            encoded: false,
         });
         let a = store
             .resolve(&proxy, RetrievalStrategy::WholeArray)
             .unwrap();
         assert_eq!(a.elements().iter().map(|n| n.as_i64()).sum::<i64>(), 45);
+    }
+
+    #[test]
+    fn stored_chunks_are_scc1_frames_with_zone_map() {
+        let (mut store, proxy) = store_with_matrix(64); // 8 elems/chunk, 50 chunks
+        let id = proxy.array_id();
+        let zm = Arc::clone(store.zone_map(id).expect("zone map built at store time"));
+        assert_eq!(zm.summaries.len(), 50);
+        assert_eq!(zm.summaries[0].min(NumericType::Int), Num::Int(0));
+        assert_eq!(zm.summaries[0].max(NumericType::Int), Num::Int(7));
+        let frame = store.backend_mut().get_chunk(id, 0).unwrap();
+        let (summary, ty) = codec::summary_of(&frame).expect("SCC1 frame");
+        assert_eq!(ty, NumericType::Int);
+        assert_eq!(summary.min_bits, zm.summaries[0].min_bits);
+        store.delete_array(id).unwrap();
+        assert!(store.zone_map(id).is_none());
+    }
+
+    #[test]
+    fn filtered_aggregate_skips_and_is_identical_without_skipping() {
+        let (mut store, proxy) = store_with_matrix(64); // values 0..400
+        let pred = ValuePredicate::Range {
+            lo: Num::Int(100),
+            hi: Num::Int(149),
+        };
+        let expected: i64 = (100..150).sum();
+        let sum = store
+            .resolve_aggregate_filtered(&proxy, &pred, AggregateOp::Sum, RetrievalStrategy::Single)
+            .unwrap();
+        assert_eq!(sum, Num::Int(expected));
+        let st = store.last_stats();
+        // Chunks 12..=18 qualify (they span elements 96..152); the other
+        // 43 are proven irrelevant and never fetched.
+        assert_eq!(st.chunks_skipped, 43);
+        assert_eq!(st.chunks_fetched, 7);
+        assert_eq!(st.chunks_decoded, 7);
+        assert!(st.bytes_decoded > 0);
+        store.set_skip_enabled(false);
+        let sum_off = store
+            .resolve_aggregate_filtered(&proxy, &pred, AggregateOp::Sum, RetrievalStrategy::Single)
+            .unwrap();
+        assert_eq!(sum_off, sum);
+        let st_off = store.last_stats();
+        assert_eq!(st_off.chunks_skipped, 0);
+        assert_eq!(st_off.chunks_fetched, 50);
+    }
+
+    #[test]
+    fn filtered_count_and_avg_follow_matched_elements() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let pred = ValuePredicate::Range {
+            lo: Num::Int(10),
+            hi: Num::Int(13),
+        };
+        let n = store
+            .resolve_aggregate_filtered(
+                &proxy,
+                &pred,
+                AggregateOp::Count,
+                RetrievalStrategy::Single,
+            )
+            .unwrap();
+        assert_eq!(n, Num::Int(4));
+        let avg = store
+            .resolve_aggregate_filtered(&proxy, &pred, AggregateOp::Avg, RetrievalStrategy::Single)
+            .unwrap();
+        assert_eq!(avg, Num::Real(11.5));
+        // No matches: Count/Sum yield zero, Min errors (empty semantics).
+        let none = ValuePredicate::Range {
+            lo: Num::Int(1000),
+            hi: Num::Int(2000),
+        };
+        assert_eq!(
+            store
+                .resolve_aggregate_filtered(
+                    &proxy,
+                    &none,
+                    AggregateOp::Count,
+                    RetrievalStrategy::Single
+                )
+                .unwrap(),
+            Num::Int(0)
+        );
+        assert_eq!(store.last_stats().chunks_skipped, 50);
+        assert_eq!(store.last_stats().statements, 0);
+        assert!(store
+            .resolve_aggregate_filtered(&proxy, &none, AggregateOp::Min, RetrievalStrategy::Single)
+            .is_err());
+    }
+
+    #[test]
+    fn resolve_filtered_preserves_view_order() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let pred = ValuePredicate::In(vec![Num::Int(399), Num::Int(5), Num::Int(123)]);
+        let got = store
+            .resolve_filtered(&proxy, &pred, RetrievalStrategy::Single)
+            .unwrap();
+        // View order, not predicate order.
+        assert_eq!(got, vec![Num::Int(5), Num::Int(123), Num::Int(399)]);
+        assert_eq!(store.last_stats().chunks_fetched, 3);
+        assert_eq!(store.last_stats().chunks_skipped, 47);
+    }
+
+    #[test]
+    fn resolve_exists_early_exit_and_full_skip() {
+        let (mut store, proxy) = store_with_matrix(64);
+        let hit = ValuePredicate::In(vec![Num::Int(42)]);
+        assert!(store
+            .resolve_exists(&proxy, &hit, RetrievalStrategy::Single)
+            .unwrap());
+        let miss = ValuePredicate::In(vec![Num::Int(-7)]);
+        assert!(!store
+            .resolve_exists(&proxy, &miss, RetrievalStrategy::Single)
+            .unwrap());
+        // Everything pruned: no statements reached the back-end.
+        assert_eq!(store.last_stats().statements, 0);
+        assert_eq!(store.last_stats().chunks_skipped, 50);
+    }
+
+    #[test]
+    fn filtered_parallel_matches_sequential_bitwise() {
+        let mut store = ArrayStore::new(MemoryChunkStore::new());
+        let vals: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin() * 100.0).collect();
+        let a = NumArray::from_f64(vals);
+        let proxy = store.store_array(&a, 64).unwrap();
+        let pred = ValuePredicate::Range {
+            lo: Num::Real(-25.0),
+            hi: Num::Real(25.0),
+        };
+        for op in [
+            AggregateOp::Sum,
+            AggregateOp::Avg,
+            AggregateOp::Min,
+            AggregateOp::Max,
+            AggregateOp::Count,
+        ] {
+            let seq = store
+                .resolve_aggregate_filtered(&proxy, &pred, op, RetrievalStrategy::Single)
+                .unwrap();
+            for workers in [2, 4, 8] {
+                let par = store
+                    .resolve_aggregate_filtered_parallel(
+                        &proxy,
+                        &pred,
+                        op,
+                        RetrievalStrategy::Single,
+                        crate::ParallelConfig::with_workers(workers),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    par.as_f64().to_bits(),
+                    seq.as_f64().to_bits(),
+                    "{op:?} @ {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_policy_still_skips_via_summaries() {
+        let mut store = ArrayStore::new(MemoryChunkStore::new());
+        store.set_codec(CodecPolicy::Raw);
+        let m = NumArray::from_i64_shaped((0..400).collect(), &[20, 20]).unwrap();
+        let proxy = store.store_array(&m, 64).unwrap();
+        let pred = ValuePredicate::Range {
+            lo: Num::Int(0),
+            hi: Num::Int(7),
+        };
+        let sum = store
+            .resolve_aggregate_filtered(&proxy, &pred, AggregateOp::Sum, RetrievalStrategy::Single)
+            .unwrap();
+        assert_eq!(sum, Num::Int(28));
+        assert_eq!(store.last_stats().chunks_fetched, 1);
+        assert_eq!(store.last_stats().chunks_skipped, 49);
     }
 }

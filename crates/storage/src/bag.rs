@@ -201,6 +201,21 @@ impl<S: ChunkStore> ArrayStore<S> {
                 }
             }
         }
+        // 4. Decode the SCC1 frames of encoded arrays in place — once
+        //    per fetched chunk, shared by every proxy that reads it.
+        //    Chunks overfetched from arrays outside the bag stay as
+        //    stored (`assemble` never reads them).
+        let encoded: HashMap<u64, bool> = proxies
+            .iter()
+            .map(|p| (p.array_id(), p.meta().encoded))
+            .collect();
+        for (&(a, c), payload) in out.iter_mut() {
+            if encoded.get(&a).copied().unwrap_or(false) {
+                let frame = std::mem::take(payload);
+                let (raw, _) = crate::apr::decode_payload(true, frame, a, c)?;
+                *payload = raw;
+            }
+        }
         Ok(out)
     }
 }

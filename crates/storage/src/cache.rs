@@ -19,10 +19,14 @@
 //!   resilient layer repaired through retries is cached and never
 //!   re-fetched.
 //!
-//! Cached payloads are *decoded* (post-CRC) bytes: a hit skips both the
-//! back-end statement and the checksum pass. Corruption injected behind
-//! the cache (via [`RawChunkAccess`]) invalidates the touched key so
-//! fault-injection tests still see the damage.
+//! Cached payloads are post-CRC bytes as stored: a hit skips both the
+//! back-end statement and the checksum pass. For `SCC1` codec frames
+//! ([`crate::codec`]) the cached bytes are still compressed — but the
+//! budget charges each entry at its *uncompressed* size, since that is
+//! the data volume a hit keeps hot for readers (see
+//! [`codec::charged_size`]). Corruption injected behind the cache (via
+//! [`RawChunkAccess`]) invalidates the touched key so fault-injection
+//! tests still see the damage.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +34,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use ssdm_obs as obs;
 
+use crate::codec;
 use crate::store::{
     Capabilities, ChunkStore, CompositeRows, IoStats, RawChunkAccess, SharedChunkRead, StorageError,
 };
@@ -67,7 +72,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries written into the cache (fills + write-throughs).
     pub insertions: u64,
-    /// Bytes currently resident.
+    /// Bytes currently charged against the budget. `SCC1` codec frames
+    /// ([`crate::codec`]) are charged at their *uncompressed* size —
+    /// the cost a reader pays once the payload is decoded — so a
+    /// well-compressed store cannot silently pin more decoded data
+    /// than the configured budget.
     pub resident_bytes: u64,
     /// Configured byte budget.
     pub capacity_bytes: u64,
@@ -86,12 +95,14 @@ impl CacheStats {
 }
 
 struct Shard {
-    /// Key → (recency tick, decoded payload).
+    /// Key → (recency tick, stored payload).
     map: HashMap<(u64, u64), (u64, Vec<u8>)>,
     /// Recency index: oldest tick first. Ticks are globally unique, so
     /// this is a faithful LRU order across bumps.
     recency: BTreeMap<u64, (u64, u64)>,
-    /// Payload bytes resident in this shard.
+    /// Bytes charged against this shard's budget: the payload size for
+    /// raw chunks, the *uncompressed* size for codec frames (see
+    /// [`codec::charged_size`]).
     bytes: usize,
 }
 
@@ -107,7 +118,7 @@ impl Shard {
     fn remove(&mut self, key: (u64, u64)) -> bool {
         if let Some((tick, data)) = self.map.remove(&key) {
             self.recency.remove(&tick);
-            self.bytes -= data.len();
+            self.bytes -= codec::charged_size(&data);
             true
         } else {
             false
@@ -225,16 +236,20 @@ impl ChunkCache {
 
     /// Insert (or refresh) a chunk, evicting least-recently-used
     /// entries in the same shard until the shard fits its budget.
-    /// Payloads larger than a whole shard's budget are not cached.
+    /// Payloads charged larger than a whole shard's budget are not
+    /// cached. Codec frames are charged at their uncompressed size:
+    /// the budget bounds the decoded data the cache keeps hot, not the
+    /// (smaller) wire bytes.
     pub fn insert(&self, array_id: u64, chunk_id: u64, data: &[u8]) {
-        if data.len() > self.shard_budget {
+        let charge = codec::charged_size(data);
+        if charge > self.shard_budget {
             return;
         }
         let key = (array_id, chunk_id);
         let tick = self.next_tick();
         let mut shard = self.shard(key).lock().expect("cache shard");
         shard.remove(key);
-        shard.bytes += data.len();
+        shard.bytes += charge;
         shard.map.insert(key, (tick, data.to_vec()));
         shard.recency.insert(tick, key);
         let mut evicted = 0;
@@ -244,7 +259,7 @@ impl ChunkCache {
             let (t, data) = shard.map.remove(&victim).expect("recency/map in sync");
             debug_assert_eq!(t, oldest);
             shard.recency.remove(&oldest);
-            shard.bytes -= data.len();
+            shard.bytes -= codec::charged_size(&data);
             evicted += 1;
         }
         drop(shard);
@@ -820,6 +835,59 @@ mod tests {
         assert!(cache.peek(1, b).is_none());
         assert!(cache.peek(1, c).is_some());
         assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn codec_frames_charge_uncompressed_size() {
+        use crate::codec::{encode_chunk, CodecPolicy};
+        use ssdm_array::NumericType;
+        // A constant chunk compresses to a tiny RLE frame, but the
+        // budget must account for what the entry costs once decoded:
+        // 1 KiB, not the ~52 stored bytes.
+        let raw = vec![7u8; 1024];
+        let (frame, _) = encode_chunk(&raw, NumericType::Int, CodecPolicy::Rle);
+        assert!(
+            frame.len() < raw.len() / 4,
+            "constant chunk should compress"
+        );
+        let cache = ChunkCache::new(SHARDS * 4096);
+        cache.insert(1, 0, &frame);
+        assert_eq!(cache.stats().resident_bytes, raw.len() as u64);
+        // Removal refunds the same charge — the books stay balanced.
+        cache.invalidate(1, 0);
+        assert_eq!(cache.stats().resident_bytes, 0);
+        // A frame whose *decoded* size exceeds the shard budget is
+        // refused even though its stored bytes would fit comfortably.
+        let tight = ChunkCache::new(SHARDS * 512);
+        tight.insert(1, 0, &frame);
+        assert!(tight.peek(1, 0).is_none());
+        assert_eq!(tight.stats().insertions, 0);
+    }
+
+    #[test]
+    fn codec_frames_evict_by_decoded_charge() {
+        use crate::codec::{encode_chunk, CodecPolicy};
+        use ssdm_array::NumericType;
+        // Two 1 KiB-decoded frames in one shard with a 1.5 KiB shard
+        // budget: the second insert must evict the first even though
+        // both frames' stored bytes together are far under budget.
+        let (frame, _) = encode_chunk(&vec![7u8; 1024], NumericType::Int, CodecPolicy::Rle);
+        let probe = |c: u64| {
+            let mut h = 1u64 ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 30;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h % SHARDS as u64
+        };
+        let target = probe(0);
+        let same: Vec<u64> = (0..64).filter(|&c| probe(c) == target).take(2).collect();
+        let cache = ChunkCache::new(SHARDS * 1536);
+        cache.insert(1, same[0], &frame);
+        cache.insert(1, same[1], &frame);
+        assert!(cache.peek(1, same[0]).is_none());
+        assert!(cache.peek(1, same[1]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident_bytes, 1024);
     }
 
     #[test]

@@ -1,0 +1,858 @@
+//! Compressed, self-describing chunk frames (`SCC1`) and the per-chunk
+//! summary zone maps built from them.
+//!
+//! The ASEI back-ends move opaque chunk payloads; until now those were
+//! raw little-endian 8-byte words, so every chunk paid full price on
+//! disk, on the wire, in the WAL and in the cache. This module wraps
+//! each chunk in a second, *inner* frame that travels **inside** the
+//! CRC32 [`crate::frame`] the back-ends already apply (integrity stays
+//! a lower-layer concern):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SCC1"
+//! 4       1     codec id (0 raw, 1 delta-bp, 2 rle)
+//! 5       1     element type (0 i64, 1 f64)
+//! 6       2     reserved (zero)
+//! 8       8     uncompressed payload length in bytes, u64 LE
+//! 16      8     summary: min value bits, u64 LE
+//! 24      8     summary: max value bits, u64 LE
+//! 32      8     summary: null (NaN) count, u64 LE
+//! 40      ..    encoded body
+//! ```
+//!
+//! Three from-scratch codecs, chosen **per chunk** by a size heuristic:
+//!
+//! * **raw** — the body is the payload verbatim. Always correct, and
+//!   the fallback whenever an encoded candidate would not be smaller
+//!   than the raw bytes (so a frame never exceeds `raw + header`, which
+//!   keeps fixed-slot file layouts bounded).
+//! * **delta-bp** — zigzagged wrapping deltas of the 8-byte words,
+//!   bit-packed in 128-value mini-blocks with a per-block bit width.
+//!   Near-optimal for the monotone / slowly-varying integer series the
+//!   BISTAB workload produces.
+//! * **rle** — `(count, value)` runs over 8-byte words. Wins on
+//!   constant regions and zero padding; works for both element types
+//!   because runs compare *bit patterns* (`-0.0` and NaN payloads
+//!   round-trip exactly).
+//!
+//! Every codec is bit-exact: decode(encode(x)) == x for any byte
+//! payload, including `-0.0`, NaN bit patterns and `i64::MIN`.
+//!
+//! The summary (min/max over present values, NaN count for `f64`) is
+//! the unit of the **zone map** ([`ZoneMap`]): a coarse per-array index
+//! the APR consults to skip chunks that provably cannot satisfy a
+//! [`ValuePredicate`] — before any fetch happens. Skipping is strictly
+//! conservative: a chunk is dropped only when *no* element in it can
+//! match, so filtered results are bit-identical with skipping on or
+//! off.
+
+use ssdm_array::{Num, NumericType};
+
+/// Inner-frame magic: "Ssdm Compressed Chunk v1".
+pub const SCC_MAGIC: [u8; 4] = *b"SCC1";
+
+/// Inner-frame header length in bytes (8-byte aligned).
+pub const SCC_HEADER: usize = 40;
+
+/// Ceiling on the uncompressed length a header may claim. Frames are
+/// CRC-protected below this layer, but a defensive cap keeps a crafted
+/// or miscomposed header from turning into an allocation bomb.
+const MAX_UNCOMPRESSED: u64 = 1 << 30;
+
+/// Values per delta-bp mini-block.
+const BP_BLOCK: usize = 128;
+
+/// The per-chunk codec identifiers stored in the frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CodecId {
+    Raw = 0,
+    DeltaBp = 1,
+    Rle = 2,
+}
+
+impl CodecId {
+    fn from_byte(b: u8) -> Option<CodecId> {
+        match b {
+            0 => Some(CodecId::Raw),
+            1 => Some(CodecId::DeltaBp),
+            2 => Some(CodecId::Rle),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Raw => "raw",
+            CodecId::DeltaBp => "delta-bp",
+            CodecId::Rle => "rle",
+        }
+    }
+}
+
+/// Which codec `encode_chunk` should *prefer*. `Auto` (the default)
+/// encodes the candidates and keeps the smallest; a forced codec still
+/// falls back to raw passthrough for chunks it cannot shrink, so the
+/// frame size stays bounded by `raw + SCC_HEADER` under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecPolicy {
+    /// Passthrough frames: no compression, but still self-describing
+    /// with a summary — zone-map skipping works at zero decode cost.
+    Raw,
+    DeltaBp,
+    Rle,
+    #[default]
+    Auto,
+}
+
+impl CodecPolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecPolicy::Raw => "raw",
+            CodecPolicy::DeltaBp => "delta-bp",
+            CodecPolicy::Rle => "rle",
+            CodecPolicy::Auto => "auto",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CodecPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "raw" | "none" => Some(CodecPolicy::Raw),
+            "delta-bp" | "delta_bp" | "deltabp" | "delta" => Some(CodecPolicy::DeltaBp),
+            "rle" => Some(CodecPolicy::Rle),
+            "auto" => Some(CodecPolicy::Auto),
+            _ => None,
+        }
+    }
+
+    /// The policy selected by the `SSDM_CODEC` environment variable
+    /// (`raw`, `delta-bp`, `rle`, `auto`), defaulting to `Auto`. This
+    /// is how CI runs the whole storage suite under each codec.
+    pub fn from_env() -> CodecPolicy {
+        std::env::var("SSDM_CODEC")
+            .ok()
+            .and_then(|v| CodecPolicy::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+/// Why an `SCC1` frame failed to decode. Callers in the storage layer
+/// map these to [`StorageError::Corrupt`](crate::StorageError::Corrupt)
+/// with the chunk's identity attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bytes do not start with an `SCC1` header.
+    BadMagic,
+    /// Unknown codec id, bad element type, nonzero reserved bytes or an
+    /// implausible uncompressed length.
+    BadHeader,
+    /// The encoded body is malformed (truncated block, run overflow,
+    /// packed width out of range...).
+    BadBody(&'static str),
+    /// The body decoded to a different length than the header promised.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad SCC1 magic"),
+            CodecError::BadHeader => write!(f, "damaged SCC1 header"),
+            CodecError::BadBody(why) => write!(f, "malformed SCC1 body: {why}"),
+            CodecError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "SCC1 length mismatch: decoded {got}, header says {expected}"
+                )
+            }
+        }
+    }
+}
+
+/// Per-chunk summary: element count, NaN count (always zero for `i64`
+/// chunks) and min/max bit patterns over the *present* (non-NaN)
+/// values. The unit of the zone map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSummary {
+    /// Elements in the chunk.
+    pub count: u64,
+    /// NaN elements (`f64` chunks; "null" in the paper's sense).
+    pub nulls: u64,
+    /// Bit pattern of the minimum present value.
+    pub min_bits: u64,
+    /// Bit pattern of the maximum present value.
+    pub max_bits: u64,
+}
+
+impl ChunkSummary {
+    fn empty() -> ChunkSummary {
+        ChunkSummary {
+            count: 0,
+            nulls: 0,
+            min_bits: 0,
+            max_bits: 0,
+        }
+    }
+
+    /// The minimum present value as a typed number.
+    pub fn min(&self, ty: NumericType) -> Num {
+        match ty {
+            NumericType::Int => Num::Int(self.min_bits as i64),
+            NumericType::Real => Num::Real(f64::from_bits(self.min_bits)),
+        }
+    }
+
+    /// The maximum present value as a typed number.
+    pub fn max(&self, ty: NumericType) -> Num {
+        match ty {
+            NumericType::Int => Num::Int(self.max_bits as i64),
+            NumericType::Real => Num::Real(f64::from_bits(self.max_bits)),
+        }
+    }
+
+    /// Whether any element of a chunk with this summary *could* satisfy
+    /// `pred`. Strictly conservative: `false` only when the summary
+    /// proves no element matches (empty chunk, all-NaN chunk, or the
+    /// predicate's range lies entirely outside `[min, max]`). Undecided
+    /// comparisons (NaN bounds in the predicate) answer `true`.
+    pub fn may_match(&self, ty: NumericType, pred: &ValuePredicate) -> bool {
+        if self.count == 0 || self.nulls >= self.count {
+            // No present values: neither ranges nor membership can
+            // match anything (NaN fails every predicate).
+            return false;
+        }
+        let mn = self.min(ty);
+        let mx = self.max(ty);
+        let below = |a: Num, b: Num| matches!(a.partial_cmp(&b), Some(std::cmp::Ordering::Less));
+        match pred {
+            ValuePredicate::Range { lo, hi } => !(below(mx, *lo) || below(*hi, mn)),
+            ValuePredicate::In(values) => values.iter().any(|v| !(below(*v, mn) || below(mx, *v))),
+        }
+    }
+}
+
+/// A `FILTER`-style element predicate the APR can evaluate against
+/// chunk summaries (to skip) and against decoded elements (to select).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValuePredicate {
+    /// `lo <= x <= hi`, inclusive. NaN elements never match.
+    Range { lo: Num, hi: Num },
+    /// Membership: `x` equals any of the listed values.
+    In(Vec<Num>),
+}
+
+impl ValuePredicate {
+    /// Whether a single element satisfies the predicate.
+    pub fn matches(&self, v: Num) -> bool {
+        match self {
+            ValuePredicate::Range { lo, hi } => {
+                use std::cmp::Ordering::*;
+                matches!(lo.partial_cmp(&v), Some(Less | Equal))
+                    && matches!(v.partial_cmp(hi), Some(Less | Equal))
+            }
+            ValuePredicate::In(values) => values
+                .iter()
+                .any(|c| matches!(c.partial_cmp(&v), Some(std::cmp::Ordering::Equal))),
+        }
+    }
+}
+
+/// The per-array zone map: one [`ChunkSummary`] per chunk, in chunk-id
+/// order, kept in the array catalog alongside [`crate::ArrayMeta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Element type of the summarized array (needed to interpret the
+    /// stored bit patterns).
+    pub ty: NumericType,
+    /// Summaries indexed by chunk id.
+    pub summaries: Vec<ChunkSummary>,
+}
+
+impl ZoneMap {
+    /// Whether `chunk_id` could hold a match for `pred`. Chunks without
+    /// a summary (out of range) conservatively answer `true`.
+    pub fn may_match(&self, chunk_id: u64, pred: &ValuePredicate) -> bool {
+        match self.summaries.get(chunk_id as usize) {
+            Some(s) => s.may_match(self.ty, pred),
+            None => true,
+        }
+    }
+}
+
+/// Compute the summary of a raw little-endian chunk payload.
+pub fn summarize(raw: &[u8], ty: NumericType) -> ChunkSummary {
+    let words = raw.chunks_exact(8);
+    match ty {
+        NumericType::Int => {
+            let mut s = ChunkSummary::empty();
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            for w in words {
+                let v = i64::from_le_bytes(w.try_into().expect("8 bytes"));
+                min = min.min(v);
+                max = max.max(v);
+                s.count += 1;
+            }
+            if s.count > 0 {
+                s.min_bits = min as u64;
+                s.max_bits = max as u64;
+            }
+            s
+        }
+        NumericType::Real => {
+            let mut s = ChunkSummary::empty();
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut seen = false;
+            for w in words {
+                let v = f64::from_bits(u64::from_le_bytes(w.try_into().expect("8 bytes")));
+                s.count += 1;
+                if v.is_nan() {
+                    s.nulls += 1;
+                } else {
+                    min = if seen { min.min(v) } else { v };
+                    max = if seen { max.max(v) } else { v };
+                    seen = true;
+                }
+            }
+            if seen {
+                s.min_bits = min.to_bits();
+                s.max_bits = max.to_bits();
+            } else {
+                s.min_bits = f64::NAN.to_bits();
+                s.max_bits = f64::NAN.to_bits();
+            }
+            s
+        }
+    }
+}
+
+fn words_of(raw: &[u8]) -> Vec<u64> {
+    raw.chunks_exact(8)
+        .map(|w| u64::from_le_bytes(w.try_into().expect("8 bytes")))
+        .collect()
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Delta + variable-width bit-packing over 8-byte words: `[first word,
+/// 8 bytes LE]` then mini-blocks of up to [`BP_BLOCK`] zigzagged
+/// wrapping deltas, each `[width byte][ceil(k*width/8) packed bytes]`.
+fn delta_bp_encode(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let Some((&first, rest)) = words.split_first() else {
+        return out;
+    };
+    out.extend_from_slice(&first.to_le_bytes());
+    let mut prev = first;
+    let mut deltas = Vec::with_capacity(rest.len());
+    for &w in rest {
+        deltas.push(zigzag(w.wrapping_sub(prev) as i64));
+        prev = w;
+    }
+    for block in deltas.chunks(BP_BLOCK) {
+        let width = block
+            .iter()
+            .map(|z| 64 - z.leading_zeros() as usize)
+            .max()
+            .unwrap_or(0);
+        out.push(width as u8);
+        // Little-endian bit stream: low bits of earlier values first.
+        let mut acc: u128 = 0;
+        let mut bits = 0usize;
+        for &z in block {
+            acc |= (z as u128) << bits;
+            bits += width;
+            while bits >= 8 {
+                out.push((acc & 0xFF) as u8);
+                acc >>= 8;
+                bits -= 8;
+            }
+        }
+        if bits > 0 {
+            out.push((acc & 0xFF) as u8);
+        }
+    }
+    out
+}
+
+fn delta_bp_decode(body: &[u8], n_words: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(n_words * 8);
+    if n_words == 0 {
+        if !body.is_empty() {
+            return Err(CodecError::BadBody("trailing bytes after empty chunk"));
+        }
+        return Ok(out);
+    }
+    if body.len() < 8 {
+        return Err(CodecError::BadBody("missing first word"));
+    }
+    let mut prev = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    out.extend_from_slice(&prev.to_le_bytes());
+    let mut pos = 8usize;
+    let mut remaining = n_words - 1;
+    while remaining > 0 {
+        let k = remaining.min(BP_BLOCK);
+        let width = *body
+            .get(pos)
+            .ok_or(CodecError::BadBody("missing block width"))? as usize;
+        if width > 64 {
+            return Err(CodecError::BadBody("packed width over 64 bits"));
+        }
+        pos += 1;
+        let packed_len = (k * width).div_ceil(8);
+        let packed = body
+            .get(pos..pos + packed_len)
+            .ok_or(CodecError::BadBody("truncated packed block"))?;
+        pos += packed_len;
+        let mut acc: u128 = 0;
+        let mut bits = 0usize;
+        let mut byte_idx = 0usize;
+        let mask: u128 = if width == 64 {
+            u64::MAX as u128
+        } else {
+            (1u128 << width) - 1
+        };
+        for _ in 0..k {
+            while bits < width {
+                acc |= (packed[byte_idx] as u128) << bits;
+                byte_idx += 1;
+                bits += 8;
+            }
+            let z = (acc & mask) as u64;
+            acc >>= width;
+            bits -= width;
+            prev = prev.wrapping_add(unzigzag(z) as u64);
+            out.extend_from_slice(&prev.to_le_bytes());
+        }
+        remaining -= k;
+    }
+    if pos != body.len() {
+        return Err(CodecError::BadBody("trailing bytes after last block"));
+    }
+    Ok(out)
+}
+
+/// Run-length encoding over 8-byte words: repeated `[count u32 LE]
+/// [value 8 bytes LE]` pairs. Runs compare bit patterns, so `f64` NaN
+/// payloads and `-0.0` survive exactly.
+fn rle_encode(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut iter = words.iter();
+    let Some(&first) = iter.next() else {
+        return out;
+    };
+    let mut run_val = first;
+    let mut run_len: u64 = 1;
+    let flush = |val: u64, len: u64, out: &mut Vec<u8>| {
+        let mut left = len;
+        while left > 0 {
+            let n = left.min(u32::MAX as u64);
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+            out.extend_from_slice(&val.to_le_bytes());
+            left -= n;
+        }
+    };
+    for &w in iter {
+        if w == run_val {
+            run_len += 1;
+        } else {
+            flush(run_val, run_len, &mut out);
+            run_val = w;
+            run_len = 1;
+        }
+    }
+    flush(run_val, run_len, &mut out);
+    out
+}
+
+fn rle_decode(body: &[u8], n_words: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(n_words * 8);
+    let mut produced = 0usize;
+    let mut pos = 0usize;
+    while pos < body.len() {
+        let run = body
+            .get(pos..pos + 12)
+            .ok_or(CodecError::BadBody("truncated run"))?;
+        let count = u32::from_le_bytes(run[..4].try_into().expect("4 bytes")) as usize;
+        if count == 0 || produced + count > n_words {
+            return Err(CodecError::BadBody("run overflows chunk"));
+        }
+        let value = &run[4..12];
+        for _ in 0..count {
+            out.extend_from_slice(value);
+        }
+        produced += count;
+        pos += 12;
+    }
+    if produced != n_words {
+        return Err(CodecError::LengthMismatch {
+            expected: n_words * 8,
+            got: produced * 8,
+        });
+    }
+    Ok(out)
+}
+
+/// Wrap a raw little-endian chunk payload in an `SCC1` frame, choosing
+/// the codec per `policy` (with raw fallback whenever the encoded body
+/// would not be smaller), and return the frame plus the summary that
+/// went into its header.
+pub fn encode_chunk(raw: &[u8], ty: NumericType, policy: CodecPolicy) -> (Vec<u8>, ChunkSummary) {
+    let summary = summarize(raw, ty);
+    let words;
+    let (codec, body): (CodecId, Vec<u8>) = if !raw.len().is_multiple_of(8) {
+        // Defensive: payloads we did not produce. Raw passthrough is
+        // always correct.
+        (CodecId::Raw, raw.to_vec())
+    } else {
+        words = words_of(raw);
+        let mut candidates: Vec<(CodecId, Vec<u8>)> = Vec::new();
+        match policy {
+            CodecPolicy::Raw => {}
+            CodecPolicy::DeltaBp => candidates.push((CodecId::DeltaBp, delta_bp_encode(&words))),
+            CodecPolicy::Rle => candidates.push((CodecId::Rle, rle_encode(&words))),
+            CodecPolicy::Auto => {
+                candidates.push((CodecId::DeltaBp, delta_bp_encode(&words)));
+                candidates.push((CodecId::Rle, rle_encode(&words)));
+            }
+        }
+        match candidates
+            .into_iter()
+            .min_by_key(|(_, body)| body.len())
+            .filter(|(_, body)| body.len() < raw.len())
+        {
+            Some(best) => best,
+            None => (CodecId::Raw, raw.to_vec()),
+        }
+    };
+    let mut frame = Vec::with_capacity(SCC_HEADER + body.len());
+    frame.extend_from_slice(&SCC_MAGIC);
+    frame.push(codec as u8);
+    frame.push(match ty {
+        NumericType::Int => 0,
+        NumericType::Real => 1,
+    });
+    frame.extend_from_slice(&[0u8; 2]);
+    frame.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&summary.min_bits.to_le_bytes());
+    frame.extend_from_slice(&summary.max_bits.to_le_bytes());
+    frame.extend_from_slice(&summary.nulls.to_le_bytes());
+    frame.extend_from_slice(&body);
+    (frame, summary)
+}
+
+struct Header {
+    codec: CodecId,
+    ty: NumericType,
+    uncompressed: usize,
+    summary: ChunkSummary,
+}
+
+fn parse_header(frame: &[u8]) -> Result<Header, CodecError> {
+    if frame.len() < SCC_HEADER {
+        return Err(if frame.get(..4) == Some(&SCC_MAGIC) {
+            CodecError::BadHeader
+        } else {
+            CodecError::BadMagic
+        });
+    }
+    if frame[..4] != SCC_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let codec = CodecId::from_byte(frame[4]).ok_or(CodecError::BadHeader)?;
+    let ty = match frame[5] {
+        0 => NumericType::Int,
+        1 => NumericType::Real,
+        _ => return Err(CodecError::BadHeader),
+    };
+    if frame[6..8] != [0u8; 2] {
+        return Err(CodecError::BadHeader);
+    }
+    let uncompressed = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+    if uncompressed > MAX_UNCOMPRESSED {
+        return Err(CodecError::BadHeader);
+    }
+    let min_bits = u64::from_le_bytes(frame[16..24].try_into().expect("8 bytes"));
+    let max_bits = u64::from_le_bytes(frame[24..32].try_into().expect("8 bytes"));
+    let nulls = u64::from_le_bytes(frame[32..40].try_into().expect("8 bytes"));
+    Ok(Header {
+        codec,
+        ty,
+        uncompressed: uncompressed as usize,
+        summary: ChunkSummary {
+            count: uncompressed / 8,
+            nulls,
+            min_bits,
+            max_bits,
+        },
+    })
+}
+
+/// Verify and decode an `SCC1` frame back to the raw little-endian
+/// payload. Bit-exact for every codec.
+pub fn decode_chunk(frame: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let header = parse_header(frame)?;
+    let body = &frame[SCC_HEADER..];
+    let raw = match header.codec {
+        CodecId::Raw => {
+            if body.len() != header.uncompressed {
+                return Err(CodecError::LengthMismatch {
+                    expected: header.uncompressed,
+                    got: body.len(),
+                });
+            }
+            body.to_vec()
+        }
+        CodecId::DeltaBp => {
+            if !header.uncompressed.is_multiple_of(8) {
+                return Err(CodecError::BadHeader);
+            }
+            delta_bp_decode(body, header.uncompressed / 8)?
+        }
+        CodecId::Rle => {
+            if !header.uncompressed.is_multiple_of(8) {
+                return Err(CodecError::BadHeader);
+            }
+            rle_decode(body, header.uncompressed / 8)?
+        }
+    };
+    if raw.len() != header.uncompressed {
+        return Err(CodecError::LengthMismatch {
+            expected: header.uncompressed,
+            got: raw.len(),
+        });
+    }
+    Ok(raw)
+}
+
+/// The summary and element type an `SCC1` frame carries, if `frame`
+/// starts with a well-formed header.
+pub fn summary_of(frame: &[u8]) -> Option<(ChunkSummary, NumericType)> {
+    parse_header(frame).ok().map(|h| (h.summary, h.ty))
+}
+
+/// The codec an `SCC1` frame was encoded with, if well-formed.
+pub fn codec_of(frame: &[u8]) -> Option<CodecId> {
+    parse_header(frame).ok().map(|h| h.codec)
+}
+
+/// The byte size a cached copy of `payload` should be charged at: the
+/// *decoded* (uncompressed) size for `SCC1` frames, the payload length
+/// for anything else. Deterministic and header-only, so cache insert
+/// and eviction agree without storing extra state.
+pub fn charged_size(payload: &[u8]) -> usize {
+    match parse_header(payload) {
+        Ok(h) => h.uncompressed.max(payload.len()),
+        Err(_) => payload.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_i64(values: &[i64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn raw_f64(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn round_trip_every_policy() {
+        let payloads = [
+            raw_i64(&[]),
+            raw_i64(&[42]),
+            raw_i64(&(0..1000).collect::<Vec<i64>>()),
+            raw_i64(&[7; 512]),
+            raw_i64(&[i64::MIN, i64::MAX, 0, -1, 1]),
+            raw_f64(&[-0.0, 0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            raw_f64(&(0..257).map(|i| (i as f64).sin()).collect::<Vec<f64>>()),
+        ];
+        for raw in &payloads {
+            for policy in [
+                CodecPolicy::Raw,
+                CodecPolicy::DeltaBp,
+                CodecPolicy::Rle,
+                CodecPolicy::Auto,
+            ] {
+                for ty in [NumericType::Int, NumericType::Real] {
+                    let (frame, _) = encode_chunk(raw, ty, policy);
+                    assert_eq!(
+                        &decode_chunk(&frame).unwrap(),
+                        raw,
+                        "policy {} ty {ty:?}",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_integers_compress_well() {
+        let raw = raw_i64(&(0..8192).collect::<Vec<i64>>());
+        let (frame, _) = encode_chunk(&raw, NumericType::Int, CodecPolicy::Auto);
+        assert_eq!(codec_of(&frame), Some(CodecId::DeltaBp));
+        assert!(
+            frame.len() * 4 < raw.len(),
+            "{} vs {} raw",
+            frame.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn constant_runs_pick_rle() {
+        let raw = raw_f64(&[1.5; 4096]);
+        let (frame, _) = encode_chunk(&raw, NumericType::Real, CodecPolicy::Auto);
+        assert_eq!(codec_of(&frame), Some(CodecId::Rle));
+        assert!(frame.len() < 64);
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_raw() {
+        // High-entropy words defeat both codecs; even a forced policy
+        // must not grow the body past the raw payload.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let words: Vec<i64> = (0..512)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as i64
+            })
+            .collect();
+        let raw = raw_i64(&words);
+        for policy in [CodecPolicy::Rle, CodecPolicy::Auto] {
+            let (frame, _) = encode_chunk(&raw, NumericType::Int, policy);
+            assert_eq!(codec_of(&frame), Some(CodecId::Raw), "{}", policy.name());
+            assert_eq!(frame.len(), SCC_HEADER + raw.len());
+        }
+    }
+
+    #[test]
+    fn summary_bounds_are_exact() {
+        let raw = raw_i64(&[5, -3, 17, 0]);
+        let s = summarize(&raw, NumericType::Int);
+        assert_eq!(s.min(NumericType::Int), Num::Int(-3));
+        assert_eq!(s.max(NumericType::Int), Num::Int(17));
+        assert_eq!((s.count, s.nulls), (4, 0));
+
+        let raw = raw_f64(&[2.5, f64::NAN, -0.5]);
+        let s = summarize(&raw, NumericType::Real);
+        assert_eq!(s.min(NumericType::Real), Num::Real(-0.5));
+        assert_eq!(s.max(NumericType::Real), Num::Real(2.5));
+        assert_eq!((s.count, s.nulls), (3, 1));
+    }
+
+    #[test]
+    fn all_nan_chunk_never_matches() {
+        let raw = raw_f64(&[f64::NAN; 8]);
+        let s = summarize(&raw, NumericType::Real);
+        assert_eq!(s.nulls, 8);
+        let pred = ValuePredicate::Range {
+            lo: Num::Real(f64::NEG_INFINITY),
+            hi: Num::Real(f64::INFINITY),
+        };
+        assert!(!s.may_match(NumericType::Real, &pred));
+    }
+
+    #[test]
+    fn may_match_is_conservative_not_exact() {
+        let s = summarize(&raw_i64(&[0, 100]), NumericType::Int);
+        // 50 is inside [0, 100] though absent: must answer true.
+        let inside = ValuePredicate::In(vec![Num::Int(50)]);
+        assert!(s.may_match(NumericType::Int, &inside));
+        let outside = ValuePredicate::In(vec![Num::Int(101), Num::Int(-1)]);
+        assert!(!s.may_match(NumericType::Int, &outside));
+        let range_out = ValuePredicate::Range {
+            lo: Num::Int(101),
+            hi: Num::Int(200),
+        };
+        assert!(!s.may_match(NumericType::Int, &range_out));
+        // NaN bounds cannot prove exclusion: stay conservative.
+        let nan_range = ValuePredicate::Range {
+            lo: Num::Real(f64::NAN),
+            hi: Num::Real(f64::NAN),
+        };
+        assert!(s.may_match(NumericType::Int, &nan_range));
+    }
+
+    #[test]
+    fn predicate_matches_semantics() {
+        let range = ValuePredicate::Range {
+            lo: Num::Int(0),
+            hi: Num::Int(10),
+        };
+        assert!(range.matches(Num::Int(0)));
+        assert!(range.matches(Num::Int(10)));
+        assert!(range.matches(Num::Real(9.5)));
+        assert!(!range.matches(Num::Real(10.5)));
+        assert!(!range.matches(Num::Real(f64::NAN)));
+        let member = ValuePredicate::In(vec![Num::Int(3), Num::Real(7.5)]);
+        assert!(member.matches(Num::Int(3)));
+        assert!(member.matches(Num::Real(7.5)));
+        assert!(!member.matches(Num::Int(8)));
+        assert!(!member.matches(Num::Real(f64::NAN)));
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors() {
+        let raw = raw_i64(&(0..64).collect::<Vec<i64>>());
+        let (frame, _) = encode_chunk(&raw, NumericType::Int, CodecPolicy::DeltaBp);
+        assert!(matches!(
+            decode_chunk(b"not a frame"),
+            Err(CodecError::BadMagic)
+        ));
+        let mut bad = frame.clone();
+        bad[4] = 9; // unknown codec id
+        assert!(matches!(decode_chunk(&bad), Err(CodecError::BadHeader)));
+        let mut bad = frame.clone();
+        bad[6] = 1; // reserved bytes damaged
+        assert!(matches!(decode_chunk(&bad), Err(CodecError::BadHeader)));
+        let truncated = &frame[..frame.len() - 5];
+        assert!(matches!(
+            decode_chunk(truncated),
+            Err(CodecError::BadBody(_)) | Err(CodecError::LengthMismatch { .. })
+        ));
+        // A huge claimed length must be rejected, not allocated.
+        let mut bomb = frame.clone();
+        bomb[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode_chunk(&bomb), Err(CodecError::BadHeader)));
+    }
+
+    #[test]
+    fn charged_size_reports_decoded_bytes() {
+        let raw = raw_i64(&[3; 1024]); // constant: tiny RLE body
+        let (frame, _) = encode_chunk(&raw, NumericType::Int, CodecPolicy::Auto);
+        assert!(frame.len() < raw.len() / 8);
+        assert_eq!(charged_size(&frame), raw.len());
+        // Non-frame payloads charge their stored size.
+        assert_eq!(charged_size(b"plain bytes"), 11);
+    }
+
+    #[test]
+    fn rle_run_longer_than_u32_is_split() {
+        // Not feasible to allocate 4 GiB in a test; exercise the flush
+        // logic directly through encode/decode of a modest run plus the
+        // overflow guard in decode.
+        let raw = raw_i64(&[9; 100]);
+        let (frame, _) = encode_chunk(&raw, NumericType::Int, CodecPolicy::Rle);
+        assert_eq!(decode_chunk(&frame).unwrap(), raw);
+        // A run claiming more words than the chunk holds is rejected.
+        let mut bad = frame.clone();
+        let body = SCC_HEADER;
+        bad[body..body + 4].copy_from_slice(&200u32.to_le_bytes());
+        assert!(matches!(decode_chunk(&bad), Err(CodecError::BadBody(_))));
+    }
+}

@@ -25,6 +25,7 @@ pub mod apr;
 mod bag;
 pub mod cache;
 mod chunks;
+pub mod codec;
 pub mod fault;
 pub mod frame;
 mod meta;
@@ -39,6 +40,9 @@ pub mod wal;
 pub use apr::{AprStats, ArrayStore, RetrievalStrategy};
 pub use cache::{CacheStats, CachedChunkStore, ChunkCache};
 pub use chunks::{auto_chunk_bytes, chunk_of, chunk_range_for_run, Chunking};
+pub use codec::{
+    ChunkSummary, CodecError, CodecId, CodecPolicy, ValuePredicate, ZoneMap, SCC_HEADER, SCC_MAGIC,
+};
 pub use fault::{FaultInjectingChunkStore, FaultKind, FaultPlan, FaultStats, OpKind};
 pub use meta::{ArrayMeta, ArrayProxy};
 pub use parallel::ParallelConfig;

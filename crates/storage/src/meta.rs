@@ -20,6 +20,13 @@ pub struct ArrayMeta {
     /// Original (stored) shape, row-major.
     pub shape: Vec<usize>,
     pub chunking: Chunking,
+    /// Whether the back-end holds `SCC1` codec frames
+    /// ([`crate::codec`]) rather than raw little-endian elements. Set
+    /// when the array is stored and persisted in snapshots: every
+    /// consumer (APR resolve paths, bag assembly) decodes if and only
+    /// if this flag is set — payload bytes are never sniffed, since
+    /// adversarial raw data could begin with the frame magic.
+    pub encoded: bool,
 }
 
 impl ArrayMeta {
@@ -188,6 +195,7 @@ mod tests {
             numeric_type: NumericType::Int,
             shape: vec![10, 20],
             chunking: Chunking::new(64, 200),
+            encoded: false,
         })
     }
 

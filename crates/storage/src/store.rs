@@ -770,12 +770,16 @@ impl ChunkStore for MemoryChunkStore {
 /// the directory lazily re-attaches existing arrays via their headers.
 ///
 /// Layout (format 2, checksummed): a 16-byte file header, then one
-/// fixed-size *slot* per chunk of `FRAME_HEADER + chunk_bytes` bytes.
-/// Each slot holds a checksummed [`crate::frame`] whose recorded length
-/// may be shorter than `chunk_bytes` (partial tail chunk). A file
-/// truncated below a chunk's framed length surfaces as
-/// [`StorageError::ShortRead`], distinct from both a missing chunk and
-/// a checksum mismatch.
+/// fixed-size *slot* per chunk of `FRAME_HEADER + SCC_HEADER +
+/// chunk_bytes` bytes. Each slot holds a checksummed [`crate::frame`]
+/// whose recorded length may be shorter than the slot capacity (partial
+/// tail chunk, or a compressed [`crate::codec`] frame). The
+/// `SCC_HEADER` slack exists because an `SCC1` chunk frame is bounded
+/// at `chunk_bytes + SCC_HEADER` (every codec falls back to raw
+/// passthrough when it cannot shrink the payload), so even an
+/// incompressible chunk always fits its slot. A file truncated below a
+/// chunk's framed length surfaces as [`StorageError::ShortRead`],
+/// distinct from both a missing chunk and a checksum mismatch.
 pub struct FileChunkStore {
     dir: PathBuf,
     files: RwLock<HashMap<u64, Arc<ArrayFile>>>,
@@ -889,9 +893,11 @@ impl FileChunkStore {
         ))
     }
 
-    /// Bytes per chunk slot: checksum frame header + full payload.
+    /// Bytes per chunk slot: checksum frame header, codec-frame slack,
+    /// and the full payload (see the struct docs for why the slack is
+    /// safe and sufficient).
     fn slot_bytes(chunk_bytes: usize) -> u64 {
-        (crate::frame::FRAME_HEADER + chunk_bytes) as u64
+        (crate::frame::FRAME_HEADER + crate::codec::SCC_HEADER + chunk_bytes) as u64
     }
 
     /// Read and verify the framed chunk in one slot, reading through
