@@ -8,11 +8,12 @@
 //! role ObjectLog normalization plus the Amos II cost-based optimizer
 //! play in the original system.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use ssdm_rdf::Graph;
+use ssdm_rdf::{Graph, TermId};
 
 use crate::ast::*;
+use crate::planner::{consts, filter_selectivity, PlannerCtx, PlannerMode};
 
 /// A logical operator.
 #[derive(Debug, Clone)]
@@ -196,12 +197,20 @@ fn join_of(mut children: Vec<Plan>) -> Plan {
 // Optimization
 // ---------------------------------------------------------------------
 
-/// Optimize a plan against graph statistics: flatten joins, push
-/// filters down, and greedily order join children by estimated
-/// cardinality given already-bound variables.
+/// Optimize a plan against graph statistics with an
+/// environment-derived planner configuration: flatten joins, push
+/// filters down, and order join children by estimated cardinality
+/// given already-bound variables.
 pub fn optimize(plan: Plan, graph: &Graph) -> Plan {
+    optimize_with(plan, &PlannerCtx::new(graph))
+}
+
+/// Optimize under an explicit planner context (configuration mode,
+/// calibration table, zone-map statistics). This is the entry the
+/// evaluator uses; [`optimize`] is the graph-only convenience wrapper.
+pub fn optimize_with(plan: Plan, ctx: &PlannerCtx) -> Plan {
     let plan = flatten(plan);
-    order_and_push(plan, graph, &HashSet::new())
+    order_and_push(plan, ctx, &HashSet::new())
 }
 
 /// Translate without reordering (the "textual order" baseline used by
@@ -249,16 +258,17 @@ fn flatten(plan: Plan) -> Plan {
     }
 }
 
-/// Recursive optimization: within a Join, order children greedily and
-/// interleave applicable filters; recurse into sub-plans.
-fn order_and_push(plan: Plan, graph: &Graph, outer_bound: &HashSet<String>) -> Plan {
+/// Recursive optimization: within a Join, order children per the
+/// configured enumeration mode and interleave applicable filters;
+/// recurse into sub-plans.
+fn order_and_push(plan: Plan, ctx: &PlannerCtx, outer_bound: &HashSet<String>) -> Plan {
     match plan {
         Plan::Filter { input, expr } => {
             // Try to push into a join below.
             match *input {
-                Plan::Join(children) => optimize_join(children, vec![expr], graph, outer_bound),
+                Plan::Join(children) => optimize_join(children, vec![expr], ctx, outer_bound),
                 other => {
-                    let inner = order_and_push(other, graph, outer_bound);
+                    let inner = order_and_push(other, ctx, outer_bound);
                     Plan::Filter {
                         input: Box::new(inner),
                         expr,
@@ -266,12 +276,12 @@ fn order_and_push(plan: Plan, graph: &Graph, outer_bound: &HashSet<String>) -> P
                 }
             }
         }
-        Plan::Join(children) => optimize_join(children, Vec::new(), graph, outer_bound),
+        Plan::Join(children) => optimize_join(children, Vec::new(), ctx, outer_bound),
         Plan::LeftJoin { left, right } => {
-            let left = order_and_push(*left, graph, outer_bound);
+            let left = order_and_push(*left, ctx, outer_bound);
             let mut bound = outer_bound.clone();
             left.certain_vars(&mut bound);
-            let right = order_and_push(*right, graph, &bound);
+            let right = order_and_push(*right, ctx, &bound);
             Plan::LeftJoin {
                 left: Box::new(left),
                 right: Box::new(right),
@@ -280,11 +290,11 @@ fn order_and_push(plan: Plan, graph: &Graph, outer_bound: &HashSet<String>) -> P
         Plan::Union(branches) => Plan::Union(
             branches
                 .into_iter()
-                .map(|b| order_and_push(b, graph, outer_bound))
+                .map(|b| order_and_push(b, ctx, outer_bound))
                 .collect(),
         ),
         Plan::Extend { input, var, expr } => Plan::Extend {
-            input: Box::new(order_and_push(*input, graph, outer_bound)),
+            input: Box::new(order_and_push(*input, ctx, outer_bound)),
             var,
             expr,
         },
@@ -292,22 +302,24 @@ fn order_and_push(plan: Plan, graph: &Graph, outer_bound: &HashSet<String>) -> P
         // we don't consult; only push bound-variable knowledge down.
         Plan::Graph { name, inner } => Plan::Graph {
             name,
-            inner: Box::new(order_and_push(*inner, graph, outer_bound)),
+            inner: Box::new(order_and_push(*inner, ctx, outer_bound)),
         },
         Plan::Minus { input, pattern } => Plan::Minus {
-            input: Box::new(order_and_push(*input, graph, outer_bound)),
+            input: Box::new(order_and_push(*input, ctx, outer_bound)),
             pattern,
         },
         other => other,
     }
 }
 
-/// Collect consecutive filters sitting directly above a join, then
-/// greedily order the join's children.
+/// Collect consecutive filters sitting directly above a join, choose a
+/// child order (textual / greedy / DP per the context's mode), then
+/// assemble the join with filters interleaved at their earliest
+/// fully-bound position.
 fn optimize_join(
     children: Vec<Plan>,
     mut filters: Vec<Expr>,
-    graph: &Graph,
+    ctx: &PlannerCtx,
     outer_bound: &HashSet<String>,
 ) -> Plan {
     // Peel nested Filter-over-Join chains.
@@ -325,22 +337,16 @@ fn optimize_join(
         }
     }
 
-    let mut remaining: Vec<Plan> = items;
+    let order = choose_order(&items, &filters, ctx, outer_bound);
+
     let mut pending_filters = filters;
     let mut ordered: Vec<Plan> = Vec::new();
     let mut bound = outer_bound.clone();
+    let mut items: Vec<Option<Plan>> = items.into_iter().map(Some).collect();
 
-    while !remaining.is_empty() {
-        // Pick the child with the lowest estimated cardinality given
-        // currently bound variables.
-        let (best_idx, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, estimate(c, graph, &bound)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("nonempty");
-        let chosen = remaining.swap_remove(best_idx);
-        let chosen = order_and_push(chosen, graph, &bound);
+    for idx in order {
+        let chosen = items[idx].take().expect("order is a permutation");
+        let chosen = order_and_push(chosen, ctx, &bound);
         chosen.certain_vars(&mut bound);
         ordered.push(chosen);
         // Attach every filter whose variables are now all bound.
@@ -371,8 +377,215 @@ fn optimize_join(
     plan
 }
 
-/// Cardinality estimate of one operator given bound variables.
+/// Pick the evaluation order of a join's children as a permutation of
+/// their indices, per the configured enumeration mode.
+fn choose_order(
+    items: &[Plan],
+    filters: &[Expr],
+    ctx: &PlannerCtx,
+    outer_bound: &HashSet<String>,
+) -> Vec<usize> {
+    let n = items.len();
+    match ctx.config.mode {
+        PlannerMode::Textual => (0..n).collect(),
+        PlannerMode::Greedy => greedy_order(items, ctx, outer_bound),
+        PlannerMode::Dp => {
+            if (2..=ctx.config.dp_max_patterns.min(16)).contains(&n) {
+                dp_order(items, filters, ctx, outer_bound)
+            } else {
+                greedy_order(items, ctx, outer_bound)
+            }
+        }
+    }
+}
+
+/// One-shot greedy ordering: repeatedly take the child with the lowest
+/// estimated cardinality given the variables bound so far (the pre-v2
+/// planner).
+fn greedy_order(items: &[Plan], ctx: &PlannerCtx, outer_bound: &HashSet<String>) -> Vec<usize> {
+    let n = items.len();
+    let mut used = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut bound = outer_bound.clone();
+    for _ in 0..n {
+        let (best_idx, _) = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, c)| (i, estimate_ctx(c, ctx, &bound)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("nonempty");
+        used[best_idx] = true;
+        items[best_idx].certain_vars(&mut bound);
+        order.push(best_idx);
+    }
+    order
+}
+
+/// Bottom-up dynamic programming over connected subsets (System R for
+/// left-deep plans): `dp[S]` holds the cheapest order producing the
+/// item subset `S`, where cost is the total intermediate cardinality
+/// Σ |prefix| and filters discount cardinality as soon as their
+/// variables bind. Extensions prefer items connected to the bound
+/// variable set, so cross products appear only when unavoidable.
+fn dp_order(
+    items: &[Plan],
+    filters: &[Expr],
+    ctx: &PlannerCtx,
+    outer_bound: &HashSet<String>,
+) -> Vec<usize> {
+    let n = items.len();
+    debug_assert!(n <= 16, "dp_order caller enforces the cutoff");
+    let item_vars: Vec<HashSet<String>> = items
+        .iter()
+        .map(|c| {
+            let mut s = HashSet::new();
+            c.certain_vars(&mut s);
+            s
+        })
+        .collect();
+    let filter_vars: Vec<Vec<String>> = filters
+        .iter()
+        .map(|f| {
+            let mut vs = Vec::new();
+            f.collect_vars(&mut vs);
+            vs
+        })
+        .collect();
+    let var_preds = var_predicates(items, ctx.graph);
+
+    #[derive(Clone)]
+    struct State {
+        cost: f64,
+        card: f64,
+        order: Vec<usize>,
+        bound: HashSet<String>,
+        filters_done: u64,
+    }
+
+    let full: usize = (1 << n) - 1;
+    let mut dp: Vec<Option<State>> = vec![None; 1 << n];
+    dp[0] = Some(State {
+        cost: 0.0,
+        card: 1.0,
+        order: Vec::new(),
+        bound: outer_bound.clone(),
+        filters_done: 0,
+    });
+
+    for mask in 0..=full {
+        let Some(state) = dp[mask].clone() else {
+            continue;
+        };
+        let free: Vec<usize> = (0..n).filter(|j| mask & (1 << j) == 0).collect();
+        if free.is_empty() {
+            continue;
+        }
+        // Prefer extensions that join on an already-bound variable
+        // (var-free items, e.g. all-constant scans, are always
+        // admissible — they cost at most one row).
+        let connected: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&j| {
+                mask == 0
+                    || item_vars[j].is_empty()
+                    || item_vars[j].iter().any(|v| state.bound.contains(v))
+            })
+            .collect();
+        let candidates = if connected.is_empty() {
+            free
+        } else {
+            connected
+        };
+        for j in candidates {
+            let next = mask | (1 << j);
+            let per_row = estimate_ctx(&items[j], ctx, &state.bound);
+            let scanned = state.card * per_row.max(consts::MIN_JOIN_CHILD_CARD);
+            let mut bound = state.bound.clone();
+            items[j].certain_vars(&mut bound);
+            let mut card = scanned;
+            let mut filters_done = state.filters_done;
+            for (fi, fv) in filter_vars.iter().enumerate() {
+                if filters_done & (1 << fi) == 0 && fv.iter().all(|v| bound.contains(v)) {
+                    card *= filter_selectivity(&filters[fi], ctx, &var_preds);
+                    filters_done |= 1 << fi;
+                }
+            }
+            let card = card.max(consts::MIN_JOIN_CHILD_CARD);
+            let cost = state.cost + scanned;
+            let better = match &dp[next] {
+                None => true,
+                Some(s) => {
+                    cost < s.cost - 1e-9 || ((cost - s.cost).abs() <= 1e-9 && card < s.card - 1e-9)
+                }
+            };
+            if better {
+                let mut order = state.order.clone();
+                order.push(j);
+                dp[next] = Some(State {
+                    cost,
+                    card,
+                    order,
+                    bound,
+                    filters_done,
+                });
+            }
+        }
+    }
+    dp[full]
+        .take()
+        .map(|s| s.order)
+        .unwrap_or_else(|| (0..n).collect())
+}
+
+/// Map object-position variables of constant-predicate scans to their
+/// predicate's id, so filter selectivity can consult that predicate's
+/// object-value histogram.
+pub(crate) fn var_predicates(items: &[Plan], graph: &Graph) -> HashMap<String, TermId> {
+    let mut out = HashMap::new();
+    for item in items {
+        collect_var_preds(item, graph, &mut out);
+    }
+    out
+}
+
+fn collect_var_preds(plan: &Plan, graph: &Graph, out: &mut HashMap<String, TermId>) {
+    match plan {
+        Plan::Scan(t) => {
+            if let (Some(TermPattern::Term(p)), TermPattern::Var(v)) = (t.path.as_pred(), &t.object)
+            {
+                if let Some(pid) = graph.dictionary().lookup(p) {
+                    out.entry(v.clone()).or_insert(pid);
+                }
+            }
+        }
+        Plan::Join(children) => {
+            for c in children {
+                collect_var_preds(c, graph, out);
+            }
+        }
+        Plan::Filter { input, .. } | Plan::Extend { input, .. } | Plan::Minus { input, .. } => {
+            collect_var_preds(input, graph, out)
+        }
+        Plan::LeftJoin { left, .. } => collect_var_preds(left, graph, out),
+        _ => {}
+    }
+}
+
+/// Cardinality estimate of one operator given bound variables, from
+/// graph statistics alone (no calibration/zone context). Convenience
+/// wrapper over [`estimate_ctx`] for `EXPLAIN` and the profiler.
 pub fn estimate(plan: &Plan, graph: &Graph, bound: &HashSet<String>) -> f64 {
+    estimate_ctx(plan, &PlannerCtx::plain(graph), bound)
+}
+
+/// Cardinality estimate of one operator given bound variables, under a
+/// full planner context. Fallback constants live in
+/// [`crate::planner::consts`]; histogram, sketch and calibration
+/// evidence takes precedence when available.
+pub fn estimate_ctx(plan: &Plan, ctx: &PlannerCtx, bound: &HashSet<String>) -> f64 {
+    let graph = ctx.graph;
     match plan {
         Plan::Empty => 1.0,
         Plan::Scan(t) => {
@@ -391,7 +604,7 @@ pub fn estimate(plan: &Plan, graph: &Graph, bound: &HashSet<String>) -> f64 {
             match t.path.as_pred() {
                 Some(p) => {
                     let p = resolve(p);
-                    estimate_triple(graph, s, p, o)
+                    estimate_triple(ctx, s, p, o)
                 }
                 None => {
                     // Property paths: assume moderate fan-out per start.
@@ -399,7 +612,7 @@ pub fn estimate(plan: &Plan, graph: &Graph, bound: &HashSet<String>) -> f64 {
                         (BoundKind::Free, BoundKind::Free) => graph.len() as f64,
                         _ => (graph.len() as f64).sqrt().max(1.0),
                     };
-                    base * 2.0
+                    base * consts::PATH_FANOUT
                 }
             }
         }
@@ -407,19 +620,24 @@ pub fn estimate(plan: &Plan, graph: &Graph, bound: &HashSet<String>) -> f64 {
             let mut b = bound.clone();
             let mut total = 1.0;
             for c in children {
-                total *= estimate(c, graph, &b).max(0.1);
+                total *= estimate_ctx(c, ctx, &b).max(consts::MIN_JOIN_CHILD_CARD);
                 c.certain_vars(&mut b);
             }
             total
         }
-        Plan::LeftJoin { left, .. } => estimate(left, graph, bound),
-        Plan::Union(branches) => branches.iter().map(|b| estimate(b, graph, bound)).sum(),
-        Plan::Filter { input, .. } => estimate(input, graph, bound) * 0.5,
-        Plan::Extend { input, .. } => estimate(input, graph, bound),
+        Plan::LeftJoin { left, .. } => estimate_ctx(left, ctx, bound),
+        Plan::Union(branches) => branches.iter().map(|b| estimate_ctx(b, ctx, bound)).sum(),
+        Plan::Filter { input, expr } => {
+            // Expression-aware selectivity against the input subtree's
+            // object-variable predicates (was a blanket × 0.5).
+            let var_preds = var_predicates(std::slice::from_ref(&**input), graph);
+            estimate_ctx(input, ctx, bound) * filter_selectivity(expr, ctx, &var_preds)
+        }
+        Plan::Extend { input, .. } => estimate_ctx(input, ctx, bound),
         Plan::Values { rows, .. } => rows.len() as f64,
-        Plan::Graph { inner, .. } => estimate(inner, graph, bound) * 2.0,
+        Plan::Graph { inner, .. } => estimate_ctx(inner, ctx, bound) * consts::GRAPH_FANOUT,
         Plan::SubSelect(_) => (graph.len() as f64).sqrt().max(1.0),
-        Plan::Minus { input, .. } => estimate(input, graph, bound),
+        Plan::Minus { input, .. } => estimate_ctx(input, ctx, bound),
     }
 }
 
@@ -429,7 +647,8 @@ enum BoundKind {
     Const(ssdm_rdf::Term),
 }
 
-fn estimate_triple(graph: &Graph, s: BoundKind, p: BoundKind, o: BoundKind) -> f64 {
+fn estimate_triple(ctx: &PlannerCtx, s: BoundKind, p: BoundKind, o: BoundKind) -> f64 {
+    let graph = ctx.graph;
     let lookup = |k: &BoundKind| match k {
         BoundKind::Const(t) => graph.dictionary().lookup(t),
         _ => None,
@@ -444,17 +663,45 @@ fn estimate_triple(graph: &Graph, s: BoundKind, p: BoundKind, o: BoundKind) -> f
     {
         return 0.0;
     }
-    let base = graph.estimate_pattern(s_id, p_id, o_id);
-    // Bound variables act like constants for selectivity, scaled by an
-    // attenuation factor since their value is unknown statically.
-    let mut est = base;
-    if matches!(s, BoundKind::BoundVar) {
-        est /= 3.0;
+    let mut est = graph.estimate_pattern(s_id, p_id, o_id);
+    // A constant numeric object under a known predicate: refine with
+    // that predicate's object-value histogram, which sees skew the
+    // uniform (count / distinct) model misses.
+    if let (Some(pid), BoundKind::Const(ssdm_rdf::Term::Number(n))) = (p_id, &o) {
+        if let Some(h) = graph.estimate_object_eq(pid, n.as_f64()) {
+            est = est.min(h.max(consts::MIN_SCAN_CARD));
+        }
     }
-    if matches!(o, BoundKind::BoundVar) {
-        est /= 3.0;
+    // Bound variables act like constants for selectivity. Under a
+    // known predicate the expected matches per binding is
+    // count / distinct for that position (≈1 per row for key-like
+    // predicates); without predicate statistics fall back to a fixed
+    // attenuation.
+    let s_bound = matches!(s, BoundKind::BoundVar);
+    let o_bound = matches!(o, BoundKind::BoundVar);
+    if s_bound || o_bound {
+        if let Some(pid) = p_id {
+            let st = graph.predicate_stats(pid);
+            if s_bound {
+                est /= st.distinct_subjects.max(1) as f64;
+            }
+            if o_bound {
+                est /= st.distinct_objects.max(1) as f64;
+            }
+        } else {
+            if s_bound {
+                est /= consts::BOUND_VAR_ATTENUATION;
+            }
+            if o_bound {
+                est /= consts::BOUND_VAR_ATTENUATION;
+            }
+        }
     }
-    est.max(0.01)
+    // Runtime feedback: scale by the predicate's learned correction.
+    if let BoundKind::Const(pt) = &p {
+        est *= ctx.factor_for(pt);
+    }
+    est.max(consts::MIN_SCAN_CARD)
 }
 
 /// Render a plan as an indented operator tree (the `EXPLAIN` output).
@@ -570,7 +817,10 @@ mod tests {
         let Statement::Select(q) = parse(query).unwrap() else {
             panic!()
         };
-        let plan = optimize(translate(&q.pattern), &g);
+        // Default planner config, deliberately ignoring SSDM_PLANNER:
+        // these tests assert reordering behavior, which a forced
+        // textual mode would switch off.
+        let plan = optimize_with(translate(&q.pattern), &PlannerCtx::plain(&g));
         (plan, g)
     }
 

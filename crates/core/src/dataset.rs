@@ -206,6 +206,13 @@ pub struct Dataset {
     /// slow-query log; `None` (the default) keeps every profiling hook
     /// on the zero-cost path.
     pub(crate) profiler: Option<crate::profile::QueryProfiler>,
+    /// Planner configuration (join enumeration mode, adaptivity,
+    /// calibration switch). Seeded from the environment; override the
+    /// field directly to force a mode per dataset.
+    pub planner: crate::planner::PlannerConfig,
+    /// Runtime feedback: per-predicate cardinality corrections and the
+    /// per-backend cost-per-statement, updated after profiled queries.
+    pub calibration: crate::planner::Calibration,
 }
 
 impl Dataset {
@@ -232,6 +239,8 @@ impl Dataset {
             parallel: ParallelConfig::with_workers(1),
             journal: None,
             profiler: None,
+            planner: crate::planner::PlannerConfig::from_env(),
+            calibration: crate::planner::Calibration::default(),
         }
     }
 
@@ -345,6 +354,17 @@ impl Dataset {
         self.profiler = saved;
         let value = result?;
         let totals = end.since(&begin);
+        // Feedback: fold observed-vs-estimated scan cardinalities into
+        // the calibration table and refresh the backend cost figure, so
+        // the next plan benefits from what this query measured.
+        if self.planner.calibration {
+            for op in profiler.ops() {
+                if let (Some(est), Some(pred)) = (op.est, op.predicate.as_ref()) {
+                    self.calibration.observe(pred, est, op.rows_out as f64);
+                }
+            }
+            self.calibration.refresh_backend_cost();
+        }
         Ok((value, profiler.render(exec_total, &totals)))
     }
 
@@ -370,12 +390,27 @@ impl Dataset {
 
     /// Open a profiled operator frame. No-op when no profiler is
     /// attached — callers gate on `profiling()` to skip label building.
-    pub(crate) fn prof_enter(&mut self, label: String, rows_in: u64) {
+    /// `est`/`predicate` carry the planner estimate and scan predicate
+    /// for the est/actual/q-error columns and the calibration loop.
+    pub(crate) fn prof_enter(
+        &mut self,
+        label: String,
+        rows_in: u64,
+        est: Option<f64>,
+        predicate: Option<String>,
+    ) {
         if self.profiler.is_some() {
             let snap = self.counter_snapshot();
             if let Some(p) = self.profiler.as_mut() {
-                p.enter(label, snap, rows_in);
+                p.enter(label, snap, rows_in, est, predicate);
             }
+        }
+    }
+
+    /// Record one mid-query re-optimization (no-op unprofiled).
+    pub(crate) fn prof_note_reopt(&mut self) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.note_reopt();
         }
     }
 

@@ -89,7 +89,7 @@ fn select_solutions_inner(
     // so per-operator counters still sum to the query totals.
     let profiling = ds.profiling();
     if profiling {
-        ds.prof_enter("Project".into(), solutions.len() as u64);
+        ds.prof_enter("Project".into(), solutions.len() as u64, None, None);
     }
     let mut out_rows: Vec<Vec<Option<Value>>> = if needs_grouping {
         agg::grouped_projection(ds, &items, &q.group_by, &q.having, &solutions)?
@@ -112,7 +112,7 @@ fn select_solutions_inner(
     // synthetic operator row.
     if !q.order_by.is_empty() {
         if profiling {
-            ds.prof_enter("OrderBy".into(), out_rows.len() as u64);
+            ds.prof_enter("OrderBy".into(), out_rows.len() as u64, None, None);
         }
         // Order keys evaluate against the projected row when they are
         // output aliases, else against the source solution.
@@ -254,6 +254,18 @@ fn instantiate(ds: &Dataset, row: &Row, tp: &TermPattern, solution: usize) -> Op
     }
 }
 
+/// Optimize an already-translated plan with the dataset's full planner
+/// context: configuration, calibration table and zone-map statistics.
+fn plan_with_dataset(ds: &Dataset, translated: Plan) -> Plan {
+    let ctx = crate::planner::PlannerCtx {
+        graph: ds.active(),
+        config: ds.planner,
+        calibration: Some(&ds.calibration),
+        zones: Some(&ds.arrays),
+    };
+    algebra::optimize_with(translated, &ctx)
+}
+
 /// Translate, optimize and evaluate a group pattern.
 pub fn eval_pattern(
     ds: &mut Dataset,
@@ -264,25 +276,75 @@ pub fn eval_pattern(
         let t0 = std::time::Instant::now();
         let translated = algebra::translate(pattern);
         let t1 = std::time::Instant::now();
-        let plan = algebra::optimize(translated, ds.active());
+        let plan = plan_with_dataset(ds, translated);
         let t2 = std::time::Instant::now();
         ds.prof_phase("rewrite", t1.duration_since(t0));
         ds.prof_phase("plan", t2.duration_since(t1));
         return eval_plan(ds, &plan, input);
     }
-    let plan = algebra::optimize(algebra::translate(pattern), ds.active());
+    let plan = plan_with_dataset(ds, algebra::translate(pattern));
     eval_plan(ds, &plan, input)
 }
 
+/// The variables bound in every input row (structurally identical
+/// across rows, so the first row suffices), as the planner's bound set.
+fn bound_vars_of(input: &[Row]) -> std::collections::HashSet<String> {
+    input
+        .first()
+        .map(|r| r.keys().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Greedily re-order the unexecuted scan suffix of a running join by
+/// estimated cardinality against the *actually* bound variables — the
+/// mid-query re-optimization step. Callers guarantee every element is
+/// a plain triple-pattern scan, so any permutation is join-equivalent.
+fn reorder_suffix(ds: &Dataset, suffix: &mut [&Plan], rows: &[Row]) {
+    let graph = ds.active();
+    let mut bound = bound_vars_of(rows);
+    for i in 0..suffix.len() {
+        let best = (i..suffix.len())
+            .min_by(|&a, &b| {
+                let ea = algebra::estimate(suffix[a], graph, &bound);
+                let eb = algebra::estimate(suffix[b], graph, &bound);
+                ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty range");
+        suffix.swap(i, best);
+        suffix[i].certain_vars(&mut bound);
+    }
+}
+
+/// The constant predicate of a scan node, as the calibration key.
+fn scan_predicate(plan: &Plan) -> Option<String> {
+    match plan {
+        Plan::Scan(t) => match t.path.as_pred() {
+            Some(TermPattern::Term(p)) => Some(p.to_string()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 /// Evaluate a plan over input binding rows. With a profiler attached,
-/// every node becomes one operator row; without, this is a direct call
-/// into the evaluator.
+/// every node becomes one operator row carrying the planner's
+/// (uncalibrated) estimate next to the observed cardinality; without,
+/// this is a direct call into the evaluator.
 pub fn eval_plan(ds: &mut Dataset, plan: &Plan, input: Vec<Row>) -> Result<Vec<Row>, QueryError> {
     if !ds.profiling() {
         return eval_plan_inner(ds, plan, input);
     }
     let rows_in = input.len() as u64;
-    ds.prof_enter(algebra::node_label(plan), rows_in);
+    // Raw statistics estimate (calibration deliberately excluded, so
+    // the feedback loop converges on true corrections instead of
+    // re-correcting its own output).
+    let est = algebra::estimate(plan, ds.active(), &bound_vars_of(&input)) * rows_in.max(1) as f64;
+    ds.prof_enter(
+        algebra::node_label(plan),
+        rows_in,
+        Some(est),
+        scan_predicate(plan),
+    );
     let result = eval_plan_inner(ds, plan, input);
     if let Ok(rows) = &result {
         ds.prof_exit(rows.len() as u64);
@@ -301,11 +363,46 @@ fn eval_plan_inner(ds: &mut Dataset, plan: &Plan, input: Vec<Row>) -> Result<Vec
             }
         }
         Plan::Join(children) => {
+            // Adaptive execution: children run left-to-right; when an
+            // operator's observed cardinality exceeds its estimate by
+            // more than the configured Q-error bound, the *unexecuted*
+            // suffix is re-ordered against the now-known bindings.
+            // Produced rows are kept untouched, and only commutative
+            // suffixes (pure triple-pattern scans) are rewritten, so
+            // results are multiset-identical to the static plan.
+            let qbound = ds.planner.adaptive_qerror;
+            let min_rows = ds.planner.adaptive_min_rows;
+            let mut seq: Vec<&Plan> = children.iter().collect();
             let mut rows = input;
-            for c in children {
-                rows = eval_plan(ds, c, rows)?;
+            let mut idx = 0;
+            while idx < seq.len() {
+                let child = seq[idx];
+                // Pre-execution estimate, only when adaptivity could
+                // still rewrite something downstream.
+                let est = match qbound {
+                    Some(_) if seq.len() - idx > 2 => Some(
+                        algebra::estimate(child, ds.active(), &bound_vars_of(&rows))
+                            * rows.len().max(1) as f64,
+                    ),
+                    _ => None,
+                };
+                rows = eval_plan(ds, child, rows)?;
                 if rows.is_empty() {
                     break;
+                }
+                idx += 1;
+                if let (Some(qmax), Some(est)) = (qbound, est) {
+                    let actual = rows.len() as f64;
+                    let blown = actual / est.max(0.5) > qmax;
+                    if blown
+                        && rows.len() >= min_rows
+                        && seq[idx..]
+                            .iter()
+                            .all(|c| matches!(c, Plan::Scan(t) if t.path.as_pred().is_some()))
+                    {
+                        reorder_suffix(ds, &mut seq[idx..], &rows);
+                        ds.prof_note_reopt();
+                    }
                 }
             }
             Ok(rows)

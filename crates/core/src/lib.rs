@@ -44,6 +44,7 @@ pub mod eval;
 pub mod functions;
 pub mod journal;
 pub mod parser;
+pub mod planner;
 pub mod profile;
 pub mod update;
 pub mod value;
@@ -51,6 +52,7 @@ pub mod value;
 pub use dataset::{Dataset, QueryError, QueryResult};
 pub use functions::{Closure, ForeignFunction, FunctionCost, FunctionRegistry};
 pub use journal::{JournalEntry, UpdateJournal};
+pub use planner::{Calibration, PlannerConfig, PlannerCtx, PlannerMode};
 pub use profile::{CounterSnapshot, QueryProfiler};
 pub use value::Value;
 

@@ -1,0 +1,651 @@
+//! Optimizer v2: planner configuration, the statistics-fed selectivity
+//! model, and the runtime feedback loop.
+//!
+//! The thesis engine delegates join ordering to Amos II's cost-based
+//! conjunctive-predicate optimizer (§5.4). This module is our
+//! reproduction's equivalent control plane:
+//!
+//! * [`PlannerConfig`] / [`PlannerMode`] select the join-enumeration
+//!   strategy — `textual` (no reordering), `greedy` (one-shot minimum
+//!   cardinality, the pre-v2 behaviour) or `dp` (bottom-up dynamic
+//!   programming over connected subsets, the default) — overridable per
+//!   process with `SSDM_PLANNER` and per dataset via the public field.
+//! * [`filter_selectivity`] replaces the historical hard-coded
+//!   `Filter × 0.5` with an expression-aware estimate: equality and
+//!   range predicates consult the graph's per-predicate object
+//!   histograms ([`ssdm_rdf::NumericHistogram`]), `array_contains` /
+//!   `array_*_range` predicates consult the array store's zone maps
+//!   through [`ZoneStatsProvider`], and only expressions the model
+//!   cannot see fall back to the documented constants in [`consts`].
+//! * [`Calibration`] closes the loop: after every profiled query the
+//!   dataset folds observed-vs-estimated scan cardinalities into
+//!   per-predicate correction factors (EWMA in log space), and refreshes
+//!   a per-backend cost-per-statement figure from the process-wide
+//!   `ssdm_chunk_fetch_seconds` latency histogram. The planner multiplies
+//!   scan estimates by the learned factor, so misestimates shrink with
+//!   each observation instead of repeating forever.
+//!
+//! The mid-query re-optimization protocol (rewriting the unexecuted
+//! suffix of a running join when the observed cardinality blows past the
+//! estimate by more than [`PlannerConfig::adaptive_qerror`]) lives in
+//! `eval`; its knobs are configured here.
+
+use std::collections::HashMap;
+
+use ssdm_rdf::{Graph, Term, TermId};
+use ssdm_storage::{ArrayStore, ValuePredicate};
+
+use crate::ast::{CmpOp, Expr};
+use crate::dataset::DynChunkStore;
+
+/// Every fallback constant the cost model uses when statistics cannot
+/// answer, in one place (historically these were magic numbers strewn
+/// through `algebra::estimate`). Each constant is a *default of last
+/// resort*: the planner prefers histogram, sketch, zone-map or
+/// calibration evidence whenever it exists.
+pub mod consts {
+    /// Selectivity of a filter expression the model cannot analyze
+    /// (the pre-v2 blanket `Filter × 0.5`).
+    pub const DEFAULT_FILTER_SELECTIVITY: f64 = 0.5;
+    /// Equality comparison against a constant, when no histogram
+    /// covers the operand.
+    pub const EQ_SELECTIVITY: f64 = 0.1;
+    /// One-sided range comparison (`<`, `>`, ...), when no histogram
+    /// covers the operand.
+    pub const RANGE_SELECTIVITY: f64 = 0.3;
+    /// `regex` / `contains` / `strstarts` / `strends` string matching.
+    pub const REGEX_SELECTIVITY: f64 = 0.25;
+    /// `EXISTS { ... }` (and its negation) — correlated subpatterns
+    /// have no static statistics.
+    pub const EXISTS_SELECTIVITY: f64 = 0.5;
+    /// Floor for any derived selectivity: keeps a product of many
+    /// filters from collapsing to zero and freezing the join order.
+    pub const MIN_SELECTIVITY: f64 = 1e-3;
+    /// Fan-out multiplier for `GRAPH` patterns, whose target graph's
+    /// statistics the planner does not consult (pre-v2 `Graph × 2.0`).
+    pub const GRAPH_FANOUT: f64 = 2.0;
+    /// Fan-out multiplier per start node for property paths.
+    pub const PATH_FANOUT: f64 = 2.0;
+    /// Floor for a join child's cardinality contribution (pre-v2
+    /// `max(0.1)`): an operator is never free, however selective.
+    pub const MIN_JOIN_CHILD_CARD: f64 = 0.1;
+    /// Floor for a single scan estimate.
+    pub const MIN_SCAN_CARD: f64 = 0.01;
+    /// Fallback divisor per join variable bound by earlier operators
+    /// when the pattern's predicate is unknown (variable or absent): a
+    /// bound variable restricts like a constant of unknown value. With
+    /// a known predicate the estimator divides by that position's
+    /// distinct-value count instead.
+    pub const BOUND_VAR_ATTENUATION: f64 = 3.0;
+    /// DP join enumeration handles joins up to this many children;
+    /// larger conjunctions fall back to greedy (2^n state table).
+    pub const DP_MAX_PATTERNS: usize = 10;
+    /// Default Q-error bound for mid-query re-optimization: the
+    /// unexecuted join suffix is re-ordered when observed cardinality
+    /// exceeds the estimate by more than this factor.
+    pub const DEFAULT_REOPT_QERROR: f64 = 8.0;
+    /// Minimum intermediate rows before re-optimization is considered
+    /// (tiny intermediates are cheaper to finish than to re-plan).
+    pub const REOPT_MIN_ROWS: usize = 64;
+    /// EWMA weight of the newest observation in a calibration factor.
+    pub const CALIBRATION_ALPHA: f64 = 0.5;
+    /// Clamp on a calibration factor's log-magnitude (`ln 64`): one
+    /// pathological observation cannot swing estimates by more than 64×.
+    pub const LN_FACTOR_CLAMP: f64 = 4.158883083359672;
+    /// Half-row floor used in Q-error and calibration ratios so empty
+    /// results stay finite.
+    pub const CARD_FLOOR: f64 = 0.5;
+    /// Cost per back-end statement (µs) before any latency histogram
+    /// observation exists for the process.
+    pub const DEFAULT_STATEMENT_COST_US: f64 = 50.0;
+}
+
+/// Join-enumeration strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Keep children in written order (filters still push down).
+    Textual,
+    /// One-shot greedy minimum-cardinality ordering (pre-v2 default).
+    Greedy,
+    /// Bottom-up dynamic programming over connected subsets, greedy
+    /// fallback above [`PlannerConfig::dp_max_patterns`] children.
+    Dp,
+}
+
+impl PlannerMode {
+    /// Parse a mode name as accepted by `SSDM_PLANNER` / `--planner`.
+    pub fn parse(s: &str) -> Option<PlannerMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "textual" | "none" => Some(PlannerMode::Textual),
+            "greedy" => Some(PlannerMode::Greedy),
+            "dp" | "dynamic" => Some(PlannerMode::Dp),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannerMode::Textual => "textual",
+            PlannerMode::Greedy => "greedy",
+            PlannerMode::Dp => "dp",
+        }
+    }
+}
+
+/// Per-dataset planner configuration (env-seeded, field-overridable).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    pub mode: PlannerMode,
+    /// DP enumeration cutoff; joins with more children use greedy.
+    pub dp_max_patterns: usize,
+    /// Mid-query re-optimization Q-error bound; `None` disables
+    /// adaptivity entirely.
+    pub adaptive_qerror: Option<f64>,
+    /// Minimum intermediate rows before re-optimization is considered.
+    pub adaptive_min_rows: usize,
+    /// Whether learned per-predicate correction factors feed estimates.
+    pub calibration: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            mode: PlannerMode::Dp,
+            dp_max_patterns: consts::DP_MAX_PATTERNS,
+            adaptive_qerror: Some(consts::DEFAULT_REOPT_QERROR),
+            adaptive_min_rows: consts::REOPT_MIN_ROWS,
+            calibration: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The default configuration with environment overrides applied:
+    /// `SSDM_PLANNER=textual|greedy|dp`, `SSDM_PLANNER_DP_MAX=<n>`,
+    /// `SSDM_REOPT_QERROR=<q>|off`, `SSDM_CALIBRATION=on|off`.
+    pub fn from_env() -> Self {
+        let mut cfg = PlannerConfig::default();
+        if let Ok(v) = std::env::var("SSDM_PLANNER") {
+            if let Some(m) = PlannerMode::parse(&v) {
+                cfg.mode = m;
+            }
+        }
+        if let Ok(v) = std::env::var("SSDM_PLANNER_DP_MAX") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.dp_max_patterns = n.min(16);
+            }
+        }
+        if let Ok(v) = std::env::var("SSDM_REOPT_QERROR") {
+            if v.eq_ignore_ascii_case("off") || v == "0" {
+                cfg.adaptive_qerror = None;
+            } else if let Ok(q) = v.parse::<f64>() {
+                if q.is_finite() && q > 1.0 {
+                    cfg.adaptive_qerror = Some(q);
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("SSDM_CALIBRATION") {
+            cfg.calibration = !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false");
+        }
+        cfg
+    }
+}
+
+/// One learned per-predicate correction: an EWMA over `ln(actual/est)`
+/// plus the number of observations behind it.
+#[derive(Debug, Clone, Copy)]
+struct PredFactor {
+    ln_factor: f64,
+    samples: u64,
+}
+
+/// The runtime feedback table: per-predicate cardinality correction
+/// factors learned from profiled queries, and a per-backend
+/// cost-per-statement figure refreshed from the observability layer's
+/// chunk-fetch latency histogram.
+#[derive(Debug, Default, Clone)]
+pub struct Calibration {
+    factors: HashMap<String, PredFactor>,
+    cost_per_statement_us: Option<f64>,
+}
+
+impl Calibration {
+    /// Fold one observed-vs-estimated scan cardinality into the
+    /// predicate's correction factor. Ratios are floored at half a row
+    /// and clamped in log space so one wild sample cannot dominate.
+    pub fn observe(&mut self, predicate: &str, estimated: f64, actual: f64) {
+        if !estimated.is_finite() {
+            return;
+        }
+        let ratio = actual.max(consts::CARD_FLOOR) / estimated.max(consts::CARD_FLOOR);
+        let ln = ratio
+            .ln()
+            .clamp(-consts::LN_FACTOR_CLAMP, consts::LN_FACTOR_CLAMP);
+        match self.factors.get_mut(predicate) {
+            Some(f) => {
+                f.ln_factor = (1.0 - consts::CALIBRATION_ALPHA) * f.ln_factor
+                    + consts::CALIBRATION_ALPHA * ln;
+                f.samples += 1;
+            }
+            None => {
+                self.factors.insert(
+                    predicate.to_string(),
+                    PredFactor {
+                        ln_factor: ln,
+                        samples: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The multiplicative correction for a predicate's scan estimates
+    /// (1.0 when nothing has been learned).
+    pub fn factor(&self, predicate: &str) -> f64 {
+        self.factors
+            .get(predicate)
+            .map(|f| f.ln_factor.exp())
+            .unwrap_or(1.0)
+    }
+
+    /// Observations recorded for a predicate.
+    pub fn samples(&self, predicate: &str) -> u64 {
+        self.factors.get(predicate).map(|f| f.samples).unwrap_or(0)
+    }
+
+    /// Number of predicates with learned corrections.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// `(predicate, factor, samples)` rows, unordered (for reports).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, f64, u64)> {
+        self.factors
+            .iter()
+            .map(|(k, f)| (k.as_str(), f.ln_factor.exp(), f.samples))
+    }
+
+    /// Refresh the per-backend cost-per-statement from the process-wide
+    /// chunk-fetch latency histogram (mean observed fetch, µs).
+    pub fn refresh_backend_cost(&mut self) {
+        let hist = ssdm_obs::recorder().histogram("ssdm_chunk_fetch_seconds");
+        let count = hist.count();
+        if count > 0 {
+            self.cost_per_statement_us = Some(hist.sum_micros() as f64 / count as f64);
+        }
+    }
+
+    /// Cost in microseconds the planner charges per back-end statement.
+    pub fn cost_per_statement_us(&self) -> f64 {
+        self.cost_per_statement_us
+            .unwrap_or(consts::DEFAULT_STATEMENT_COST_US)
+    }
+}
+
+/// Aggregate zone-map answer for one value predicate: how many chunks
+/// exist across the store's zone maps and how many could match.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZoneSelectivity {
+    pub chunks_total: u64,
+    pub chunks_matching: u64,
+}
+
+impl ZoneSelectivity {
+    /// Matching fraction; 1.0 (no pruning evidence) when no chunk is
+    /// summarized.
+    pub fn fraction(&self) -> f64 {
+        if self.chunks_total == 0 {
+            1.0
+        } else {
+            self.chunks_matching as f64 / self.chunks_total as f64
+        }
+    }
+}
+
+/// Planner-facing view of the array store's zone maps: the expected
+/// fraction of chunks an `array_contains` / `array_*_range` predicate
+/// must actually decode (the rest are `chunks_skipped`).
+pub trait ZoneStatsProvider {
+    fn zone_selectivity(&self, pred: &ValuePredicate) -> ZoneSelectivity;
+}
+
+impl ZoneStatsProvider for ArrayStore<DynChunkStore> {
+    fn zone_selectivity(&self, pred: &ValuePredicate) -> ZoneSelectivity {
+        let mut z = ZoneSelectivity::default();
+        for zm in self.zone_maps() {
+            for (i, s) in zm.summaries.iter().enumerate() {
+                z.chunks_total += 1;
+                if s.may_match(zm.ty, pred) {
+                    z.chunks_matching += 1;
+                }
+                let _ = i;
+            }
+        }
+        z
+    }
+}
+
+/// Everything the cost model may consult while planning one query.
+/// Statistics sources are optional: a bare `PlannerCtx::new(graph)`
+/// plans from graph statistics alone (the `EXPLAIN` / library path),
+/// while `eval` builds the full context from the dataset.
+pub struct PlannerCtx<'a> {
+    pub graph: &'a Graph,
+    pub config: PlannerConfig,
+    pub calibration: Option<&'a Calibration>,
+    pub zones: Option<&'a dyn ZoneStatsProvider>,
+}
+
+impl<'a> PlannerCtx<'a> {
+    /// Graph-only context with environment-derived configuration.
+    pub fn new(graph: &'a Graph) -> Self {
+        PlannerCtx {
+            graph,
+            config: PlannerConfig::from_env(),
+            calibration: None,
+            zones: None,
+        }
+    }
+
+    /// Graph-only context with the built-in default configuration (no
+    /// environment reads — for hot estimate wrappers).
+    pub fn plain(graph: &'a Graph) -> Self {
+        PlannerCtx {
+            graph,
+            config: PlannerConfig::default(),
+            calibration: None,
+            zones: None,
+        }
+    }
+
+    /// The learned correction factor for a predicate term (1.0 when
+    /// calibration is absent or disabled).
+    pub fn factor_for(&self, predicate: &Term) -> f64 {
+        if !self.config.calibration {
+            return 1.0;
+        }
+        match self.calibration {
+            Some(c) if !c.is_empty() => c.factor(&predicate.to_string()),
+            _ => 1.0,
+        }
+    }
+}
+
+/// Expression-aware filter selectivity: the fraction of input rows a
+/// `FILTER expr` is expected to keep. `var_preds` maps object-position
+/// variables of the surrounding join to the (constant) predicate whose
+/// triples bind them, letting comparisons consult that predicate's
+/// object-value histogram.
+pub fn filter_selectivity(
+    expr: &Expr,
+    ctx: &PlannerCtx,
+    var_preds: &HashMap<String, TermId>,
+) -> f64 {
+    selectivity(expr, ctx, var_preds).clamp(consts::MIN_SELECTIVITY, 1.0)
+}
+
+fn selectivity(expr: &Expr, ctx: &PlannerCtx, var_preds: &HashMap<String, TermId>) -> f64 {
+    match expr {
+        Expr::Not(e) => 1.0 - selectivity(e, ctx, var_preds),
+        Expr::And(a, b) => selectivity(a, ctx, var_preds) * selectivity(b, ctx, var_preds),
+        Expr::Or(a, b) => {
+            let (sa, sb) = (
+                selectivity(a, ctx, var_preds),
+                selectivity(b, ctx, var_preds),
+            );
+            (sa + sb - sa * sb).min(1.0)
+        }
+        Expr::Cmp(op, a, b) => cmp_selectivity(*op, a, b, ctx, var_preds),
+        Expr::InList {
+            needle,
+            haystack,
+            negated,
+        } => {
+            let eq = if let Expr::Var(v) = &**needle {
+                haystack
+                    .iter()
+                    .map(|h| eq_selectivity(Some(v), const_num(h), ctx, var_preds))
+                    .sum::<f64>()
+            } else {
+                consts::EQ_SELECTIVITY * haystack.len() as f64
+            };
+            let sel = eq.min(1.0);
+            if *negated {
+                1.0 - sel
+            } else {
+                sel
+            }
+        }
+        Expr::Exists { .. } => consts::EXISTS_SELECTIVITY,
+        Expr::Call { name, args } => call_selectivity(name, args, ctx),
+        _ => consts::DEFAULT_FILTER_SELECTIVITY,
+    }
+}
+
+fn cmp_selectivity(
+    op: CmpOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    ctx: &PlannerCtx,
+    var_preds: &HashMap<String, TermId>,
+) -> f64 {
+    // Comparisons over zone-mapped array predicates: cost by the
+    // fraction of chunks the filtered scan cannot skip.
+    if let Some(frac) = zone_call_fraction(lhs, ctx).or_else(|| zone_call_fraction(rhs, ctx)) {
+        return frac;
+    }
+    // Normalize to `var op constant`.
+    let (var, num, op) = match (lhs, rhs) {
+        (Expr::Var(v), e) if const_num(e).is_some() => (Some(v.as_str()), const_num(e), op),
+        (e, Expr::Var(v)) if const_num(e).is_some() => (Some(v.as_str()), const_num(e), flip(op)),
+        _ => (None, None, op),
+    };
+    match op {
+        CmpOp::Eq => eq_selectivity(var, num, ctx, var_preds),
+        CmpOp::Ne => 1.0 - eq_selectivity(var, num, ctx, var_preds),
+        CmpOp::Lt | CmpOp::Le => range_selectivity(var, None, num, ctx, var_preds),
+        CmpOp::Gt | CmpOp::Ge => range_selectivity(var, num, None, ctx, var_preds),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn const_num(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Const(Term::Number(n)) => Some(n.as_f64()),
+        Expr::Neg(inner) => const_num(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+/// Histogram-backed equality selectivity, falling back to
+/// [`consts::EQ_SELECTIVITY`].
+fn eq_selectivity(
+    var: Option<&str>,
+    num: Option<f64>,
+    ctx: &PlannerCtx,
+    var_preds: &HashMap<String, TermId>,
+) -> f64 {
+    if let (Some(v), Some(n)) = (var, num) {
+        if let Some(&p) = var_preds.get(v) {
+            if let Some(matches) = ctx.graph.estimate_object_eq(p, n) {
+                let total = ctx.graph.estimate_pattern(None, Some(p), None).max(1.0);
+                return matches / total;
+            }
+        }
+    }
+    consts::EQ_SELECTIVITY
+}
+
+/// Histogram-backed range selectivity, falling back to
+/// [`consts::RANGE_SELECTIVITY`].
+fn range_selectivity(
+    var: Option<&str>,
+    lo: Option<f64>,
+    hi: Option<f64>,
+    ctx: &PlannerCtx,
+    var_preds: &HashMap<String, TermId>,
+) -> f64 {
+    if let Some(v) = var {
+        if let Some(&p) = var_preds.get(v) {
+            if let Some(matches) = ctx.graph.estimate_object_range(p, lo, hi) {
+                let total = ctx.graph.estimate_pattern(None, Some(p), None).max(1.0);
+                return matches / total;
+            }
+        }
+    }
+    consts::RANGE_SELECTIVITY
+}
+
+fn call_selectivity(name: &str, args: &[Expr], ctx: &PlannerCtx) -> f64 {
+    match name {
+        "regex" | "contains" | "strstarts" | "strends" => consts::REGEX_SELECTIVITY,
+        "array_contains" | "acontains" => {
+            zone_fraction_for(name, args, ctx).unwrap_or(consts::DEFAULT_FILTER_SELECTIVITY)
+        }
+        _ => consts::DEFAULT_FILTER_SELECTIVITY,
+    }
+}
+
+/// Zone-map matching fraction for an `array_contains` /
+/// `array_*_range` call with constant bounds, when a zone provider is
+/// attached and any chunk is summarized.
+fn zone_call_fraction(e: &Expr, ctx: &PlannerCtx) -> Option<f64> {
+    let Expr::Call { name, args } = e else {
+        return None;
+    };
+    zone_fraction_for(name, args, ctx)
+}
+
+fn zone_fraction_for(name: &str, args: &[Expr], ctx: &PlannerCtx) -> Option<f64> {
+    let zones = ctx.zones?;
+    let pred = match name {
+        "array_contains" | "acontains" => {
+            let needles: Vec<ssdm_array::Num> = args
+                .get(1..)?
+                .iter()
+                .map(|a| const_num(a).map(ssdm_array::Num::Real))
+                .collect::<Option<_>>()?;
+            if needles.is_empty() {
+                return None;
+            }
+            ValuePredicate::In(needles)
+        }
+        "array_sum_range" | "array_avg_range" | "array_min_range" | "array_max_range"
+        | "array_count_range" => {
+            let lo = const_num(args.get(1)?)?;
+            let hi = const_num(args.get(2)?)?;
+            ValuePredicate::Range {
+                lo: ssdm_array::Num::Real(lo),
+                hi: ssdm_array::Num::Real(hi),
+            }
+        }
+        _ => return None,
+    };
+    let z = zones.zone_selectivity(&pred);
+    if z.chunks_total == 0 {
+        return None;
+    }
+    // Never report zero: zone maps prove chunk-level absence, not that
+    // the filter is statically false.
+    Some(z.fraction().max(consts::MIN_SELECTIVITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_rdf::Term;
+
+    #[test]
+    fn mode_parsing_accepts_aliases() {
+        assert_eq!(PlannerMode::parse("dp"), Some(PlannerMode::Dp));
+        assert_eq!(PlannerMode::parse("DYNAMIC"), Some(PlannerMode::Dp));
+        assert_eq!(PlannerMode::parse("greedy"), Some(PlannerMode::Greedy));
+        assert_eq!(PlannerMode::parse("textual"), Some(PlannerMode::Textual));
+        assert_eq!(PlannerMode::parse("none"), Some(PlannerMode::Textual));
+        assert_eq!(PlannerMode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn calibration_learns_and_clamps() {
+        let mut c = Calibration::default();
+        assert_eq!(c.factor("p"), 1.0);
+        c.observe("p", 10.0, 200.0); // 20x under-estimate
+        assert!(c.factor("p") > 10.0 && c.factor("p") < 30.0);
+        // A wild sample is clamped to 64x in log space.
+        c.observe("q", 1.0, 1e9);
+        assert!(c.factor("q") <= 64.01);
+        // EWMA pulls back toward accurate observations.
+        for _ in 0..8 {
+            c.observe("p", 100.0, 100.0);
+        }
+        assert!(c.factor("p") < 1.5, "factor {}", c.factor("p"));
+        assert_eq!(c.samples("p"), 9);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn filter_selectivity_uses_histograms() {
+        let mut g = Graph::new();
+        let p = Term::uri("http://ex/value");
+        // 90 small values, 10 large ones.
+        for i in 0..100i64 {
+            let v = if i < 90 { i % 9 } else { 1000 + i };
+            g.insert(
+                Term::uri(format!("http://ex/s{i}")),
+                p.clone(),
+                Term::integer(v),
+            );
+        }
+        let pid = g.dictionary().lookup(&p).unwrap();
+        let ctx = PlannerCtx::plain(&g);
+        let mut vp = HashMap::new();
+        vp.insert("x".to_string(), pid);
+        let gt = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Const(Term::integer(500))),
+        );
+        let sel = filter_selectivity(&gt, &ctx, &vp);
+        assert!(
+            sel < 0.25,
+            "high-range filter should be selective, got {sel}"
+        );
+        // Same comparison with no predicate mapping → documented fallback.
+        assert_eq!(
+            filter_selectivity(&gt, &ctx, &HashMap::new()),
+            consts::RANGE_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn boolean_combinations_compose() {
+        let g = Graph::new();
+        let ctx = PlannerCtx::plain(&g);
+        let vp = HashMap::new();
+        let t = |e: &Expr| filter_selectivity(e, &ctx, &vp);
+        let eq = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Const(Term::integer(1))),
+        );
+        let and = Expr::And(Box::new(eq.clone()), Box::new(eq.clone()));
+        let or = Expr::Or(Box::new(eq.clone()), Box::new(eq.clone()));
+        let not = Expr::Not(Box::new(eq.clone()));
+        assert!(t(&and) < t(&eq));
+        assert!(t(&or) > t(&eq));
+        assert!((t(&not) - (1.0 - t(&eq))).abs() < 1e-9);
+    }
+}

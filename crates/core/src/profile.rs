@@ -111,6 +111,22 @@ pub struct OpRow {
     pub micros: u64,
     /// Exclusive counters: this operator's work minus its children's.
     pub counters: CounterSnapshot,
+    /// Planner cardinality estimate for this operator's total output
+    /// (per-row estimate × input rows), when one was computed.
+    pub est: Option<f64>,
+    /// The scan's constant predicate, when it has one — the key the
+    /// calibration table learns correction factors under.
+    pub predicate: Option<String>,
+}
+
+impl OpRow {
+    /// Q-error of this operator: `max(est/actual, actual/est)` with a
+    /// half-row floor on both sides, `None` when no estimate exists.
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.est?.max(0.5);
+        let actual = (self.rows_out as f64).max(0.5);
+        Some((est / actual).max(actual / est))
+    }
 }
 
 struct Frame {
@@ -128,6 +144,8 @@ pub struct QueryProfiler {
     phases: Vec<(&'static str, u64)>,
     ops: Vec<OpRow>,
     stack: Vec<Frame>,
+    /// Mid-query re-optimizations triggered by the adaptive executor.
+    reopts: u64,
 }
 
 impl QueryProfiler {
@@ -138,7 +156,18 @@ impl QueryProfiler {
             phases: vec![("parse", parse_micros)],
             ops: Vec::new(),
             stack: Vec::new(),
+            reopts: 0,
         }
+    }
+
+    /// Record one mid-query re-optimization.
+    pub fn note_reopt(&mut self) {
+        self.reopts += 1;
+    }
+
+    /// Mid-query re-optimizations recorded so far.
+    pub fn reopts(&self) -> u64 {
+        self.reopts
     }
 
     /// Add time to a named phase (accumulates across calls — a query
@@ -152,8 +181,18 @@ impl QueryProfiler {
     }
 
     /// Open an operator frame. Pair with [`exit`](Self::exit); frames
-    /// left open by an error path are simply never rendered.
-    pub fn enter(&mut self, label: String, snapshot: CounterSnapshot, rows_in: u64) {
+    /// left open by an error path are simply never rendered. `est` is
+    /// the planner's total-output estimate for the operator and
+    /// `predicate` the scan's constant predicate (both feed the
+    /// calibration table at query end).
+    pub fn enter(
+        &mut self,
+        label: String,
+        snapshot: CounterSnapshot,
+        rows_in: u64,
+        est: Option<f64>,
+        predicate: Option<String>,
+    ) {
         let row = self.ops.len();
         self.ops.push(OpRow {
             label,
@@ -162,6 +201,8 @@ impl QueryProfiler {
             rows_out: 0,
             micros: 0,
             counters: CounterSnapshot::default(),
+            est,
+            predicate,
         });
         self.stack.push(Frame {
             row,
@@ -215,19 +256,30 @@ impl QueryProfiler {
             out.push_str(&format!(" {name}_us={micros}"));
         }
         out.push_str(&format!(
-            " exec_us={} total_us={}\n",
+            " exec_us={} total_us={} reopts={}\n",
             exec_micros.saturating_sub(planned),
-            parse + exec_micros
+            parse + exec_micros,
+            self.reopts
         ));
         out.push_str("operators:\n");
         for op in &self.ops {
+            // est/qerr render with decimals on purpose: profile
+            // consumers that sum integer fields for the reconciliation
+            // invariant skip float-valued columns.
+            let feedback = match (op.est, op.q_error()) {
+                (Some(est), Some(q)) => {
+                    format!(" est={:.1} actual={} qerr={:.2}", est, op.rows_out, q)
+                }
+                _ => String::new(),
+            };
             out.push_str(&format!(
-                "{}{} rows_in={} rows_out={} time_us={} {}\n",
+                "{}{} rows_in={} rows_out={} time_us={}{} {}\n",
                 "  ".repeat(op.depth + 1),
                 op.label,
                 op.rows_in,
                 op.rows_out,
                 op.micros,
+                feedback,
                 op.counters.render_fields()
             ));
         }
@@ -251,10 +303,10 @@ mod tests {
     #[test]
     fn exclusive_counters_subtract_children() {
         let mut p = QueryProfiler::new(10);
-        p.enter("Join".into(), snap(0, 0), 1);
-        p.enter("Scan a".into(), snap(0, 0), 1);
+        p.enter("Join".into(), snap(0, 0), 1, None, None);
+        p.enter("Scan a".into(), snap(0, 0), 1, None, None);
         p.exit(snap(2, 5), 4); // scan a: 2 statements, 5 chunks
-        p.enter("Scan b".into(), snap(2, 5), 4);
+        p.enter("Scan b".into(), snap(2, 5), 4, None, None);
         p.exit(snap(3, 6), 2); // scan b: 1 statement, 1 chunk
         p.exit(snap(3, 6), 2); // join itself: nothing beyond children
         let ops = p.ops();
@@ -287,8 +339,8 @@ mod tests {
     #[test]
     fn render_indents_by_depth() {
         let mut p = QueryProfiler::new(0);
-        p.enter("Join".into(), snap(0, 0), 1);
-        p.enter("Scan ?s ?p ?o".into(), snap(0, 0), 1);
+        p.enter("Join".into(), snap(0, 0), 1, None, None);
+        p.enter("Scan ?s ?p ?o".into(), snap(0, 0), 1, None, None);
         p.exit(snap(0, 0), 3);
         p.exit(snap(0, 0), 3);
         let text = p.render(Duration::from_micros(1), &snap(0, 0));

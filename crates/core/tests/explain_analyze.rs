@@ -51,12 +51,16 @@ fn profile_reports_phases_and_operators() {
         "plan_us=",
         "exec_us=",
         "total_us=",
+        "reopts=",
         "operators:",
         "Scan",
         "Project",
         "rows_in=",
         "rows_out=",
         "time_us=",
+        "est=",
+        "actual=",
+        "qerr=",
         "statements=",
         "chunks=",
         "bytes=",
@@ -181,6 +185,63 @@ fn explain_analyze_executes_the_query() {
     };
     assert!(tree.contains("Scan"));
     assert!(!tree.contains("totals:"), "plain EXPLAIN must not profile");
+}
+
+#[test]
+fn estimate_columns_carry_finite_q_errors() {
+    // Every plan-tree operator row must render est/actual/qerr, the
+    // floats must parse, and qerr must respect its half-row floor. The
+    // fields are float-formatted on purpose so the integer-field
+    // reconciliation in `operator_counters_reconcile_with_io_totals`
+    // never picks them up.
+    let mut ds = chunked_dataset();
+    let result = ds
+        .query(
+            "PREFIX ex: <http://example.org/>
+             EXPLAIN ANALYZE SELECT ?st WHERE { ?x ex:data ?a ; ex:station ?st }",
+        )
+        .unwrap();
+    let QueryResult::Text(profile) = result else {
+        panic!("text result expected");
+    };
+    let mut seen = 0;
+    for line in profile.lines() {
+        let Some(est_tok) = line.split_whitespace().find(|t| t.starts_with("est=")) else {
+            continue;
+        };
+        seen += 1;
+        let est: f64 = est_tok["est=".len()..].parse().expect("est parses");
+        let qerr_tok = line
+            .split_whitespace()
+            .find(|t| t.starts_with("qerr="))
+            .expect("qerr next to est");
+        let qerr: f64 = qerr_tok["qerr=".len()..].parse().expect("qerr parses");
+        assert!(est.is_finite() && est >= 0.0, "bad est in {line}");
+        assert!(qerr.is_finite() && qerr >= 1.0, "bad qerr in {line}");
+        assert!(line.contains("actual="), "actual missing in {line}");
+    }
+    assert!(seen >= 2, "expected scan rows with estimates:\n{profile}");
+}
+
+#[test]
+fn profiled_queries_feed_the_calibration_table() {
+    // The feedback loop: after a profiled query, the dataset's
+    // calibration table holds per-predicate corrections learned from
+    // observed-vs-estimated scan cardinalities.
+    let mut ds = chunked_dataset();
+    assert!(ds.calibration.is_empty());
+    ds.query_profiled(
+        "PREFIX ex: <http://example.org/>
+         SELECT ?st WHERE { ?m ex:station ?st }",
+    )
+    .unwrap();
+    assert!(
+        !ds.calibration.is_empty(),
+        "profiled scan should leave a calibration entry"
+    );
+    let key = "<http://example.org/station>";
+    assert!(ds.calibration.samples(key) >= 1, "no samples under {key}");
+    assert!(ds.calibration.factor(key).is_finite());
 }
 
 #[test]

@@ -1,0 +1,219 @@
+//! Differential planner matrix: every join-enumeration mode (textual,
+//! greedy, DP), with and without calibration and under forced
+//! mid-query re-optimization, must produce the *same result multiset*
+//! for the same query — plans may differ, answers may not.
+//!
+//! Queries are seeded random BGPs (star, chain and mixed shapes) with
+//! random filters over a deterministic synthetic graph, so failures
+//! reproduce exactly.
+
+use scisparql::planner::{PlannerConfig, PlannerMode};
+use scisparql::{Dataset, QueryResult};
+
+/// Deterministic PRNG (splitmix64) — the suite must not depend on
+/// ambient randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const N_SUBJECTS: u64 = 160;
+
+/// A synthetic graph with skewed predicates: typed subjects, a skewed
+/// numeric score, link edges and group membership.
+fn build_dataset() -> Dataset {
+    let mut ds = Dataset::in_memory();
+    let mut turtle = String::from("@prefix ex: <http://example.org/> .\n");
+    for i in 0..N_SUBJECTS {
+        let ty = i % 4;
+        // Skew: 90% of scores land in 0..10, the rest are large.
+        let score = if i % 10 == 9 { 1000 + i } else { i % 10 };
+        let link = (i * 7 + 3) % N_SUBJECTS;
+        // Skewed group membership: "g0" holds 70% of subjects, so the
+        // uniform count/distinct model *under*-estimates it — the
+        // trigger condition for mid-query re-optimization.
+        let group = if i % 10 < 7 { 0 } else { i % 8 };
+        turtle.push_str(&format!(
+            "ex:s{i} ex:type \"t{ty}\" ; ex:score {score} ; \
+             ex:link ex:s{link} ; ex:group \"g{group}\" .\n"
+        ));
+        if i % 3 == 0 {
+            turtle.push_str(&format!("ex:s{i} ex:flag \"on\" .\n"));
+        }
+    }
+    ds.load_turtle(&turtle).unwrap();
+    ds
+}
+
+/// One random query: a connected BGP of 2–5 patterns plus 0–2 filters.
+fn random_query(rng: &mut Rng) -> String {
+    let n_triples = 2 + rng.below(4) as usize;
+    let mut vars = vec!["?x".to_string()];
+    let mut body = String::new();
+    for t in 0..n_triples {
+        let subj = vars[rng.below(vars.len() as u64) as usize].clone();
+        match rng.below(6) {
+            0 => body.push_str(&format!("{subj} ex:type \"t{}\" . ", rng.below(4))),
+            1 => {
+                let v = format!("?s{t}");
+                body.push_str(&format!("{subj} ex:score {v} . "));
+                vars.push(v);
+            }
+            2 => {
+                let v = format!("?l{t}");
+                body.push_str(&format!("{subj} ex:link {v} . "));
+                vars.push(v);
+            }
+            3 => body.push_str(&format!("{subj} ex:group \"g{}\" . ", rng.below(8))),
+            4 => body.push_str(&format!("{subj} ex:flag \"on\" . ")),
+            _ => {
+                let v = format!("?g{t}");
+                body.push_str(&format!("{subj} ex:group {v} . "));
+                vars.push(v);
+            }
+        }
+    }
+    let score_vars: Vec<&String> = vars.iter().filter(|v| v.starts_with("?s")).collect();
+    if let Some(sv) = score_vars.first() {
+        match rng.below(4) {
+            0 => body.push_str(&format!("FILTER({sv} > {}) ", rng.below(12))),
+            1 => body.push_str(&format!("FILTER({sv} = {}) ", rng.below(10))),
+            2 => body.push_str(&format!("FILTER({sv} < {} || {sv} > 900) ", rng.below(8))),
+            _ => {}
+        }
+    }
+    format!("PREFIX ex: <http://example.org/> SELECT * WHERE {{ {body}}}")
+}
+
+/// Run a query and normalize the result to a sorted row multiset.
+fn row_multiset(ds: &mut Dataset, query: &str) -> Vec<String> {
+    let result = ds.query(query).unwrap();
+    let QueryResult::Solutions { vars, rows } = result else {
+        panic!("expected solutions for {query}");
+    };
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut cells: Vec<String> = vars
+                .iter()
+                .zip(r)
+                .map(|(v, c)| match c {
+                    Some(val) => format!("{v}={val}"),
+                    None => format!("{v}=∅"),
+                })
+                .collect();
+            cells.sort();
+            cells.join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn config(mode: PlannerMode) -> PlannerConfig {
+    PlannerConfig {
+        mode,
+        adaptive_qerror: None,
+        calibration: false,
+        ..PlannerConfig::default()
+    }
+}
+
+#[test]
+fn planner_modes_are_result_identical() {
+    let mut ds = build_dataset();
+    let mut rng = Rng(0x5c15_9a11);
+    for case in 0..40 {
+        let query = random_query(&mut rng);
+        ds.planner = config(PlannerMode::Textual);
+        let textual = row_multiset(&mut ds, &query);
+        ds.planner = config(PlannerMode::Greedy);
+        let greedy = row_multiset(&mut ds, &query);
+        ds.planner = config(PlannerMode::Dp);
+        let dp = row_multiset(&mut ds, &query);
+        assert_eq!(textual, greedy, "case {case}: textual vs greedy\n{query}");
+        assert_eq!(greedy, dp, "case {case}: greedy vs dp\n{query}");
+    }
+}
+
+#[test]
+fn adaptive_reoptimization_is_result_identical() {
+    let mut ds = build_dataset();
+    let mut rng = Rng(0xfeed_f00d);
+    let mut reopts_seen = 0u64;
+    for case in 0..30 {
+        let query = random_query(&mut rng);
+        ds.planner = config(PlannerMode::Dp);
+        let baseline = row_multiset(&mut ds, &query);
+        // Hair-trigger adaptivity: any estimate overshoot rewrites the
+        // suffix, on any intermediate size.
+        ds.planner = PlannerConfig {
+            mode: PlannerMode::Dp,
+            adaptive_qerror: Some(1.01),
+            adaptive_min_rows: 0,
+            calibration: false,
+            ..PlannerConfig::default()
+        };
+        let adaptive = row_multiset(&mut ds, &query);
+        assert_eq!(
+            baseline, adaptive,
+            "case {case}: adaptive diverged\n{query}"
+        );
+        let (_, profile) = ds.query_profiled(&query).unwrap();
+        let reopts: u64 = profile
+            .lines()
+            .find(|l| l.starts_with("phases:"))
+            .and_then(|l| {
+                l.split_whitespace()
+                    .find(|t| t.starts_with("reopts="))
+                    .and_then(|t| t["reopts=".len()..].parse().ok())
+            })
+            .unwrap_or(0);
+        reopts_seen += reopts;
+    }
+    assert!(
+        reopts_seen > 0,
+        "forced Q-error bound of 1.01 never triggered a re-optimization — \
+         the adaptive path is not being exercised"
+    );
+}
+
+#[test]
+fn calibration_preserves_results() {
+    let mut ds = build_dataset();
+    let mut rng = Rng(0x00dd_ba11);
+    for case in 0..20 {
+        let query = random_query(&mut rng);
+        ds.planner = config(PlannerMode::Dp);
+        let uncalibrated = row_multiset(&mut ds, &query);
+        // Train: profiled runs feed observed cardinalities back into
+        // the calibration table, then replan with corrections live.
+        ds.planner = PlannerConfig {
+            mode: PlannerMode::Dp,
+            adaptive_qerror: None,
+            calibration: true,
+            ..PlannerConfig::default()
+        };
+        ds.query_profiled(&query).unwrap();
+        let calibrated = row_multiset(&mut ds, &query);
+        assert_eq!(
+            uncalibrated, calibrated,
+            "case {case}: calibration changed results\n{query}"
+        );
+    }
+    assert!(
+        !ds.calibration.is_empty(),
+        "training runs should have populated the calibration table"
+    );
+}

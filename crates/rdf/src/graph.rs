@@ -11,6 +11,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::Bound;
 
 use crate::dictionary::{Dictionary, TermId};
+use crate::stats::ObjectStats;
 use crate::term::Term;
 
 /// One RDF statement as interned ids.
@@ -46,6 +47,10 @@ pub struct Graph {
     pred_subjects: HashMap<TermId, HashSet<TermId>>,
     pred_objects: HashMap<TermId, HashSet<TermId>>,
     pred_counts: HashMap<TermId, usize>,
+    /// Histogram + distinct sketch over numeric object values, per
+    /// predicate — maintained incrementally on insert/delete and
+    /// consulted by the optimizer's range/equality selectivities.
+    pred_obj_stats: HashMap<TermId, ObjectStats>,
 }
 
 impl Graph {
@@ -89,7 +94,20 @@ impl Graph {
         *self.pred_counts.entry(p).or_default() += 1;
         self.pred_subjects.entry(p).or_default().insert(s);
         self.pred_objects.entry(p).or_default().insert(o);
+        if let Some(v) = self.numeric_value(o) {
+            let st = self.pred_obj_stats.entry(p).or_default();
+            st.histogram.insert(v);
+            st.sketch.insert_f64(v);
+        }
         true
+    }
+
+    /// The f64 value of a numeric-literal term id, if it is one.
+    fn numeric_value(&self, id: TermId) -> Option<f64> {
+        match self.dict.get(id)? {
+            Term::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
     }
 
     /// Intern terms and insert the triple.
@@ -109,6 +127,12 @@ impl Graph {
         self.osp.remove(&(o, s, p));
         if let Some(c) = self.pred_counts.get_mut(&p) {
             *c -= 1;
+        }
+        if let Some(v) = self.numeric_value(o) {
+            if let Some(st) = self.pred_obj_stats.get_mut(&p) {
+                st.histogram.remove(v);
+                st.sketch.note_delete();
+            }
         }
         // Distinct-value stats are maintained lazily: recompute on demand.
         if !self.spo.range(range_sp_any(s, p)).any(|_| true) {
@@ -229,6 +253,35 @@ impl Graph {
         }
     }
 
+    /// The numeric-object statistics kept for a predicate (histogram
+    /// + distinct sketch), if any numeric object was ever inserted.
+    pub fn object_stats(&self, p: TermId) -> Option<&ObjectStats> {
+        self.pred_obj_stats.get(&p)
+    }
+
+    /// Estimated triples `(?, p, o)` whose numeric object lies in
+    /// `[lo, hi]` (either bound optional), from the predicate's
+    /// histogram. `None` when no numeric statistics exist for `p`.
+    pub fn estimate_object_range(
+        &self,
+        p: TermId,
+        lo: Option<f64>,
+        hi: Option<f64>,
+    ) -> Option<f64> {
+        Some(self.pred_obj_stats.get(&p)?.estimate_range(lo, hi))
+    }
+
+    /// Estimated triples `(?, p, v)` for a numeric constant `v`, using
+    /// the histogram bucket mass and the distinct sketch — robust to
+    /// value skew, unlike the uniform `count / distinct` guess.
+    pub fn estimate_object_eq(&self, p: TermId, v: f64) -> Option<f64> {
+        let st = self.pred_obj_stats.get(&p)?;
+        if st.histogram.count() == 0 {
+            return None;
+        }
+        Some(st.estimate_eq(v))
+    }
+
     pub fn stats(&self) -> GraphStats {
         GraphStats {
             triples: self.spo.len(),
@@ -330,6 +383,37 @@ mod tests {
         let by_po = g.estimate_pattern(None, Some(name), Some(TermId(0)));
         assert!(by_p <= full);
         assert!(by_po <= by_p);
+    }
+
+    #[test]
+    fn object_value_statistics_follow_inserts_and_deletes() {
+        let mut g = Graph::new();
+        for i in 0..100 {
+            g.insert(
+                Term::blank(format!("s{i}")),
+                Term::uri("p:val"),
+                Term::integer(i % 10),
+            );
+        }
+        let p = g.dictionary().lookup(&Term::uri("p:val")).unwrap();
+        let st = g.object_stats(p).expect("numeric stats kept");
+        assert_eq!(st.histogram.count(), 100);
+        assert_eq!(st.sketch.estimate(), 10.0);
+        let low = g.estimate_object_range(p, None, Some(4.5)).unwrap();
+        assert!((30.0..=70.0).contains(&low), "got {low}");
+        // Equality estimate lands near the true frequency (10 each).
+        let eq = g.estimate_object_eq(p, 3.0).unwrap();
+        assert!((1.0..=40.0).contains(&eq), "got {eq}");
+        // Deleting updates the histogram mass.
+        let s0 = g.dictionary().lookup(&Term::blank("s0")).unwrap();
+        let v0 = g.dictionary().lookup(&Term::integer(0)).unwrap();
+        assert!(g.remove_ids(s0, p, v0));
+        assert_eq!(g.object_stats(p).unwrap().histogram.count(), 99);
+        // Non-numeric objects never create stats.
+        let mut g2 = Graph::new();
+        g2.insert(Term::blank("a"), Term::uri("p:s"), Term::str("x"));
+        let ps = g2.dictionary().lookup(&Term::uri("p:s")).unwrap();
+        assert!(g2.object_stats(ps).is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod dictionary;
 mod graph;
 mod namespaces;
 pub mod ntriples;
+pub mod stats;
 mod term;
 pub mod turtle;
 
@@ -37,4 +38,5 @@ pub use collections::{consolidate_collections, ConsolidationReport};
 pub use dictionary::{Dictionary, TermId};
 pub use graph::{Graph, GraphStats, PredicateStats, Triple};
 pub use namespaces::{Namespaces, RDF_FIRST, RDF_NIL, RDF_REST, RDF_TYPE, XSD_DOUBLE, XSD_INTEGER};
+pub use stats::{DistinctSketch, NumericHistogram, ObjectStats};
 pub use term::{RdfError, Term};

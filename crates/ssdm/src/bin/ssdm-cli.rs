@@ -7,7 +7,7 @@
 //!          [--shards N] [--replicas K] [--codec raw|delta-bp|rle|auto]
 //!          [--exec 'QUERY'] [--snapshot FILE]
 //!          [--durable DIR] [--fsync always|interval[:MS]|off]
-//!          [--slow-query-ms N]
+//!          [--slow-query-ms N] [--planner textual|greedy|dp]
 //! ```
 //!
 //! `--codec` picks the chunk compression policy for newly externalized
@@ -33,6 +33,11 @@
 //! `.profile on|off` (print an `EXPLAIN ANALYZE` profile after every
 //! statement), `.help`, `.quit`. `--slow-query-ms N` profiles only
 //! statements taking ≥ N ms.
+//!
+//! `--planner` forces the join-enumeration mode (`dp` is the default:
+//! dynamic-programming enumeration with greedy fallback on large
+//! conjunctions). Equivalent to the `SSDM_PLANNER` environment
+//! variable; the flag wins.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -47,7 +52,8 @@ fn usage() -> ! {
          \x20               [--shards N] [--replicas K]\n\
          \x20               [--codec raw|delta-bp|rle|auto]\n\
          \x20               [--durable DIR] [--fsync always|interval[:MS]|off]\n\
-         \x20               [--slow-query-ms N] [--exec 'STATEMENT']"
+         \x20               [--slow-query-ms N] [--planner textual|greedy|dp]\n\
+         \x20               [--exec 'STATEMENT']"
     );
     std::process::exit(2)
 }
@@ -67,6 +73,7 @@ fn main() {
     let mut shards: usize = 1;
     let mut replicas: usize = 0;
     let mut codec: Option<ssdm_storage::CodecPolicy> = None;
+    let mut planner: Option<scisparql::PlannerMode> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -145,6 +152,14 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--planner" => {
+                planner = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(scisparql::PlannerMode::parse)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -195,6 +210,9 @@ fn main() {
     db.set_slow_query_ms(slow_query_ms);
     if let Some(c) = codec {
         db.set_codec(c);
+    }
+    if let Some(m) = planner {
+        db.dataset.planner.mode = m;
     }
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);

@@ -9,6 +9,7 @@
 //!             [--shards N] [--replicas K] [--codec raw|delta-bp|rle|auto]
 //!             [--durable DIR] [--fsync always|interval[:MS]|off]
 //!             [--metrics ADDR:PORT] [--slow-query-ms N]
+//!             [--planner textual|greedy|dp]
 //! ```
 //!
 //! `--codec` picks the chunk compression policy for newly externalized
@@ -31,6 +32,9 @@
 //! Prometheus text dump. `--metrics` additionally serves that dump over
 //! plain HTTP for scrapers; `--slow-query-ms N` logs an `EXPLAIN
 //! ANALYZE` profile to stderr for every statement taking ≥ N ms.
+//!
+//! `--planner` forces the join-enumeration mode (default `dp`;
+//! equivalent to the `SSDM_PLANNER` environment variable, flag wins).
 
 use std::path::PathBuf;
 
@@ -45,7 +49,8 @@ fn usage() -> ! {
          \x20                  [--shards N] [--replicas K]\n\
          \x20                  [--codec raw|delta-bp|rle|auto]\n\
          \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]\n\
-         \x20                  [--metrics ADDR:PORT] [--slow-query-ms N]"
+         \x20                  [--metrics ADDR:PORT] [--slow-query-ms N]\n\
+         \x20                  [--planner textual|greedy|dp]"
     );
     std::process::exit(2)
 }
@@ -63,6 +68,7 @@ fn main() {
     let mut fsync = FsyncPolicy::Always;
     let mut metrics: Option<String> = None;
     let mut slow_query_ms: Option<u64> = None;
+    let mut planner: Option<scisparql::PlannerMode> = None;
     let mut shards: usize = 1;
     let mut replicas: usize = 0;
     let mut codec: Option<ssdm_storage::CodecPolicy> = None;
@@ -152,6 +158,14 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--planner" => {
+                planner = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(scisparql::PlannerMode::parse)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -196,6 +210,9 @@ fn main() {
     db.set_parallel_workers(apr_workers);
     if let Some(c) = codec {
         db.set_codec(c);
+    }
+    if let Some(m) = planner {
+        db.dataset.planner.mode = m;
     }
     if let Some(t) = threshold {
         db.set_externalize_threshold(t, chunk);

@@ -226,6 +226,46 @@ impl Ssdm {
             compute.parallel_folds,
         );
 
+        // Optimizer state: active enumeration mode plus what the
+        // feedback loop has learned so far.
+        let planner = &self.dataset.planner;
+        r.push_int(
+            "planner",
+            LastOp,
+            interned(format!("mode_{}", planner.mode.name())),
+            1,
+        );
+        r.push_int(
+            "planner",
+            LastOp,
+            "dp_max_patterns",
+            planner.dp_max_patterns as u64,
+        );
+        r.push_float(
+            "planner",
+            LastOp,
+            "reopt_qerror",
+            planner.adaptive_qerror.unwrap_or(0.0),
+        );
+        r.push_int(
+            "planner",
+            LastOp,
+            "calibration_enabled",
+            u64::from(planner.calibration),
+        );
+        r.push_int(
+            "planner",
+            Cumulative,
+            "calibration_entries",
+            self.dataset.calibration.len() as u64,
+        );
+        r.push_float(
+            "planner",
+            Cumulative,
+            "cost_per_statement_us",
+            self.dataset.calibration.cost_per_statement_us(),
+        );
+
         match self.durability_stats() {
             None => r.push_int("durability", Cumulative, "enabled", 0),
             Some(d) => {

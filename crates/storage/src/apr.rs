@@ -232,6 +232,13 @@ impl<S: ChunkStore> ArrayStore<S> {
         self.zone_maps.insert(array_id, Arc::new(zone_map));
     }
 
+    /// Every zone map in the store, unordered. The planner walks these
+    /// to cost `array_contains` / `array_*_range` pushdown by expected
+    /// matching-chunk fraction.
+    pub fn zone_maps(&self) -> impl Iterator<Item = &Arc<ZoneMap>> {
+        self.zone_maps.values()
+    }
+
     pub fn backend(&self) -> &S {
         &self.backend
     }
