@@ -269,6 +269,31 @@ impl Calibration {
             .map(|(k, f)| (k.as_str(), f.ln_factor.exp(), f.samples))
     }
 
+    /// Raw `(predicate, ln_factor, samples)` rows for persistence —
+    /// the log-space EWMA itself, so a save/load round trip is exact.
+    pub fn export(&self) -> impl Iterator<Item = (&str, f64, u64)> {
+        self.factors
+            .iter()
+            .map(|(k, f)| (k.as_str(), f.ln_factor, f.samples))
+    }
+
+    /// Restore one persisted entry (the counterpart of
+    /// [`Calibration::export`]). Non-finite factors are dropped and
+    /// out-of-range ones clamped, so a hand-edited or corrupt file
+    /// cannot plant an unbounded correction.
+    pub fn restore(&mut self, predicate: &str, ln_factor: f64, samples: u64) {
+        if !ln_factor.is_finite() || samples == 0 {
+            return;
+        }
+        self.factors.insert(
+            predicate.to_string(),
+            PredFactor {
+                ln_factor: ln_factor.clamp(-consts::LN_FACTOR_CLAMP, consts::LN_FACTOR_CLAMP),
+                samples,
+            },
+        );
+    }
+
     /// Refresh the per-backend cost-per-statement from the process-wide
     /// chunk-fetch latency histogram (mean observed fetch, µs).
     pub fn refresh_backend_cost(&mut self) {

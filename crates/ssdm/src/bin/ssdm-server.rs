@@ -8,8 +8,8 @@
 //!             [--workers N] [--apr-workers N] [--cache BYTES]
 //!             [--shards N] [--replicas K] [--codec raw|delta-bp|rle|auto]
 //!             [--durable DIR] [--fsync always|interval[:MS]|off]
-//!             [--metrics ADDR:PORT] [--slow-query-ms N]
-//!             [--planner textual|greedy|dp]
+//!             [--http ADDR:PORT] [--metrics ADDR:PORT]
+//!             [--slow-query-ms N] [--planner textual|greedy|dp]
 //! ```
 //!
 //! `--codec` picks the chunk compression policy for newly externalized
@@ -29,9 +29,16 @@
 //!
 //! Send the statement `SHUTDOWN` to stop the server, `STATS` for
 //! back-end/cache/resilience/durability statistics, `METRICS` for the
-//! Prometheus text dump. `--metrics` additionally serves that dump over
-//! plain HTTP for scrapers; `--slow-query-ms N` logs an `EXPLAIN
-//! ANALYZE` profile to stderr for every statement taking ≥ N ms.
+//! Prometheus text dump.
+//!
+//! `--http` serves the SPARQL 1.1 Protocol over HTTP on the event-loop
+//! core of `ssdm::http`: GET/POST `/query` with content-negotiated
+//! JSON/XML/CSV/TSV results, POST `/update`, plus `/metrics` and
+//! `/stats`. `--metrics` is an alias that binds the same front end
+//! (scrapers just hit `/metrics`). With either flag, SIGTERM/SIGINT
+//! drain both the HTTP and framed sides gracefully before exit.
+//! `--slow-query-ms N` logs an `EXPLAIN ANALYZE` profile to stderr for
+//! every statement taking ≥ N ms.
 //!
 //! `--planner` forces the join-enumeration mode (default `dp`;
 //! equivalent to the `SSDM_PLANNER` environment variable, flag wins).
@@ -49,8 +56,8 @@ fn usage() -> ! {
          \x20                  [--shards N] [--replicas K]\n\
          \x20                  [--codec raw|delta-bp|rle|auto]\n\
          \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]\n\
-         \x20                  [--metrics ADDR:PORT] [--slow-query-ms N]\n\
-         \x20                  [--planner textual|greedy|dp]"
+         \x20                  [--http ADDR:PORT] [--metrics ADDR:PORT]\n\
+         \x20                  [--slow-query-ms N] [--planner textual|greedy|dp]"
     );
     std::process::exit(2)
 }
@@ -66,6 +73,7 @@ fn main() {
     let mut apr_workers: usize = 1;
     let mut durable: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut http: Vec<String> = Vec::new();
     let mut metrics: Option<String> = None;
     let mut slow_query_ms: Option<u64> = None;
     let mut planner: Option<scisparql::PlannerMode> = None;
@@ -130,6 +138,7 @@ fn main() {
                     .and_then(FsyncPolicy::parse)
                     .unwrap_or_else(|| usage())
             }
+            "--http" => http.push(args.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             "--shards" => {
                 shards = args
@@ -178,6 +187,21 @@ fn main() {
         eprintln!("--shards/--replicas cannot be combined with --durable");
         std::process::exit(2);
     }
+    // Block SIGTERM/SIGINT and obtain the signal fd *before* anything
+    // spawns a thread, so every later thread inherits the mask and the
+    // HTTP event loop is the one place the signals surface (as a
+    // graceful drain of both front ends).
+    let mut signal_fd = if http.is_empty() && metrics.is_none() {
+        None
+    } else {
+        match ssdm::http::prepare_signal_drain(&[ssdm::http::SIGTERM, ssdm::http::SIGINT]) {
+            Ok(fd) => Some(fd),
+            Err(e) => {
+                eprintln!("signal-driven drain unavailable ({e}); use SHUTDOWN over the wire");
+                None
+            }
+        }
+    };
     let mut db = match &durable {
         Some(dir) => {
             let options = DurableOptions {
@@ -234,11 +258,17 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Some(addr) = &metrics {
-        match server.enable_metrics(addr) {
-            Ok(bound) => eprintln!("metrics endpoint on http://{bound}/metrics"),
+    for addr in http.iter().chain(&metrics) {
+        // The signal fd goes to the first front end; one signal
+        // listener drains every side.
+        let config = ssdm::http::HttpConfig {
+            signal_fd: signal_fd.take(),
+            ..ssdm::http::HttpConfig::default()
+        };
+        match server.enable_http_with(addr, config) {
+            Ok(bound) => eprintln!("http endpoint on http://{bound}/ (query, update, metrics)"),
             Err(e) => {
-                eprintln!("cannot bind metrics endpoint {addr}: {e}");
+                eprintln!("cannot bind http endpoint {addr}: {e}");
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,335 @@
+//! Per-connection state for the HTTP event loop.
+//!
+//! A [`Conn`] owns one nonblocking socket plus its receive buffer,
+//! transmit buffer, and the reorder window that keeps pipelined
+//! responses in request order: each parsed request gets a sequence
+//! number, workers complete them in any order, and completed responses
+//! are promoted to the transmit buffer only when every earlier sequence
+//! has been promoted first.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use super::parser::{self, Limits, Parsed};
+use super::router::{self, Response, Routed};
+
+/// Cap on requests a single connection may have in flight at once;
+/// beyond it, pipelined bytes wait in the receive buffer.
+pub const MAX_PIPELINE: usize = 32;
+
+/// A parsed request handed to the reactor for worker dispatch.
+pub struct Dispatch {
+    pub seq: u64,
+    pub exec: router::Exec,
+    pub head_only: bool,
+    pub keep_alive: bool,
+}
+
+/// What `flush` left behind.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlushState {
+    /// Everything promoted so far is on the wire.
+    Drained,
+    /// The socket would block; keep write interest registered.
+    Blocked,
+    /// The connection is finished (close-after-flush completed or the
+    /// peer vanished) and should be deregistered and dropped.
+    Closed,
+}
+
+pub struct Conn {
+    pub stream: TcpStream,
+    pub token: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Completed responses waiting on earlier sequences: seq →
+    /// (encoded bytes, close-after flag).
+    ready: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Sequence the next parsed request receives.
+    next_seq: u64,
+    /// Sequence the next promoted response must carry.
+    flush_seq: u64,
+    /// Requests dispatched to workers and not yet completed.
+    pub inflight: usize,
+    pub last_activity: Instant,
+    /// Stop reading; close once the transmit buffer drains.
+    close_after_flush: bool,
+    peer_closed: bool,
+    /// `Expect: 100-continue` answered already for the request
+    /// currently accumulating.
+    sent_continue: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            ready: BTreeMap::new(),
+            next_seq: 0,
+            flush_seq: 0,
+            inflight: 0,
+            last_activity: Instant::now(),
+            close_after_flush: false,
+            peer_closed: false,
+            sent_continue: false,
+        }
+    }
+
+    /// Nothing pending in either direction — safe to close during a
+    /// drain without cutting off an answered request.
+    pub fn is_idle(&self) -> bool {
+        self.inflight == 0 && self.ready.is_empty() && self.wbuf.len() == self.wpos
+    }
+
+    /// Bytes buffered but not yet forming a complete request — the
+    /// peer is mid-request (relevant for drain-deadline decisions).
+    pub fn mid_request(&self) -> bool {
+        !self.rbuf.is_empty() && self.inflight == 0 && self.ready.is_empty()
+    }
+
+    pub fn wants_write(&self) -> bool {
+        self.wbuf.len() > self.wpos
+    }
+
+    /// Read everything currently available. Returns `false` when the
+    /// peer closed its write side (pending responses still flush).
+    pub fn fill(&mut self, max_buffered: usize) -> io::Result<bool> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if self.rbuf.len() >= max_buffered {
+                // Backpressure: stop reading until the pipeline drains.
+                return Ok(!self.peer_closed);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(true),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Parse as many buffered requests as the pipeline window allows.
+    /// Immediate responses are completed in place; engine work comes
+    /// back as [`Dispatch`] entries for the reactor.
+    pub fn drain_input(&mut self, limits: &Limits) -> Vec<Dispatch> {
+        let mut jobs = Vec::new();
+        while !self.close_after_flush
+            && !self.rbuf.is_empty()
+            && self.inflight + self.ready.len() < MAX_PIPELINE
+        {
+            match parser::parse_request(&self.rbuf, limits) {
+                Parsed::Incomplete { expects_continue } => {
+                    if expects_continue && !self.sent_continue {
+                        self.sent_continue = true;
+                        self.wbuf
+                            .extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                    }
+                    if self.peer_closed {
+                        // A torso with no more bytes coming: give up.
+                        self.close_after_flush = true;
+                    }
+                    break;
+                }
+                Parsed::Error(e) => {
+                    // Framing is broken; answer once and close.
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let resp = Response::text(e.status, e.message);
+                    self.complete(seq, resp.encode(false), true);
+                    self.rbuf.clear();
+                    break;
+                }
+                Parsed::Complete(req, consumed) => {
+                    self.rbuf.drain(..consumed);
+                    self.sent_continue = false;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let keep_alive = req.keep_alive;
+                    if !keep_alive {
+                        // No further requests will be answered; stop
+                        // parsing whatever was pipelined behind.
+                        self.close_after_flush = true;
+                    }
+                    match router::route(&req) {
+                        Routed::Immediate(resp) => {
+                            self.complete(seq, resp.encode(keep_alive), !keep_alive);
+                        }
+                        Routed::Dispatch { exec, head_only } => {
+                            self.inflight += 1;
+                            jobs.push(Dispatch {
+                                seq,
+                                exec,
+                                head_only,
+                                keep_alive,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Record a finished response; promotes every response whose turn
+    /// has come into the transmit buffer.
+    pub fn complete(&mut self, seq: u64, encoded: Vec<u8>, close: bool) {
+        self.ready.insert(seq, (encoded, close));
+        while let Some((bytes, close)) = self.ready.remove(&self.flush_seq) {
+            self.flush_seq += 1;
+            self.wbuf.extend_from_slice(&bytes);
+            if close {
+                self.close_after_flush = true;
+            }
+        }
+    }
+
+    /// Like [`Conn::complete`] for worker results (which decrement the
+    /// in-flight count).
+    pub fn complete_inflight(&mut self, seq: u64, encoded: Vec<u8>, close: bool) {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.complete(seq, encoded, close);
+    }
+
+    /// Write buffered bytes until the socket blocks or the buffer
+    /// empties.
+    pub fn flush(&mut self) -> FlushState {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return FlushState::Closed,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FlushState::Blocked,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushState::Closed,
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        if self.close_after_flush && self.ready.is_empty() && self.inflight == 0 {
+            return FlushState::Closed;
+        }
+        if self.peer_closed && self.is_idle() {
+            return FlushState::Closed;
+        }
+        FlushState::Drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn pipelined_responses_flush_in_request_order() {
+        let (server, mut client) = pair();
+        let mut conn = Conn::new(server, 7);
+        client
+            .write_all(b"GET /metrics HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n")
+            .unwrap();
+        // Let the bytes arrive.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(conn.fill(1 << 20).unwrap());
+        let jobs = conn.drain_input(&Limits::default());
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(conn.inflight, 2);
+
+        // Complete out of order: seq 1 first must not reach the wire
+        // before seq 0.
+        conn.complete_inflight(jobs[1].seq, b"SECOND".to_vec(), false);
+        assert!(!conn.wants_write(), "seq 1 held back until seq 0 lands");
+        conn.complete_inflight(jobs[0].seq, b"FIRST".to_vec(), false);
+        assert_eq!(conn.flush(), FlushState::Drained);
+
+        client.set_nonblocking(false).unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut out = [0u8; 64];
+        let n = client.read(&mut out).unwrap();
+        assert_eq!(&out[..n], b"FIRSTSECOND");
+    }
+
+    #[test]
+    fn connection_close_request_stops_the_pipeline() {
+        let (server, mut client) = pair();
+        let mut conn = Conn::new(server, 1);
+        client
+            .write_all(
+                b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\nGET /stats HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        conn.fill(1 << 20).unwrap();
+        let jobs = conn.drain_input(&Limits::default());
+        assert_eq!(jobs.len(), 1, "nothing behind a Connection: close parses");
+        conn.complete_inflight(jobs[0].seq, b"BYE".to_vec(), true);
+        assert_eq!(conn.flush(), FlushState::Closed);
+    }
+
+    #[test]
+    fn malformed_request_answers_then_closes() {
+        let (server, mut client) = pair();
+        let mut conn = Conn::new(server, 1);
+        client.write_all(b"garbage\r\n\r\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        conn.fill(1 << 20).unwrap();
+        let jobs = conn.drain_input(&Limits::default());
+        assert!(jobs.is_empty());
+        assert!(conn.wants_write());
+        assert_eq!(conn.flush(), FlushState::Closed);
+        drop(conn); // the reactor would deregister and drop it here
+        client.set_nonblocking(false).unwrap();
+        let mut out = Vec::new();
+        client.read_to_end(&mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn expect_continue_gets_the_interim_response_once() {
+        let (server, mut client) = pair();
+        let mut conn = Conn::new(server, 1);
+        client
+            .write_all(b"POST /query HTTP/1.1\r\nExpect: 100-continue\r\nContent-Type: application/sparql-query\r\nContent-Length: 6\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        conn.fill(1 << 20).unwrap();
+        assert!(conn.drain_input(&Limits::default()).is_empty());
+        assert!(conn.wants_write(), "100 Continue queued");
+        assert_eq!(conn.flush(), FlushState::Drained);
+        // A second parse attempt must not repeat the interim response.
+        assert!(conn.drain_input(&Limits::default()).is_empty());
+        assert!(!conn.wants_write());
+        // Body arrives; the request dispatches.
+        client.write_all(b"ASK {}").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        conn.fill(1 << 20).unwrap();
+        assert_eq!(conn.drain_input(&Limits::default()).len(), 1);
+    }
+}

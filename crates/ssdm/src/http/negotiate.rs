@@ -1,0 +1,230 @@
+//! Content negotiation over the four SPARQL result formats.
+//!
+//! Implements the `Accept` header's q-value algebra (RFC 9110 §12):
+//! each supported media type is scored against the header's media
+//! ranges, most-specific match wins, and the supported type with the
+//! highest q is selected. Ties break toward the server's preference
+//! order: JSON, XML, TSV, CSV.
+
+/// The result serializations the endpoint can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultFormat {
+    Json,
+    Xml,
+    Csv,
+    Tsv,
+}
+
+impl ResultFormat {
+    /// The `Content-Type` the response carries.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            ResultFormat::Json => "application/sparql-results+json",
+            ResultFormat::Xml => "application/sparql-results+xml",
+            ResultFormat::Csv => "text/csv; charset=utf-8",
+            ResultFormat::Tsv => "text/tab-separated-values; charset=utf-8",
+        }
+    }
+
+    /// Media types that select this format, canonical first.
+    fn aliases(self) -> &'static [&'static str] {
+        match self {
+            ResultFormat::Json => &["application/sparql-results+json", "application/json"],
+            ResultFormat::Xml => &[
+                "application/sparql-results+xml",
+                "application/xml",
+                "text/xml",
+            ],
+            ResultFormat::Csv => &["text/csv"],
+            ResultFormat::Tsv => &["text/tab-separated-values"],
+        }
+    }
+}
+
+/// Server preference order, used both as the tie-break and as the
+/// candidate list.
+const PREFERENCE: [ResultFormat; 4] = [
+    ResultFormat::Json,
+    ResultFormat::Xml,
+    ResultFormat::Tsv,
+    ResultFormat::Csv,
+];
+
+/// One media range from an Accept header.
+struct MediaRange {
+    kind: String,    // "*" or e.g. "application"
+    subtype: String, // "*" or e.g. "sparql-results+json"
+    q: f64,
+}
+
+fn parse_accept(header: &str) -> Vec<MediaRange> {
+    let mut ranges = Vec::new();
+    for item in header.split(',') {
+        let mut parts = item.split(';');
+        let Some(mt) = parts.next() else { continue };
+        let mt = mt.trim().to_ascii_lowercase();
+        if mt.is_empty() {
+            continue;
+        }
+        let (kind, subtype) = match mt.split_once('/') {
+            Some((k, s)) => (k.to_string(), s.to_string()),
+            None if mt == "*" => ("*".to_string(), "*".to_string()),
+            None => continue,
+        };
+        let mut q = 1.0f64;
+        for param in parts {
+            if let Some((k, v)) = param.split_once('=') {
+                if k.trim().eq_ignore_ascii_case("q") {
+                    q = v.trim().parse::<f64>().unwrap_or(0.0).clamp(0.0, 1.0);
+                }
+            }
+        }
+        ranges.push(MediaRange { kind, subtype, q });
+    }
+    ranges
+}
+
+/// Specificity rank of a match: exact > type/* > */*.
+fn specificity(range: &MediaRange) -> u8 {
+    match (range.kind.as_str(), range.subtype.as_str()) {
+        ("*", _) => 0,
+        (_, "*") => 1,
+        _ => 2,
+    }
+}
+
+/// Score one concrete media type against the ranges: q of the most
+/// specific matching range, or `None` if nothing matches.
+fn score(media_type: &str, ranges: &[MediaRange]) -> Option<f64> {
+    let (kind, subtype) = media_type.split_once('/')?;
+    let mut best: Option<(u8, f64)> = None;
+    for range in ranges {
+        let matches = (range.kind == "*" || range.kind == kind)
+            && (range.subtype == "*" || range.subtype == subtype);
+        if !matches {
+            continue;
+        }
+        let spec = specificity(range);
+        if best.map(|(s, _)| spec > s).unwrap_or(true) {
+            best = Some((spec, range.q));
+        }
+    }
+    best.map(|(_, q)| q)
+}
+
+/// Pick the result format for an Accept header value.
+///
+/// `None` header (absent) selects the default (JSON). `Some(Err(()))`
+/// is never produced; an Accept that rules out every format returns
+/// `None` from this function and the caller answers 406.
+pub fn negotiate(accept: Option<&str>) -> Option<ResultFormat> {
+    let Some(header) = accept else {
+        return Some(ResultFormat::Json);
+    };
+    let header = header.trim();
+    if header.is_empty() {
+        return Some(ResultFormat::Json);
+    }
+    let ranges = parse_accept(header);
+    if ranges.is_empty() {
+        return Some(ResultFormat::Json);
+    }
+    let mut best: Option<(f64, ResultFormat)> = None;
+    for format in PREFERENCE {
+        let q = format
+            .aliases()
+            .iter()
+            .filter_map(|alias| score(alias, &ranges))
+            .fold(None::<f64>, |acc, q| {
+                Some(acc.map(|a| a.max(q)).unwrap_or(q))
+            });
+        if let Some(q) = q {
+            if q > 0.0 && best.map(|(bq, _)| q > bq).unwrap_or(true) {
+                best = Some((q, format));
+            }
+        }
+    }
+    best.map(|(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_or_wildcard_accept_defaults_to_json() {
+        assert_eq!(negotiate(None), Some(ResultFormat::Json));
+        assert_eq!(negotiate(Some("*/*")), Some(ResultFormat::Json));
+        assert_eq!(negotiate(Some("")), Some(ResultFormat::Json));
+    }
+
+    #[test]
+    fn exact_types_select_each_format() {
+        assert_eq!(
+            negotiate(Some("application/sparql-results+json")),
+            Some(ResultFormat::Json)
+        );
+        assert_eq!(
+            negotiate(Some("application/sparql-results+xml")),
+            Some(ResultFormat::Xml)
+        );
+        assert_eq!(negotiate(Some("text/csv")), Some(ResultFormat::Csv));
+        assert_eq!(
+            negotiate(Some("text/tab-separated-values")),
+            Some(ResultFormat::Tsv)
+        );
+    }
+
+    #[test]
+    fn alias_types_map_to_formats() {
+        assert_eq!(
+            negotiate(Some("application/json")),
+            Some(ResultFormat::Json)
+        );
+        assert_eq!(negotiate(Some("application/xml")), Some(ResultFormat::Xml));
+        assert_eq!(negotiate(Some("text/xml")), Some(ResultFormat::Xml));
+    }
+
+    #[test]
+    fn q_values_order_candidates() {
+        assert_eq!(
+            negotiate(Some("text/csv;q=0.5, application/sparql-results+xml;q=0.9")),
+            Some(ResultFormat::Xml)
+        );
+        assert_eq!(
+            negotiate(Some("application/sparql-results+json;q=0.1, text/csv")),
+            Some(ResultFormat::Csv)
+        );
+    }
+
+    #[test]
+    fn type_wildcard_and_specificity() {
+        // text/* matches text/xml, CSV, and TSV; server preference
+        // ranks XML first among them.
+        assert_eq!(negotiate(Some("text/*")), Some(ResultFormat::Xml));
+        // An exact type with a higher q beats the wildcard's matches.
+        assert_eq!(
+            negotiate(Some("text/*;q=0.5, text/csv;q=1.0")),
+            Some(ResultFormat::Csv)
+        );
+        // Exact beats wildcard per type: xml and csv are ruled out by
+        // exact q=0 while tsv keeps the wildcard's q.
+        assert_eq!(
+            negotiate(Some("text/*;q=0.9, text/xml;q=0, text/csv;q=0")),
+            Some(ResultFormat::Tsv)
+        );
+    }
+
+    #[test]
+    fn unacceptable_returns_none() {
+        assert_eq!(negotiate(Some("image/png")), None);
+        assert_eq!(negotiate(Some("text/html;q=0")), None);
+        assert_eq!(negotiate(Some("text/csv;q=0")), None);
+    }
+
+    #[test]
+    fn browser_style_header_prefers_xml_over_wildcard() {
+        let firefox = "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8";
+        assert_eq!(negotiate(Some(firefox)), Some(ResultFormat::Xml));
+    }
+}

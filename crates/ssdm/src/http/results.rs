@@ -1,0 +1,578 @@
+//! SPARQL result serializers: JSON, XML, CSV, TSV.
+//!
+//! All four operate over [`QueryResult`] directly. Non-SELECT shapes
+//! are lowered first: CONSTRUCT graphs become `?subject ?predicate
+//! ?object` solutions, updates become a one-row `?inserted ?deleted`
+//! table, and EXPLAIN text a one-column `?text` table — so every
+//! format can carry every result kind.
+//!
+//! Mapping of SSDM-specific values: resident arrays and array proxies
+//! serialize as literals typed `urn:ssdm:array` whose lexical form is
+//! the SciSPARQL collection notation; closures as `urn:ssdm:closure`.
+
+use scisparql::{QueryResult, Value};
+use ssdm_array::Num;
+use ssdm_rdf::Term;
+
+use super::negotiate::ResultFormat;
+
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+const SSDM_ARRAY: &str = "urn:ssdm:array";
+const SSDM_CLOSURE: &str = "urn:ssdm:closure";
+
+/// Serialize a result in the negotiated format.
+pub fn serialize(result: &QueryResult, format: ResultFormat) -> Vec<u8> {
+    let lowered = lower(result);
+    let (vars, rows, boolean) = match &lowered {
+        Lowered::Solutions { vars, rows } => (vars.as_slice(), rows.as_slice(), None),
+        Lowered::Boolean(b) => (&[] as &[String], &[] as &[Vec<Option<Value>>], Some(*b)),
+    };
+    match format {
+        ResultFormat::Json => to_json(vars, rows, boolean).into_bytes(),
+        ResultFormat::Xml => to_xml(vars, rows, boolean).into_bytes(),
+        ResultFormat::Csv => to_csv(vars, rows, boolean).into_bytes(),
+        ResultFormat::Tsv => to_tsv(vars, rows, boolean).into_bytes(),
+    }
+}
+
+enum Lowered {
+    Solutions {
+        vars: Vec<String>,
+        rows: Vec<Vec<Option<Value>>>,
+    },
+    Boolean(bool),
+}
+
+/// Lower every result kind to a table or a boolean.
+fn lower(result: &QueryResult) -> Lowered {
+    match result {
+        QueryResult::Solutions { vars, rows } => Lowered::Solutions {
+            vars: vars.clone(),
+            rows: rows.clone(),
+        },
+        QueryResult::Boolean(b) => Lowered::Boolean(*b),
+        QueryResult::Graph(g) => {
+            let vars = vec![
+                "subject".to_string(),
+                "predicate".to_string(),
+                "object".to_string(),
+            ];
+            let rows = g
+                .iter()
+                .map(|t| {
+                    vec![
+                        Some(Value::Term(g.term(t.s).clone())),
+                        Some(Value::Term(g.term(t.p).clone())),
+                        Some(Value::Term(g.term(t.o).clone())),
+                    ]
+                })
+                .collect();
+            Lowered::Solutions { vars, rows }
+        }
+        QueryResult::Updated { inserted, deleted } => Lowered::Solutions {
+            vars: vec!["inserted".to_string(), "deleted".to_string()],
+            rows: vec![vec![
+                Some(Value::integer(*inserted as i64)),
+                Some(Value::integer(*deleted as i64)),
+            ]],
+        },
+        QueryResult::Text(t) => Lowered::Solutions {
+            vars: vec!["text".to_string()],
+            rows: t
+                .lines()
+                .map(|l| vec![Some(Value::Term(Term::str(l)))])
+                .collect(),
+        },
+    }
+}
+
+/// The (lexical form, term kind) decomposition every serializer needs.
+enum Node {
+    Uri(String),
+    Bnode(String),
+    /// value, optional language tag, optional datatype URI.
+    Literal(String, Option<String>, Option<String>),
+}
+
+fn decompose(value: &Value) -> Node {
+    match value {
+        Value::Term(t) => match t {
+            Term::Uri(u) => Node::Uri(u.clone()),
+            Term::Blank(b) => Node::Bnode(b.clone()),
+            Term::Str(s) => Node::Literal(s.clone(), None, None),
+            Term::LangStr { value, lang } => Node::Literal(value.clone(), Some(lang.clone()), None),
+            Term::Number(Num::Int(i)) => {
+                Node::Literal(i.to_string(), None, Some(XSD_INTEGER.to_string()))
+            }
+            Term::Number(n @ Num::Real(_)) => {
+                Node::Literal(n.to_string(), None, Some(XSD_DOUBLE.to_string()))
+            }
+            Term::Bool(b) => Node::Literal(b.to_string(), None, Some(XSD_BOOLEAN.to_string())),
+            Term::Typed { value, datatype } => {
+                Node::Literal(value.clone(), None, Some(datatype.clone()))
+            }
+            Term::Array(a) => Node::Literal(a.to_string(), None, Some(SSDM_ARRAY.to_string())),
+            Term::ArrayRef(id) => {
+                Node::Literal(format!("@array:{id}"), None, Some(SSDM_ARRAY.to_string()))
+            }
+        },
+        Value::Proxy(_) => Node::Literal(value.to_string(), None, Some(SSDM_ARRAY.to_string())),
+        Value::Closure(_) => Node::Literal(value.to_string(), None, Some(SSDM_CLOSURE.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------- JSON
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn to_json(vars: &[String], rows: &[Vec<Option<Value>>], boolean: Option<bool>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"head\":{");
+    if boolean.is_none() {
+        out.push_str("\"vars\":[");
+        for (i, v) in vars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(v)));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    if let Some(b) = boolean {
+        out.push_str(&format!(",\"boolean\":{b}}}"));
+        return out;
+    }
+    out.push_str(",\"results\":{\"bindings\":[");
+    for (ri, row) in rows.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        for (var, cell) in vars.iter().zip(row.iter()) {
+            let Some(value) = cell else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":", json_escape(var)));
+            match decompose(value) {
+                Node::Uri(u) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"uri\",\"value\":\"{}\"}}",
+                        json_escape(&u)
+                    ));
+                }
+                Node::Bnode(b) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"bnode\",\"value\":\"{}\"}}",
+                        json_escape(&b)
+                    ));
+                }
+                Node::Literal(v, lang, dt) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"literal\",\"value\":\"{}\"",
+                        json_escape(&v)
+                    ));
+                    if let Some(lang) = lang {
+                        out.push_str(&format!(",\"xml:lang\":\"{}\"", json_escape(&lang)));
+                    }
+                    if let Some(dt) = dt {
+                        out.push_str(&format!(",\"datatype\":\"{}\"", json_escape(&dt)));
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+// ----------------------------------------------------------------- XML
+
+/// Escape a string for XML text content or attribute values.
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn to_xml(vars: &[String], rows: &[Vec<Option<Value>>], boolean: Option<bool>) -> String {
+    let mut out = String::from(
+        "<?xml version=\"1.0\"?>\n<sparql xmlns=\"http://www.w3.org/2005/sparql-results#\">\n",
+    );
+    out.push_str("  <head>\n");
+    if boolean.is_none() {
+        for v in vars {
+            out.push_str(&format!("    <variable name=\"{}\"/>\n", xml_escape(v)));
+        }
+    }
+    out.push_str("  </head>\n");
+    if let Some(b) = boolean {
+        out.push_str(&format!("  <boolean>{b}</boolean>\n</sparql>\n"));
+        return out;
+    }
+    out.push_str("  <results>\n");
+    for row in rows {
+        out.push_str("    <result>\n");
+        for (var, cell) in vars.iter().zip(row.iter()) {
+            let Some(value) = cell else { continue };
+            out.push_str(&format!("      <binding name=\"{}\">", xml_escape(var)));
+            match decompose(value) {
+                Node::Uri(u) => out.push_str(&format!("<uri>{}</uri>", xml_escape(&u))),
+                Node::Bnode(b) => out.push_str(&format!("<bnode>{}</bnode>", xml_escape(&b))),
+                Node::Literal(v, lang, dt) => {
+                    out.push_str("<literal");
+                    if let Some(lang) = lang {
+                        out.push_str(&format!(" xml:lang=\"{}\"", xml_escape(&lang)));
+                    }
+                    if let Some(dt) = dt {
+                        out.push_str(&format!(" datatype=\"{}\"", xml_escape(&dt)));
+                    }
+                    out.push_str(&format!(">{}</literal>", xml_escape(&v)));
+                }
+            }
+            out.push_str("</binding>\n");
+        }
+        out.push_str("    </result>\n");
+    }
+    out.push_str("  </results>\n</sparql>\n");
+    out
+}
+
+// ----------------------------------------------------------------- CSV
+
+/// RFC 4180 quoting: wrap in double quotes when the field contains a
+/// comma, quote, CR, or LF; embedded quotes double.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// CSV serializes bare lexical forms (SPARQL 1.1 Query Results CSV
+/// format): IRIs without brackets, literals without quotes or type
+/// annotations. A boolean result becomes a one-column table.
+fn to_csv(vars: &[String], rows: &[Vec<Option<Value>>], boolean: Option<bool>) -> String {
+    if let Some(b) = boolean {
+        return format!("boolean\r\n{b}\r\n");
+    }
+    let mut out = String::new();
+    out.push_str(
+        &vars
+            .iter()
+            .map(|v| csv_field(v))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push_str("\r\n");
+    for row in rows {
+        let cells: Vec<String> = vars
+            .iter()
+            .zip(row.iter())
+            .map(|(_, cell)| match cell {
+                None => String::new(),
+                Some(value) => match decompose(value) {
+                    Node::Uri(u) => csv_field(&u),
+                    Node::Bnode(b) => csv_field(&format!("_:{b}")),
+                    Node::Literal(v, _, _) => csv_field(&v),
+                },
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push_str("\r\n");
+    }
+    out
+}
+
+// ----------------------------------------------------------------- TSV
+
+/// TSV serializes full SPARQL syntax (the Query Results TSV format):
+/// `<iri>`, `"literal"@lang`, `"lex"^^<dt>`, numbers bare. [`Term`]'s
+/// `Display` already produces exactly this, with tabs and newlines
+/// escaped inside literals.
+fn to_tsv(vars: &[String], rows: &[Vec<Option<Value>>], boolean: Option<bool>) -> String {
+    if let Some(b) = boolean {
+        return format!("?boolean\n{b}\n");
+    }
+    let mut out = String::new();
+    out.push_str(
+        &vars
+            .iter()
+            .map(|v| format!("?{v}"))
+            .collect::<Vec<_>>()
+            .join("\t"),
+    );
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = vars
+            .iter()
+            .zip(row.iter())
+            .map(|(_, cell)| match cell {
+                None => String::new(),
+                Some(value) => value.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_array::NumArray;
+
+    fn solutions(vars: &[&str], rows: Vec<Vec<Option<Value>>>) -> QueryResult {
+        QueryResult::Solutions {
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    fn text_of(result: &QueryResult, format: ResultFormat) -> String {
+        String::from_utf8(serialize(result, format)).unwrap()
+    }
+
+    #[test]
+    fn json_typed_and_lang_literals() {
+        let r = solutions(
+            &["a", "b", "c", "d"],
+            vec![vec![
+                Some(Value::Term(Term::LangStr {
+                    value: "chat".into(),
+                    lang: "fr".into(),
+                })),
+                Some(Value::Term(Term::Typed {
+                    value: "2024-01-01".into(),
+                    datatype: "http://www.w3.org/2001/XMLSchema#date".into(),
+                })),
+                Some(Value::integer(42)),
+                Some(Value::double(2.5)),
+            ]],
+        );
+        let json = text_of(&r, ResultFormat::Json);
+        assert!(json.contains(r#""a":{"type":"literal","value":"chat","xml:lang":"fr"}"#));
+        assert!(json.contains(
+            r#""b":{"type":"literal","value":"2024-01-01","datatype":"http://www.w3.org/2001/XMLSchema#date"}"#
+        ));
+        assert!(json.contains(
+            r#""c":{"type":"literal","value":"42","datatype":"http://www.w3.org/2001/XMLSchema#integer"}"#
+        ));
+        assert!(json.contains(
+            r#""d":{"type":"literal","value":"2.5","datatype":"http://www.w3.org/2001/XMLSchema#double"}"#
+        ));
+    }
+
+    #[test]
+    fn json_unbound_variables_are_omitted() {
+        let r = solutions(
+            &["x", "y"],
+            vec![vec![Some(Value::Term(Term::uri("http://e/s"))), None]],
+        );
+        let json = text_of(&r, ResultFormat::Json);
+        assert!(json.contains(r#""head":{"vars":["x","y"]}"#));
+        assert!(json.contains(r#"{"x":{"type":"uri","value":"http://e/s"}}"#));
+        assert!(!json.contains("\"y\":"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let r = solutions(
+            &["s"],
+            vec![vec![Some(Value::Term(Term::str("a\"b\\c\nd\u{1}e")))]],
+        );
+        let json = text_of(&r, ResultFormat::Json);
+        assert!(json.contains(r#""value":"a\"b\\c\nd\u0001e""#));
+    }
+
+    #[test]
+    fn json_boolean_and_empty_results() {
+        assert_eq!(
+            text_of(&QueryResult::Boolean(true), ResultFormat::Json),
+            r#"{"head":{},"boolean":true}"#
+        );
+        let empty = solutions(&["x"], vec![]);
+        assert_eq!(
+            text_of(&empty, ResultFormat::Json),
+            r#"{"head":{"vars":["x"]},"results":{"bindings":[]}}"#
+        );
+    }
+
+    #[test]
+    fn json_array_values_as_typed_literals() {
+        let r = solutions(
+            &["a"],
+            vec![vec![Some(Value::Term(Term::Array(NumArray::from_i64(
+                vec![1, 2, 3],
+            ))))]],
+        );
+        let json = text_of(&r, ResultFormat::Json);
+        assert!(json.contains(r#""datatype":"urn:ssdm:array""#));
+        assert!(json.contains("(1 2 3)"));
+    }
+
+    #[test]
+    fn xml_structure_and_escaping() {
+        let r = solutions(
+            &["iri", "lit"],
+            vec![vec![
+                Some(Value::Term(Term::uri("http://e/a?x=1&y=<2>"))),
+                Some(Value::Term(Term::LangStr {
+                    value: "a<b>&c".into(),
+                    lang: "en".into(),
+                })),
+            ]],
+        );
+        let xml = text_of(&r, ResultFormat::Xml);
+        assert!(xml.starts_with("<?xml version=\"1.0\"?>"));
+        assert!(xml.contains(r#"<sparql xmlns="http://www.w3.org/2005/sparql-results#">"#));
+        assert!(xml.contains(r#"<variable name="iri"/>"#));
+        assert!(xml.contains("<uri>http://e/a?x=1&amp;y=&lt;2&gt;</uri>"));
+        assert!(xml.contains(r#"<literal xml:lang="en">a&lt;b&gt;&amp;c</literal>"#));
+    }
+
+    #[test]
+    fn xml_boolean_unbound_and_bnode() {
+        let xml = text_of(&QueryResult::Boolean(false), ResultFormat::Xml);
+        assert!(xml.contains("<boolean>false</boolean>"));
+        assert!(!xml.contains("<results>"));
+
+        let r = solutions(
+            &["x", "y"],
+            vec![vec![Some(Value::Term(Term::Blank("b0".into()))), None]],
+        );
+        let xml = text_of(&r, ResultFormat::Xml);
+        assert!(xml.contains(r#"<binding name="x"><bnode>b0</bnode></binding>"#));
+        assert!(!xml.contains(r#"<binding name="y">"#));
+    }
+
+    #[test]
+    fn csv_bare_lexical_forms_and_quoting() {
+        let r = solutions(
+            &["iri", "s", "n"],
+            vec![vec![
+                Some(Value::Term(Term::uri("http://e/s"))),
+                Some(Value::Term(Term::str("a,b \"quoted\"\nline"))),
+                Some(Value::integer(7)),
+            ]],
+        );
+        let csv = text_of(&r, ResultFormat::Csv);
+        assert_eq!(csv.lines().next(), Some("iri,s,n"));
+        assert!(csv.contains("http://e/s,\"a,b \"\"quoted\"\"\nline\",7"));
+        assert!(csv.ends_with("\r\n"));
+    }
+
+    #[test]
+    fn csv_unbound_is_empty_field() {
+        let r = solutions(
+            &["x", "y", "z"],
+            vec![vec![None, Some(Value::integer(1)), None]],
+        );
+        let csv = text_of(&r, ResultFormat::Csv);
+        assert!(csv.contains(",1,"));
+    }
+
+    #[test]
+    fn tsv_full_sparql_syntax() {
+        let r = solutions(
+            &["iri", "lang", "typed", "n"],
+            vec![vec![
+                Some(Value::Term(Term::uri("http://e/s"))),
+                Some(Value::Term(Term::LangStr {
+                    value: "x".into(),
+                    lang: "en".into(),
+                })),
+                Some(Value::Term(Term::Typed {
+                    value: "v".into(),
+                    datatype: "http://e/dt".into(),
+                })),
+                Some(Value::double(1.0)),
+            ]],
+        );
+        let tsv = text_of(&r, ResultFormat::Tsv);
+        let mut lines = tsv.lines();
+        assert_eq!(lines.next(), Some("?iri\t?lang\t?typed\t?n"));
+        assert_eq!(
+            lines.next(),
+            Some("<http://e/s>\t\"x\"@en\t\"v\"^^<http://e/dt>\t1.0")
+        );
+    }
+
+    #[test]
+    fn tsv_escapes_tabs_in_literals() {
+        let r = solutions(&["s"], vec![vec![Some(Value::Term(Term::str("a\tb")))]]);
+        let tsv = text_of(&r, ResultFormat::Tsv);
+        assert!(tsv.contains("\"a\\tb\""));
+    }
+
+    #[test]
+    fn graph_results_lower_to_spo_solutions() {
+        let mut g = ssdm_rdf::Graph::new();
+        ssdm_rdf::turtle::parse_into(&mut g, r#"<http://s> <http://p> "o" ."#).unwrap();
+        let r = QueryResult::Graph(g);
+        let json = text_of(&r, ResultFormat::Json);
+        assert!(json.contains(r#""vars":["subject","predicate","object"]"#));
+        assert!(json.contains(r#""subject":{"type":"uri","value":"http://s"}"#));
+        let csv = text_of(&r, ResultFormat::Csv);
+        assert_eq!(csv.lines().next(), Some("subject,predicate,object"));
+    }
+
+    #[test]
+    fn update_and_text_results_lower_to_tables() {
+        let r = QueryResult::Updated {
+            inserted: 3,
+            deleted: 1,
+        };
+        let csv = text_of(&r, ResultFormat::Csv);
+        assert_eq!(csv, "inserted,deleted\r\n3,1\r\n");
+
+        let r = QueryResult::Text("plan\nscan".into());
+        let tsv = text_of(&r, ResultFormat::Tsv);
+        assert_eq!(tsv, "?text\n\"plan\"\n\"scan\"\n");
+    }
+
+    #[test]
+    fn all_formats_handle_empty_result_sets() {
+        let empty = solutions(&[], vec![]);
+        assert_eq!(
+            text_of(&empty, ResultFormat::Json),
+            r#"{"head":{"vars":[]},"results":{"bindings":[]}}"#
+        );
+        let xml = text_of(&empty, ResultFormat::Xml);
+        assert!(xml.contains("<results>\n  </results>"));
+        assert_eq!(text_of(&empty, ResultFormat::Csv), "\r\n");
+        assert_eq!(text_of(&empty, ResultFormat::Tsv), "\n");
+    }
+}

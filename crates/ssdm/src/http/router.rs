@@ -1,0 +1,533 @@
+//! SPARQL 1.1 Protocol routing and request execution.
+//!
+//! Routing splits in two phases so the event loop never blocks on the
+//! engine: [`route`] classifies a parsed request without touching the
+//! database (immediate responses for protocol errors, health checks,
+//! and method/path mismatches; an [`Exec`] job otherwise), and
+//! [`execute`] runs an `Exec` against the shared engine on a worker
+//! thread with the same panic isolation as the framed server.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::Ssdm;
+
+use super::negotiate::{negotiate, ResultFormat};
+use super::parser::{Method, Request};
+use super::results;
+
+/// A complete response, format-agnostic until encoded.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Allow` on 405).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Suppress the body (HEAD requests keep the headers).
+    pub head_only: bool,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type,
+            body,
+            extra_headers: Vec::new(),
+            head_only: false,
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response::new(status, "text/plain; charset=utf-8", body.into_bytes())
+    }
+
+    fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    pub fn status_reason(status: u16) -> &'static str {
+        match status {
+            100 => "Continue",
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            406 => "Not Acceptable",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
+            414 => "URI Too Long",
+            415 => "Unsupported Media Type",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Encode as HTTP/1.1 wire bytes.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            Response::status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        for (name, value) in &self.extra_headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n\r\n"
+        } else {
+            b"Connection: close\r\n\r\n"
+        });
+        if !self.head_only {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+}
+
+/// What a request needs from the engine.
+#[derive(Debug, Clone)]
+pub enum Exec {
+    /// A read statement from `/query`, answered in `format`.
+    Query {
+        statement: String,
+        format: ResultFormat,
+    },
+    /// An update statement from `/update`.
+    Update { statement: String },
+    /// The Prometheus dump (needs the engine lock for the report).
+    Metrics,
+    /// The plain-text statistics report.
+    Stats,
+}
+
+/// The routing decision for one request.
+pub enum Routed {
+    /// Answer directly from the event loop, no engine involved.
+    Immediate(Response),
+    /// Dispatch to a worker. `head_only` trims the body on the way out.
+    Dispatch { exec: Exec, head_only: bool },
+}
+
+fn counter(name: &'static str) {
+    ssdm_obs::recorder().counter(name).inc();
+}
+
+/// Classify a parsed request per the SPARQL 1.1 Protocol.
+pub fn route(req: &Request) -> Routed {
+    let head_only = req.method == Method::Head;
+    match req.path.as_str() {
+        "/query" => route_query(req, head_only),
+        "/update" => route_update(req),
+        "/metrics" => match req.method {
+            Method::Get | Method::Head => {
+                counter("ssdm_http_metrics_requests_total");
+                Routed::Dispatch {
+                    exec: Exec::Metrics,
+                    head_only,
+                }
+            }
+            _ => method_not_allowed("GET, HEAD"),
+        },
+        "/stats" => match req.method {
+            Method::Get | Method::Head => {
+                counter("ssdm_http_stats_requests_total");
+                Routed::Dispatch {
+                    exec: Exec::Stats,
+                    head_only,
+                }
+            }
+            _ => method_not_allowed("GET, HEAD"),
+        },
+        "/healthz" => match req.method {
+            Method::Get | Method::Head => {
+                let mut resp = Response::text(200, "ok");
+                resp.head_only = head_only;
+                Routed::Immediate(resp)
+            }
+            _ => method_not_allowed("GET, HEAD"),
+        },
+        _ => {
+            counter("ssdm_http_not_found_total");
+            Routed::Immediate(Response::text(404, "no such endpoint"))
+        }
+    }
+}
+
+fn method_not_allowed(allow: &'static str) -> Routed {
+    Routed::Immediate(Response::text(405, "method not allowed").with_header("Allow", allow))
+}
+
+/// `/query`: GET with a `query=` parameter, or POST with either an
+/// urlencoded form carrying `query=` or a raw
+/// `application/sparql-query` body.
+fn route_query(req: &Request, head_only: bool) -> Routed {
+    let statement = match req.method {
+        Method::Get | Method::Head => match req.query_param("query") {
+            Some(q) => q.to_string(),
+            None => {
+                return bad_request("missing required 'query' parameter");
+            }
+        },
+        Method::Post => match extract_post_statement(req, "query", "application/sparql-query") {
+            Ok(s) => s,
+            Err(r) => return r,
+        },
+        Method::Other => return method_not_allowed("GET, HEAD, POST"),
+    };
+    let Some(format) = negotiate(req.header("accept")) else {
+        counter("ssdm_http_not_acceptable_total");
+        return Routed::Immediate(Response::text(
+            406,
+            "not acceptable: supported result types are application/sparql-results+json, \
+             application/sparql-results+xml, text/csv, text/tab-separated-values",
+        ));
+    };
+    // The protocol forbids updates through the query endpoint. Parse
+    // errors pass through: the engine reports them with its own
+    // positions, and some statements (DEFINE FUNCTION...) only it
+    // accepts.
+    if let Ok(stmt) = scisparql::parser::parse(&statement) {
+        if stmt.is_mutation() {
+            return bad_request("update statements must use the /update endpoint");
+        }
+    }
+    counter("ssdm_http_query_requests_total");
+    Routed::Dispatch {
+        exec: Exec::Query { statement, format },
+        head_only,
+    }
+}
+
+/// `/update`: POST only, urlencoded form carrying `update=` or a raw
+/// `application/sparql-update` body.
+fn route_update(req: &Request) -> Routed {
+    if req.method != Method::Post {
+        return method_not_allowed("POST");
+    }
+    let statement = match extract_post_statement(req, "update", "application/sparql-update") {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match scisparql::parser::parse(&statement) {
+        Ok(stmt) if !stmt.is_mutation() => {
+            return bad_request("read statements must use the /query endpoint");
+        }
+        _ => {}
+    }
+    counter("ssdm_http_update_requests_total");
+    Routed::Dispatch {
+        exec: Exec::Update { statement },
+        head_only: false,
+    }
+}
+
+fn bad_request(msg: &str) -> Routed {
+    counter("ssdm_http_bad_request_total");
+    Routed::Immediate(Response::text(400, msg))
+}
+
+/// Pull the statement out of a POST body: either the direct media type
+/// (raw statement) or a urlencoded form with the named field.
+fn extract_post_statement(req: &Request, field: &str, direct_type: &str) -> Result<String, Routed> {
+    match req.content_type().as_deref() {
+        Some(t) if t == direct_type => match String::from_utf8(req.body.clone()) {
+            Ok(s) => Ok(s),
+            Err(_) => Err(bad_request("statement body is not UTF-8")),
+        },
+        Some("application/x-www-form-urlencoded") | None => {
+            let Some(body) = std::str::from_utf8(&req.body).ok() else {
+                return Err(bad_request("form body is not UTF-8"));
+            };
+            let Some(pairs) = super::parser::parse_urlencoded(body) else {
+                return Err(bad_request("malformed form body"));
+            };
+            match pairs.into_iter().find(|(k, _)| k == field) {
+                Some((_, v)) => Ok(v),
+                None => Err(bad_request(&format!(
+                    "missing required '{field}' form field"
+                ))),
+            }
+        }
+        Some(other) => {
+            counter("ssdm_http_unsupported_media_total");
+            Err(Routed::Immediate(Response::text(
+                415,
+                format!("unsupported media type '{other}'"),
+            )))
+        }
+    }
+}
+
+/// Run one dispatched job against the engine. Called on a worker
+/// thread; takes the engine lock per statement with the framed server's
+/// panic-isolation contract (the evaluator holds no cross-statement
+/// invariants over a panic edge, so recovering a poisoned lock is
+/// sound).
+pub fn execute(exec: &Exec, engine: &Mutex<Ssdm>) -> Response {
+    let rec = ssdm_obs::recorder();
+    let start = Instant::now();
+    let response = match exec {
+        Exec::Metrics => {
+            let body = engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .metrics_prometheus();
+            Response::new(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.into_bytes(),
+            )
+        }
+        Exec::Stats => {
+            let body = engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats_report();
+            Response::text(200, body)
+        }
+        Exec::Query { statement, format } => match run_isolated(statement, engine) {
+            Ok(Ok(result)) => Response::new(
+                200,
+                format.content_type(),
+                results::serialize(&result, *format),
+            ),
+            Ok(Err(e)) => {
+                counter("ssdm_http_query_errors_total");
+                Response::text(400, e.to_string())
+            }
+            Err(what) => {
+                counter("ssdm_http_panics_total");
+                Response::text(
+                    500,
+                    format!("internal error: query engine panicked: {what}"),
+                )
+            }
+        },
+        Exec::Update { statement } => match run_isolated(statement, engine) {
+            // The protocol leaves the success body open; report the
+            // engine's mutation counts as plain text.
+            Ok(Ok(scisparql::QueryResult::Updated { inserted, deleted })) => {
+                Response::text(200, format!("inserted {inserted} deleted {deleted}"))
+            }
+            Ok(Ok(_)) => Response::text(200, "ok"),
+            Ok(Err(e)) => {
+                counter("ssdm_http_update_errors_total");
+                Response::text(400, e.to_string())
+            }
+            Err(what) => {
+                counter("ssdm_http_panics_total");
+                Response::text(
+                    500,
+                    format!("internal error: query engine panicked: {what}"),
+                )
+            }
+        },
+    };
+    rec.histogram("ssdm_http_request_seconds")
+        .observe(start.elapsed());
+    response
+}
+
+type PanicMessage = String;
+
+fn run_isolated(
+    statement: &str,
+    engine: &Mutex<Ssdm>,
+) -> Result<Result<scisparql::QueryResult, scisparql::QueryError>, PanicMessage> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut db = engine.lock().unwrap_or_else(PoisonError::into_inner);
+        db.query(statement)
+    }))
+    .map_err(|panic| {
+        panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".into())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::{parse_request, Limits, Parsed};
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Request {
+        match parse_request(raw, &Limits::default()) {
+            Parsed::Complete(r, _) => *r,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn immediate(routed: Routed) -> Response {
+        match routed {
+            Routed::Immediate(r) => r,
+            Routed::Dispatch { .. } => panic!("expected immediate response"),
+        }
+    }
+
+    fn dispatched(routed: Routed) -> Exec {
+        match routed {
+            Routed::Dispatch { exec, .. } => exec,
+            Routed::Immediate(r) => panic!("expected dispatch, got {} {:?}", r.status, r),
+        }
+    }
+
+    #[test]
+    fn get_query_routes_with_negotiated_format() {
+        let req = parse(
+            b"GET /query?query=SELECT%20%2A%20WHERE%20%7B%7D HTTP/1.1\r\nAccept: text/csv\r\n\r\n",
+        );
+        match dispatched(route(&req)) {
+            Exec::Query { statement, format } => {
+                assert_eq!(statement, "SELECT * WHERE {}");
+                assert_eq!(format, ResultFormat::Csv);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_query_without_parameter_is_400() {
+        let req = parse(b"GET /query HTTP/1.1\r\n\r\n");
+        assert_eq!(immediate(route(&req)).status, 400);
+    }
+
+    #[test]
+    fn post_query_accepts_form_and_raw_bodies() {
+        let form = b"POST /query HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 31\r\n\r\nquery=ASK%20%7B%7D&other=thing1";
+        let req = parse(form);
+        match dispatched(route(&req)) {
+            Exec::Query { statement, .. } => assert_eq!(statement, "ASK {}"),
+            other => panic!("{other:?}"),
+        }
+        let raw = b"POST /query HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 6\r\n\r\nASK {}";
+        let req = parse(raw);
+        match dispatched(route(&req)) {
+            Exec::Query { statement, .. } => assert_eq!(statement, "ASK {}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_query_wrong_media_type_is_415() {
+        let req = parse(
+            b"POST /query HTTP/1.1\r\nContent-Type: text/plain\r\nContent-Length: 6\r\n\r\nASK {}",
+        );
+        assert_eq!(immediate(route(&req)).status, 415);
+    }
+
+    #[test]
+    fn update_on_query_endpoint_is_400_and_vice_versa() {
+        let q = "INSERT%20DATA%20%7B%20%3Chttp%3A%2F%2Fs%3E%20%3Chttp%3A%2F%2Fp%3E%201%20%7D";
+        let req = parse(format!("GET /query?query={q} HTTP/1.1\r\n\r\n").as_bytes());
+        let resp = immediate(route(&req));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("/update"));
+
+        let req = parse(
+            b"POST /update HTTP/1.1\r\nContent-Type: application/sparql-update\r\nContent-Length: 6\r\n\r\nASK {}",
+        );
+        let resp = immediate(route(&req));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("/query"));
+    }
+
+    #[test]
+    fn update_requires_post() {
+        let req = parse(b"GET /update?update=x HTTP/1.1\r\n\r\n");
+        let resp = immediate(route(&req));
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "Allow" && v == "POST"));
+    }
+
+    #[test]
+    fn unacceptable_accept_is_406() {
+        let req = parse(b"GET /query?query=ASK%7B%7D HTTP/1.1\r\nAccept: image/png\r\n\r\n");
+        assert_eq!(immediate(route(&req)).status, 406);
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_health_is_immediate() {
+        let req = parse(b"GET /nope HTTP/1.1\r\n\r\n");
+        assert_eq!(immediate(route(&req)).status, 404);
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let resp = immediate(route(&req));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn metrics_route_dispatches() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(matches!(dispatched(route(&req)), Exec::Metrics));
+        let req = parse(b"POST /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(immediate(route(&req)).status, 405);
+    }
+
+    #[test]
+    fn response_encoding_carries_connection_header() {
+        let resp = Response::text(200, "hi");
+        let wire = String::from_utf8(resp.encode(true)).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("Connection: keep-alive\r\n"));
+        assert!(wire.ends_with("\r\n\r\nhi\n"));
+        let wire = String::from_utf8(resp.encode(false)).unwrap();
+        assert!(wire.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn head_requests_suppress_the_body_but_keep_length() {
+        let mut resp = Response::text(200, "payload");
+        resp.head_only = true;
+        let wire = String::from_utf8(resp.encode(true)).unwrap();
+        assert!(wire.contains("Content-Length: 8\r\n"));
+        assert!(wire.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn execute_runs_queries_and_updates_against_an_engine() {
+        let engine = Mutex::new(crate::Ssdm::open(crate::Backend::Memory));
+        let update = Exec::Update {
+            statement: "INSERT DATA { <http://s> <http://p> 41 }".into(),
+        };
+        let resp = execute(&update, &engine);
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains("inserted 1"));
+
+        let query = Exec::Query {
+            statement: "SELECT ?o WHERE { <http://s> <http://p> ?o }".into(),
+            format: ResultFormat::Json,
+        };
+        let resp = execute(&query, &engine);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/sparql-results+json");
+        assert!(String::from_utf8_lossy(&resp.body).contains("\"41\""));
+
+        let bad = Exec::Query {
+            statement: "SELECT syntax error".into(),
+            format: ResultFormat::Json,
+        };
+        assert_eq!(execute(&bad, &engine).status, 400);
+
+        let metrics = execute(&Exec::Metrics, &engine);
+        assert_eq!(metrics.status, 200);
+        assert!(String::from_utf8_lossy(&metrics.body).contains("ssdm_"));
+    }
+}

@@ -30,6 +30,7 @@
 pub mod bistab;
 pub mod datacube;
 pub mod durability;
+pub mod http;
 pub mod loaders;
 pub mod server;
 pub mod snapshot;

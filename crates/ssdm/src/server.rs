@@ -19,9 +19,11 @@
 //! and `CHECKPOINT` runs a durability checkpoint
 //! ([`Ssdm::checkpoint`]; an error on non-durable engines).
 //!
-//! An optional plain-HTTP metrics endpoint ([`Server::enable_metrics`],
-//! the `--metrics` flag of `ssdm-server`) serves the same Prometheus
-//! dump to scrapers that speak HTTP rather than the framed protocol.
+//! An optional HTTP front end ([`Server::enable_http`], the `--http`
+//! flag of `ssdm-server`; [`Server::enable_metrics`]/`--metrics` is an
+//! alias) serves the SPARQL 1.1 Protocol plus the same Prometheus dump
+//! over [`crate::http`]'s event-loop core, sharing this server's engine
+//! and graceful drain.
 //!
 //! # Concurrency
 //!
@@ -60,6 +62,7 @@ use std::time::{Duration, Instant};
 
 use scisparql::{QueryError, QueryResult};
 
+use crate::http::{HttpConfig, HttpServer};
 use crate::Ssdm;
 
 /// Default protocol limit: 64 MiB per message.
@@ -102,32 +105,33 @@ impl Default for ServerConfig {
 }
 
 /// Shared shutdown-drain state: flipped by the worker that receives
-/// `SHUTDOWN`, observed by every connection loop.
-struct DrainState {
+/// `SHUTDOWN` (or by the HTTP front end on SIGTERM), observed by every
+/// connection loop.
+pub(crate) struct DrainState {
     draining: AtomicBool,
     deadline: Mutex<Option<Instant>>,
 }
 
 impl DrainState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         DrainState {
             draining: AtomicBool::new(false),
             deadline: Mutex::new(None),
         }
     }
 
-    fn begin(&self, timeout: Duration) {
+    pub(crate) fn begin(&self, timeout: Duration) {
         *self.deadline.lock().expect("drain deadline") = Some(Instant::now() + timeout);
         self.draining.store(true, Ordering::SeqCst);
     }
 
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
     }
 
     /// Drain time left, floored so an expired deadline still gives the
     /// socket a non-zero (i.e. not "block forever") timeout.
-    fn remaining(&self) -> Option<Duration> {
+    pub(crate) fn remaining(&self) -> Option<Duration> {
         if !self.draining() {
             return None;
         }
@@ -146,7 +150,9 @@ pub struct Server {
     listener: TcpListener,
     db: Ssdm,
     config: ServerConfig,
-    metrics: Option<TcpListener>,
+    /// HTTP front ends ([`Server::enable_http`], [`Server::enable_metrics`])
+    /// sharing the framed server's engine; started by [`Server::serve`].
+    http: Vec<HttpServer>,
 }
 
 /// What reading one request frame produced.
@@ -175,7 +181,7 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             db,
             config,
-            metrics: None,
+            http: Vec::new(),
         })
     }
 
@@ -184,19 +190,42 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Bind a plain-HTTP Prometheus metrics endpoint (use port 0 for an
-    /// ephemeral port); returns the bound address. Every HTTP request
-    /// is answered with [`Ssdm::metrics_prometheus`]. The endpoint
-    /// thread starts with [`Server::serve`] and lives for the rest of
-    /// the process.
+    /// Bind a SPARQL 1.1 Protocol HTTP front end (use port 0 for an
+    /// ephemeral port); returns the bound address. The endpoint starts
+    /// with [`Server::serve`], shares the framed server's engine, and
+    /// drains gracefully with it: `SHUTDOWN` over the framed wire also
+    /// drains HTTP, and a SIGTERM caught by the HTTP front end (see
+    /// [`crate::http::prepare_signal_drain`]) also drains the framed
+    /// side.
+    pub fn enable_http(
+        &mut self,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<std::net::SocketAddr> {
+        self.enable_http_with(addr, HttpConfig::default())
+    }
+
+    /// [`Server::enable_http`] with explicit [`HttpConfig`] knobs.
+    pub fn enable_http_with(
+        &mut self,
+        addr: impl ToSocketAddrs,
+        config: HttpConfig,
+    ) -> std::io::Result<std::net::SocketAddr> {
+        let server = HttpServer::bind(addr, config)?;
+        let bound = server.local_addr()?;
+        self.http.push(server);
+        Ok(bound)
+    }
+
+    /// Bind a Prometheus metrics endpoint (use port 0 for an ephemeral
+    /// port); returns the bound address. An alias for
+    /// [`Server::enable_http`] kept for the `--metrics` flag: the
+    /// endpoint is a full HTTP front end, so `/metrics` scrapes ride
+    /// the same event loop (and graceful drain) as `/query`.
     pub fn enable_metrics(
         &mut self,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<std::net::SocketAddr> {
-        let listener = TcpListener::bind(addr)?;
-        let bound = listener.local_addr()?;
-        self.metrics = Some(listener);
-        Ok(bound)
+        self.enable_http(addr)
     }
 
     /// Serve connections until a client sends the statement `SHUTDOWN`.
@@ -217,16 +246,35 @@ impl Server {
             listener,
             db,
             config,
-            metrics,
+            http,
         } = self;
         let engine = Arc::new(Mutex::new(db));
-        if let Some(metrics_listener) = metrics {
-            let engine = Arc::clone(&engine);
-            std::thread::spawn(move || serve_metrics(metrics_listener, engine));
-        }
         let shutdown = Arc::new(AtomicBool::new(false));
-        let drain = DrainState::new();
+        let drain = Arc::new(DrainState::new());
         let wake_addr = listener.local_addr()?;
+        // Start each HTTP front end on its own thread. Whichever side
+        // stops first (SHUTDOWN over the framed wire, a SIGTERM caught
+        // by an HTTP signal fd, or a ShutdownHandle) drags the other
+        // into its graceful drain.
+        let mut http_handles = Vec::new();
+        let mut http_joins = Vec::new();
+        for server in http {
+            http_handles.push(server.shutdown_handle()?);
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            let drain = Arc::clone(&drain);
+            let drain_timeout = config.drain_timeout;
+            http_joins.push(std::thread::spawn(move || {
+                let result = server.serve(engine);
+                if !shutdown.swap(true, Ordering::SeqCst) {
+                    // The HTTP side went down first: drain the framed
+                    // side too (the acceptor may be blocked in accept).
+                    drain.begin(drain_timeout);
+                    let _ = TcpStream::connect(wake_addr);
+                }
+                result
+            }));
+        }
         let workers = config.workers.max(1);
         // Rendezvous-ish queue: a small bound keeps accepted-but-unserved
         // sockets from piling up beyond what the pool can absorb.
@@ -234,7 +282,7 @@ impl Server {
         let rx = Mutex::new(rx);
         // The shared scoped worker-pool helper runs the acceptor on the
         // calling thread and joins the workers when it returns.
-        ssdm_array::pool::run_scoped(
+        let framed = ssdm_array::pool::run_scoped(
             workers,
             || loop {
                 // Hold the receiver lock only while waiting for a
@@ -272,7 +320,24 @@ impl Server {
                 drop(tx);
                 result
             },
-        )
+        );
+        // Framed side done: drain the HTTP front ends (a no-op for any
+        // that initiated the shutdown and already returned).
+        for handle in &http_handles {
+            handle.shutdown();
+        }
+        let mut http_error = None;
+        for join in http_joins {
+            match join.join() {
+                Ok(Err(e)) if http_error.is_none() => http_error = Some(e),
+                _ => {}
+            }
+        }
+        match (framed, http_error) {
+            (Err(e), _) => Err(e),
+            (Ok(()), Some(e)) => Err(e),
+            (Ok(()), None) => Ok(()),
+        }
     }
 }
 
@@ -331,6 +396,9 @@ fn handle_connection(
     drain: &DrainState,
 ) -> std::io::Result<bool> {
     stream.set_write_timeout(config.write_timeout)?;
+    // The framed wire sends status, length, and payload as separate
+    // small writes; Nagle + delayed ACK would add ~40 ms per boundary.
+    let _ = stream.set_nodelay(true);
     let max = config.max_frame;
     let mut protocol_errors = 0u32;
     loop {
@@ -435,43 +503,6 @@ fn handle_connection(
     }
 }
 
-/// The accept loop of the HTTP metrics endpoint: answer any request on
-/// any path with the current Prometheus dump, then close. Minimal by
-/// design — a scraper target, not a web server.
-fn serve_metrics(listener: TcpListener, engine: Arc<Mutex<Ssdm>>) {
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-        // Drain the request head; we answer identically regardless.
-        let mut buf = [0u8; 4096];
-        let mut head = Vec::new();
-        loop {
-            match stream.read(&mut buf) {
-                Ok(0) => break,
-                Ok(n) => {
-                    head.extend_from_slice(&buf[..n]);
-                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 64 * 1024 {
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
-        let body = engine
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .metrics_prometheus();
-        let response = format!(
-            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        );
-        let _ = stream.write_all(response.as_bytes());
-        let _ = stream.flush();
-    }
-}
-
 /// Serialize a result for the wire.
 fn render(result: &QueryResult) -> String {
     match result {
@@ -556,9 +587,11 @@ pub struct Client {
 
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        let stream = TcpStream::connect(addr)?;
+        // Request frames are written as length + payload; without
+        // nodelay the second write waits out the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
     }
 
     /// Send one statement; returns the rendered payload or the server's
@@ -921,7 +954,7 @@ mod tests {
         http.flush().unwrap();
         let mut response = String::new();
         http.read_to_string(&mut response).unwrap();
-        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
         assert!(response.contains("Content-Type: text/plain"), "{response}");
         let body = response
             .split_once("\r\n\r\n")

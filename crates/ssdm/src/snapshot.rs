@@ -47,6 +47,11 @@ pub(crate) struct SnapshotContents {
     /// Restored after the catalog link so skipping survives restarts
     /// without re-reading any chunk.
     zone_maps: HashMap<u64, Vec<ChunkSummary>>,
+    /// Planner calibration entries (`cal` catalog lines):
+    /// `(predicate, ln_factor, samples)`. The learned per-predicate
+    /// cardinality corrections survive restarts instead of the planner
+    /// re-learning them from scratch.
+    calibration: Vec<(String, f64, u64)>,
     default_graph: Graph,
     named: HashMap<String, Graph>,
 }
@@ -140,6 +145,16 @@ impl Ssdm {
                 writeln!(out, "zm {} {}", m.array_id, cells).expect("string write");
             }
         }
+        // Persist the planner's learned per-predicate corrections:
+        // `cal <ln_factor bits> <samples> <predicate>` — the factor as
+        // an f64 bit pattern (exact round trip), the predicate last so
+        // unusual IRIs cannot confuse the tokenizer.
+        let mut cal: Vec<_> = self.dataset.calibration.export().collect();
+        cal.sort_by(|a, b| a.0.cmp(b.0));
+        for (predicate, ln_factor, samples) in cal {
+            writeln!(out, "cal {} {} {}", ln_factor.to_bits(), samples, predicate)
+                .expect("string write");
+        }
         out.push_str("[graph]\n");
         out.push_str(&graph_to_block(&self.dataset.graph));
         let mut names: Vec<&String> = self.dataset.named_graphs.keys().collect();
@@ -171,6 +186,11 @@ impl Ssdm {
         // Commit phase: plain moves and catalog links, nothing fallible.
         self.dataset.graph = contents.default_graph;
         self.dataset.named_graphs = contents.named;
+        let mut calibration = scisparql::Calibration::default();
+        for (predicate, ln_factor, samples) in &contents.calibration {
+            calibration.restore(predicate, *ln_factor, *samples);
+        }
+        self.dataset.calibration = calibration;
         let mut zone_maps = contents.zone_maps;
         for meta in contents.metas {
             let ty = meta.numeric_type;
@@ -218,6 +238,26 @@ fn parse_zone_map_line(parts: &[&str]) -> Result<(u64, Vec<ChunkSummary>), Query
     Ok((id, summaries))
 }
 
+/// Decode one `cal <ln_factor bits> <samples> <predicate>` body (the
+/// part after the `cal ` tag) into a calibration entry. The predicate
+/// is everything after the second token, preserved verbatim.
+fn parse_calibration_line(rest: &str) -> Result<(String, f64, u64), QueryError> {
+    let mut it = rest.splitn(3, ' ');
+    let bits: u64 = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| QueryError::Eval("bad calibration factor bits".into()))?;
+    let samples: u64 = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| QueryError::Eval("bad calibration sample count".into()))?;
+    let predicate = it
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| QueryError::Eval("calibration line has no predicate".into()))?;
+    Ok((predicate.to_string(), f64::from_bits(bits), samples))
+}
+
 /// Decode a snapshot file into fresh graphs and a catalog list, without
 /// touching any engine state.
 fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
@@ -229,6 +269,7 @@ fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
         wal_lsn: 0,
         metas: Vec::new(),
         zone_maps: HashMap::new(),
+        calibration: Vec::new(),
         default_graph: Graph::new(),
         named: HashMap::new(),
     };
@@ -284,6 +325,10 @@ fn parse_snapshot(text: &str) -> Result<SnapshotContents, QueryError> {
             if parts.first() == Some(&"zm") {
                 let (id, summaries) = parse_zone_map_line(&parts)?;
                 contents.zone_maps.insert(id, summaries);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("cal ") {
+                contents.calibration.push(parse_calibration_line(rest)?);
                 continue;
             }
             if parts.len() != 4 && parts.len() != 5 {
@@ -520,6 +565,56 @@ mod tests {
         assert_eq!(back.dataset.graph.len(), 1);
         db.save_snapshot(&path).unwrap();
         assert_eq!(back.load_snapshot_contents(&path).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn calibration_table_round_trips_exactly() {
+        let path = tmp("calibration");
+        let mut db = Ssdm::open(Backend::Memory);
+        db.load_turtle("<http://s> <http://p> 1 .").unwrap();
+        // Learn corrections for two predicates, one over several
+        // observations so the EWMA state is a non-trivial float.
+        db.dataset.calibration.observe("http://e#many", 10.0, 570.0);
+        db.dataset.calibration.observe("http://e#many", 12.0, 431.0);
+        db.dataset.calibration.observe("http://e#many", 11.0, 602.0);
+        db.dataset.calibration.observe("http://e#few", 100.0, 3.0);
+        let factor_many = db.dataset.calibration.factor("http://e#many");
+        let factor_few = db.dataset.calibration.factor("http://e#few");
+        db.save_snapshot(&path).unwrap();
+
+        let mut back = Ssdm::open(Backend::Memory);
+        // Pre-existing learned state is replaced, not merged.
+        back.dataset.calibration.observe("http://e#stale", 1.0, 9.0);
+        back.load_snapshot(&path).unwrap();
+        assert_eq!(back.dataset.calibration.len(), 2);
+        // Bit-exact: the ln-space EWMA is persisted as f64 bits.
+        assert_eq!(
+            back.dataset.calibration.factor("http://e#many"),
+            factor_many
+        );
+        assert_eq!(back.dataset.calibration.factor("http://e#few"), factor_few);
+        assert_eq!(back.dataset.calibration.samples("http://e#many"), 3);
+        assert_eq!(back.dataset.calibration.samples("http://e#few"), 1);
+        assert_eq!(back.dataset.calibration.factor("http://e#stale"), 1.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_calibration_lines_are_rejected() {
+        let path = tmp("calibration-bad");
+        let text = format!("{MAGIC}\n[catalog]\ncal notanumber 3 http://e#p\n[graph]\n");
+        std::fs::write(&path, text).unwrap();
+        let mut db = Ssdm::open(Backend::Memory);
+        assert!(db.load_snapshot(&path).is_err());
+        // A non-finite factor parses but is dropped at restore.
+        let text = format!(
+            "{MAGIC}\n[catalog]\ncal {} 3 http://e#p\n[graph]\n",
+            f64::NAN.to_bits()
+        );
+        std::fs::write(&path, text).unwrap();
+        db.load_snapshot(&path).unwrap();
+        assert!(db.dataset.calibration.is_empty());
         std::fs::remove_file(&path).ok();
     }
 
