@@ -1,0 +1,363 @@
+//! Multi-tenant serving scenario: fair-share admission keeps
+//! interactive tenants responsive while a hog saturates its quota.
+//!
+//! One HTTP front end hosts three tenants over isolated engines:
+//!
+//! * `hog` — floods `/tenants/hog/query` with expensive cross-join
+//!   queries from several keep-alive connections (quota: 1 concurrent
+//!   slot, deep queue), staying saturated for the whole contended
+//!   phase;
+//! * `i1`, `i2` — interactive tenants issuing point lookups, measured
+//!   request-by-request.
+//!
+//! Phase 1 measures the interactive tenants solo (hog silent); phase 2
+//! re-measures them while the hog saturates. Deficit-round-robin
+//! dispatch plus the hog's concurrency quota must keep the interactive
+//! p99 within a bounded factor of solo — a plain FIFO queue fails this
+//! by parking interactive requests behind the hog's backlog. The
+//! binary *asserts* the acceptance criteria: interactive p99 ≤ 3× solo
+//! (with a small absolute floor against scheduler noise) and exact
+//! per-tenant counter reconciliation (`admitted = completed + errors +
+//! timed_out`) in `/metrics`.
+//!
+//! Measurements land as JSON (default `BENCH_tenants.json`, `--out
+//! PATH`).
+//!
+//! ```text
+//! repro_tenants [--quick] [--out PATH]
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ssdm::http::{HttpConfig, HttpServer, ShutdownHandle};
+use ssdm::tenant::{RateLimit, TenantQuotas, TenantRegistry};
+use ssdm::{Backend, Ssdm};
+use ssdm_bench::runner::print_table;
+
+fn usage() -> ! {
+    eprintln!("usage: repro_tenants [--quick] [--out PATH]");
+    std::process::exit(2)
+}
+
+fn engine(rows: usize) -> Ssdm {
+    let mut db = Ssdm::open(Backend::Memory);
+    let mut turtle = String::from("@prefix ex: <http://e#> .\n");
+    for i in 0..rows {
+        turtle.push_str(&format!("ex:s{i} ex:p {i} .\n"));
+    }
+    db.load_turtle(&turtle).expect("seed triples");
+    db
+}
+
+fn start_server(
+    hog_quotas: TenantQuotas,
+) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let registry = TenantRegistry::new(engine(10), TenantQuotas::default());
+    registry
+        .add("hog", engine(120), hog_quotas)
+        .expect("hog tenant");
+    for name in ["i1", "i2"] {
+        registry
+            .add(name, engine(10), TenantQuotas::default())
+            .expect("interactive tenant");
+    }
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        HttpConfig {
+            // Two workers: the hog's single concurrency slot can pin at
+            // most one, so fairness — not luck — keeps the other free.
+            workers: 2,
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind http");
+    let addr = server.local_addr().expect("http addr");
+    let handle = server.shutdown_handle().expect("shutdown handle");
+    let join = std::thread::spawn(move || {
+        server
+            .serve_registry(Arc::new(registry))
+            .expect("http serve")
+    });
+    (addr, handle, join)
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<u8>) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, body)
+}
+
+fn percent_encode(query: &str) -> String {
+    let mut out = String::new();
+    for b in query.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    BufReader::new(stream)
+}
+
+fn get(reader: &mut BufReader<TcpStream>, target: &str) -> (u16, Vec<u8>) {
+    reader
+        .get_mut()
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: bench\r\nAccept: text/csv\r\n\r\n").as_bytes(),
+        )
+        .expect("request write");
+    read_response(reader)
+}
+
+/// Per-request latencies for `n` sequential point queries on `tenant`.
+fn measure(addr: SocketAddr, tenant: &str, n: usize) -> Vec<Duration> {
+    let target = format!(
+        "/tenants/{tenant}/query?query={}",
+        percent_encode("SELECT ?o WHERE { <http://e#s7> <http://e#p> ?o }")
+    );
+    let mut reader = connect(addr);
+    let (status, _) = get(&mut reader, &target); // warm up
+    assert_eq!(status, 200, "interactive warm-up on {tenant}");
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        let (status, _) = get(&mut reader, &target);
+        assert_eq!(status, 200, "interactive request on {tenant}");
+        samples.push(start.elapsed());
+    }
+    samples
+}
+
+fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    samples.sort();
+    let idx = ((samples.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    samples[idx.min(samples.len() - 1)]
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_tenants.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let interactive_n: usize = if quick { 150 } else { 500 };
+    let hog_clients: usize = 4;
+
+    println!("multi-tenant fair share: one hog, two interactive tenants, shared worker pool");
+
+    let (addr, handle, join) = start_server(TenantQuotas {
+        max_concurrent: 1,
+        max_queued: 16,
+        rate: Some(RateLimit {
+            per_sec: 400.0,
+            burst: 32.0,
+        }),
+    });
+
+    // --- Phase 1: solo baselines -----------------------------------------
+    let mut solo: Vec<(String, Vec<Duration>)> = Vec::new();
+    for tenant in ["i1", "i2"] {
+        solo.push((tenant.to_string(), measure(addr, tenant, interactive_n)));
+    }
+
+    // --- Phase 2: the hog saturates, interactive re-measured -------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let hog_ok = Arc::new(AtomicU64::new(0));
+    let hog_rejected = Arc::new(AtomicU64::new(0));
+    // A cross join over the hog's 120 subjects: ~14k result rows per
+    // request, expensive enough that an unfair queue visibly stalls
+    // the interactive tenants behind it.
+    let hog_target = format!(
+        "/tenants/hog/query?query={}",
+        percent_encode("SELECT ?a ?b WHERE { ?a <http://e#p> ?x . ?b <http://e#p> ?y }")
+    );
+    let hogs: Vec<_> = (0..hog_clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let ok = Arc::clone(&hog_ok);
+            let rejected = Arc::clone(&hog_rejected);
+            let target = hog_target.clone();
+            std::thread::spawn(move || {
+                let mut reader = connect(addr);
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, _) = get(&mut reader, &target);
+                    match status {
+                        200 => ok.fetch_add(1, Ordering::Relaxed),
+                        429 | 503 => rejected.fetch_add(1, Ordering::Relaxed),
+                        other => panic!("unexpected hog status {other}"),
+                    };
+                }
+            })
+        })
+        .collect();
+    // Let the hog build a backlog before measuring.
+    while hog_ok.load(Ordering::Relaxed) < 4 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut contended: Vec<(String, Vec<Duration>)> = Vec::new();
+    for tenant in ["i1", "i2"] {
+        contended.push((tenant.to_string(), measure(addr, tenant, interactive_n)));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in hogs {
+        h.join().expect("hog client");
+    }
+    let hog_served = hog_ok.load(Ordering::Relaxed);
+    let hog_429s = hog_rejected.load(Ordering::Relaxed);
+    assert!(
+        hog_served >= 4,
+        "hog must actually saturate ({hog_served} served)"
+    );
+
+    // --- Acceptance: bounded interference --------------------------------
+    let floor = Duration::from_millis(2);
+    let header: Vec<String> = [
+        "tenant",
+        "solo p50",
+        "solo p99",
+        "contended p50",
+        "contended p99",
+        "ratio",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    let mut rows = Vec::new();
+    let mut report: Vec<(String, f64, f64, f64)> = Vec::new();
+    for ((name, mut s), (_, mut c)) in solo.into_iter().zip(contended) {
+        let solo_p50 = percentile(&mut s, 0.50);
+        let solo_p99 = percentile(&mut s, 0.99);
+        let cont_p50 = percentile(&mut c, 0.50);
+        let cont_p99 = percentile(&mut c, 0.99);
+        let bound = solo_p99.max(floor);
+        let ratio = cont_p99.as_secs_f64() / bound.as_secs_f64();
+        rows.push(vec![
+            name.clone(),
+            format!("{:.2}ms", solo_p50.as_secs_f64() * 1e3),
+            format!("{:.2}ms", solo_p99.as_secs_f64() * 1e3),
+            format!("{:.2}ms", cont_p50.as_secs_f64() * 1e3),
+            format!("{:.2}ms", cont_p99.as_secs_f64() * 1e3),
+            format!("{ratio:.2}"),
+        ]);
+        assert!(
+            cont_p99 <= bound * 3,
+            "tenant {name}: contended p99 {cont_p99:?} exceeds 3x solo bound {bound:?}"
+        );
+        report.push((
+            name,
+            solo_p99.as_secs_f64() * 1e3,
+            cont_p99.as_secs_f64() * 1e3,
+            ratio,
+        ));
+    }
+    print_table(
+        "interactive latency, hog saturating its quota",
+        &header,
+        &rows,
+    );
+    println!("hog: {hog_served} served, {hog_429s} rejected over quota");
+
+    // --- Acceptance: per-tenant counters reconcile ------------------------
+    let mut reader = connect(addr);
+    let (status, body) = get(&mut reader, "/metrics");
+    assert_eq!(status, 200, "/metrics");
+    let metrics = String::from_utf8(body).expect("metrics utf-8");
+    let series = |name: &str, tenant: &str| -> u64 {
+        let needle = format!("{name}{{tenant=\"{tenant}\"}} ");
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&needle))
+            .unwrap_or_else(|| panic!("missing series {needle}"))
+            .trim()
+            .parse()
+            .expect("numeric series")
+    };
+    let mut reconciled = Vec::new();
+    for tenant in ["hog", "i1", "i2"] {
+        let admitted = series("ssdm_tenant_admitted_total", tenant);
+        let finished = series("ssdm_tenant_completed_total", tenant)
+            + series("ssdm_tenant_errors_total", tenant)
+            + series("ssdm_tenant_timed_out_total", tenant);
+        assert_eq!(
+            admitted, finished,
+            "tenant {tenant}: admitted != completed + errors + timed_out"
+        );
+        reconciled.push((tenant, admitted));
+    }
+    println!(
+        "counter reconciliation ✓: {}",
+        reconciled
+            .iter()
+            .map(|(t, n)| format!("{t}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    // --- JSON -------------------------------------------------------------
+    let tenants_json = report
+        .iter()
+        .map(|(name, solo_ms, cont_ms, ratio)| {
+            format!(
+                "{{\"tenant\": \"{name}\", \"solo_p99_ms\": {solo_ms:.3}, \
+                 \"contended_p99_ms\": {cont_ms:.3}, \"ratio_vs_bound\": {ratio:.3}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"config\": {{\"interactive_requests\": {interactive_n}, \
+         \"hog_clients\": {hog_clients}, \"workers\": 2, \"quick\": {quick}}},\n  \
+         \"interactive\": [{tenants_json}],\n  \
+         \"hog\": {{\"served\": {hog_served}, \"rejected\": {hog_429s}}},\n  \
+         \"counters_reconcile\": true\n}}\n",
+    );
+    std::fs::write(&out, json).expect("write JSON");
+    println!("wrote {out}");
+}

@@ -322,13 +322,18 @@ impl std::fmt::Display for MetricValue {
     }
 }
 
-/// One named metric within a report section.
+/// One named metric within a report section. A metric may carry one
+/// label pair (e.g. `tenant="alice"`), which scopes the series in both
+/// the `.stats` text and the Prometheus rendering — the mechanism the
+/// multi-tenant serving layer uses for per-tenant accounting.
 #[derive(Debug, Clone)]
 pub struct Metric {
     pub section: &'static str,
     pub name: &'static str,
     pub scope: Scope,
     pub value: MetricValue,
+    /// Optional `(label_name, label_value)` pair.
+    pub label: Option<(&'static str, String)>,
 }
 
 /// A structured snapshot of engine statistics: the single registry
@@ -346,6 +351,7 @@ impl Report {
             name,
             scope,
             value: MetricValue::Int(v),
+            label: None,
         });
     }
 
@@ -355,6 +361,26 @@ impl Report {
             name,
             scope,
             value: MetricValue::Float(v),
+            label: None,
+        });
+    }
+
+    /// Push a labelled integer series, e.g.
+    /// `push_labeled_int("tenant", Cumulative, "admitted", ("tenant", "alice"), 3)`.
+    pub fn push_labeled_int(
+        &mut self,
+        section: &'static str,
+        scope: Scope,
+        name: &'static str,
+        label: (&'static str, impl Into<String>),
+        v: u64,
+    ) {
+        self.metrics.push(Metric {
+            section,
+            name,
+            scope,
+            value: MetricValue::Int(v),
+            label: Some((label.0, label.1.into())),
         });
     }
 
@@ -362,7 +388,19 @@ impl Report {
     pub fn get(&self, section: &str, name: &str) -> Option<MetricValue> {
         self.metrics
             .iter()
-            .find(|m| m.section == section && m.name == name)
+            .find(|m| m.section == section && m.name == name && m.label.is_none())
+            .map(|m| m.value)
+    }
+
+    /// Look a labelled metric up by section, name, and label value.
+    pub fn get_labeled(&self, section: &str, name: &str, label_value: &str) -> Option<MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| {
+                m.section == section
+                    && m.name == name
+                    && m.label.as_ref().is_some_and(|(_, v)| v == label_value)
+            })
             .map(|m| m.value)
     }
 
@@ -379,7 +417,10 @@ impl Report {
                 out.push_str(&format!("{}[{}]:", m.section, m.scope.label()));
                 current = Some((m.section, m.scope));
             }
-            out.push_str(&format!(" {}={}", m.name, m.value));
+            match &m.label {
+                Some((k, v)) => out.push_str(&format!(" {}{{{k}={v}}}={}", m.name, m.value)),
+                None => out.push_str(&format!(" {}={}", m.name, m.value)),
+            }
         }
         if current.is_some() {
             out.push('\n');
@@ -393,16 +434,38 @@ impl Report {
     /// scope.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut typed: std::collections::BTreeSet<String> = Default::default();
         for m in &self.metrics {
             let base = format!("ssdm_{}_{}", m.section, m.name);
+            let labels = |extra: Option<String>| -> String {
+                let mut parts: Vec<String> = Vec::new();
+                if let Some((k, v)) = &m.label {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if let Some(e) = extra {
+                    parts.push(e);
+                }
+                if parts.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", parts.join(","))
+                }
+            };
             match (m.scope, m.value) {
                 (Scope::Cumulative, MetricValue::Int(v)) => {
-                    out.push_str(&format!("# TYPE {base}_total counter\n"));
-                    out.push_str(&format!("{base}_total {v}\n"));
+                    if typed.insert(format!("{base}_total")) {
+                        out.push_str(&format!("# TYPE {base}_total counter\n"));
+                    }
+                    out.push_str(&format!("{base}_total{} {v}\n", labels(None)));
                 }
                 (scope, value) => {
-                    out.push_str(&format!("# TYPE {base} gauge\n"));
-                    out.push_str(&format!("{base}{{scope=\"{}\"}} {value}\n", scope.label()));
+                    if typed.insert(base.clone()) {
+                        out.push_str(&format!("# TYPE {base} gauge\n"));
+                    }
+                    out.push_str(&format!(
+                        "{base}{} {value}\n",
+                        labels(Some(format!("scope=\"{}\"", scope.label())))
+                    ));
                 }
             }
         }
@@ -544,6 +607,44 @@ mod tests {
         validate_prometheus_text(&text).unwrap();
         assert!(text.contains("ssdm_cache_hits_total 10"));
         assert!(text.contains("ssdm_apr_chunks{scope=\"last_op\"} 7"));
+    }
+
+    #[test]
+    fn labeled_metrics_render_in_both_formats() {
+        let mut r = Report::default();
+        r.push_labeled_int(
+            "tenant",
+            Scope::Cumulative,
+            "admitted",
+            ("tenant", "alice"),
+            3,
+        );
+        r.push_labeled_int(
+            "tenant",
+            Scope::Cumulative,
+            "admitted",
+            ("tenant", "bob"),
+            7,
+        );
+        let text = r.render_text();
+        assert!(text.contains("admitted{tenant=alice}=3"), "{text}");
+        assert!(text.contains("admitted{tenant=bob}=7"), "{text}");
+        let prom = r.render_prometheus();
+        validate_prometheus_text(&prom).unwrap();
+        assert!(
+            prom.contains("ssdm_tenant_admitted_total{tenant=\"alice\"} 3"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("ssdm_tenant_admitted_total{tenant=\"bob\"} 7"),
+            "{prom}"
+        );
+        // The shared # TYPE header is emitted once, not per series.
+        assert_eq!(prom.matches("# TYPE ssdm_tenant_admitted_total").count(), 1);
+        assert_eq!(
+            r.get_labeled("tenant", "admitted", "bob"),
+            Some(MetricValue::Int(7))
+        );
     }
 
     #[test]

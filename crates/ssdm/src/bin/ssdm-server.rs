@@ -9,6 +9,7 @@
 //!             [--shards N] [--replicas K] [--codec raw|delta-bp|rle|auto]
 //!             [--durable DIR] [--fsync always|interval[:MS]|off]
 //!             [--http ADDR:PORT] [--metrics ADDR:PORT]
+//!             [--tenants SPEC[,SPEC]...]
 //!             [--slow-query-ms N] [--planner textual|greedy|dp]
 //! ```
 //!
@@ -42,6 +43,17 @@
 //!
 //! `--planner` forces the join-enumeration mode (default `dp`;
 //! equivalent to the `SSDM_PLANNER` environment variable, flag wins).
+//!
+//! `--tenants` hosts additional isolated engines behind the same
+//! sockets, each with its own backend, cache budget, and admission
+//! quotas. A spec is `name[:key=value]...` with keys `mem`, `rel`,
+//! `file=DIR`, `durable=DIR`, `cache=BYTES[k|m|g]`, `conc=N`,
+//! `queue=N`, `rate=PER_SEC`, `burst=N`; e.g.
+//! `--tenants alice:file=/data/alice:cache=64m:conc=2,bob:mem:rate=50`.
+//! HTTP clients reach a tenant at `/tenants/<name>/query|update|stats`;
+//! framed clients switch with the `USE <name>` statement. The flags
+//! above configure only the default tenant, which keeps serving at the
+//! bare paths.
 
 use std::path::PathBuf;
 
@@ -57,6 +69,7 @@ fn usage() -> ! {
          \x20                  [--codec raw|delta-bp|rle|auto]\n\
          \x20                  [--durable DIR] [--fsync always|interval[:MS]|off]\n\
          \x20                  [--http ADDR:PORT] [--metrics ADDR:PORT]\n\
+         \x20                  [--tenants NAME[:key=value]...[,NAME...]]\n\
          \x20                  [--slow-query-ms N] [--planner textual|greedy|dp]"
     );
     std::process::exit(2)
@@ -80,6 +93,7 @@ fn main() {
     let mut shards: usize = 1;
     let mut replicas: usize = 0;
     let mut codec: Option<ssdm_storage::CodecPolicy> = None;
+    let mut tenants: Vec<ssdm::tenant::TenantSpec> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -139,6 +153,18 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--http" => http.push(args.next().unwrap_or_else(|| usage())),
+            "--tenants" => {
+                let specs = args.next().unwrap_or_else(|| usage());
+                for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
+                    match ssdm::tenant::TenantSpec::parse(spec) {
+                        Ok(s) => tenants.push(s),
+                        Err(e) => {
+                            eprintln!("bad --tenants entry {spec:?}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             "--shards" => {
                 shards = args
@@ -258,6 +284,20 @@ fn main() {
             std::process::exit(1);
         }
     };
+    for spec in &tenants {
+        let tenant_db = match spec.open() {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot open tenant {}: {e}", spec.name);
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = server.add_tenant(&spec.name, tenant_db, spec.quotas) {
+            eprintln!("cannot add tenant {}: {e}", spec.name);
+            std::process::exit(1);
+        }
+        eprintln!("tenant {} ready ({:?})", spec.name, spec.backend);
+    }
     for addr in http.iter().chain(&metrics) {
         // The signal fd goes to the first front end; one signal
         // listener drains every side.

@@ -16,14 +16,21 @@
 //! * [`conn`] — per-connection buffers and pipelined response order;
 //! * [`sys`] — the epoll/signalfd syscall layer.
 //!
-//! # Admission control and back-pressure
+//! # Multi-tenancy, admission control, and back-pressure
 //!
-//! Dispatch to the worker pool goes through a bounded queue: when it is
-//! full the request is answered `503` immediately instead of piling up
-//! unbounded. A worker also re-checks how long the job waited in the
-//! queue and answers `503` past [`HttpConfig::request_timeout`]. Beyond
-//! [`HttpConfig::max_connections`] concurrent sockets, new arrivals get
-//! a one-line `503` and are closed.
+//! Requests resolve against a [`TenantRegistry`]: `/query` and
+//! `/update` serve the default tenant, `/tenants/<id>/query|update`
+//! the named one (404 for unknown tenants). Admission happens in the
+//! reactor before any queueing: a tenant over its req/s token bucket
+//! gets a flat `429`, one at its in-flight quota a `429`, and a full
+//! server-wide queue a `503` — instead of piling up unbounded. Queued
+//! work feeds the worker pool through a deficit-round-robin
+//! [`FairDispatch`] keyed on the tenant (replacing the old FIFO
+//! channel), so one tenant's burst cannot starve another's interactive
+//! queries. A worker also re-checks how long the job waited in the
+//! queue and answers `503` past [`HttpConfig::request_timeout`].
+//! Beyond [`HttpConfig::max_connections`] concurrent sockets, new
+//! arrivals get a one-line `503` and are closed.
 //!
 //! # Graceful drain
 //!
@@ -45,10 +52,11 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::server::DrainState;
+use crate::tenant::{FairDispatch, Tenant, TenantQuotas, TenantRegistry, DEFAULT_QUANTUM};
 use crate::Ssdm;
 
 use conn::{Conn, FlushState};
@@ -167,6 +175,9 @@ struct Job {
     head_only: bool,
     keep_alive: bool,
     enqueued: Instant,
+    /// The admitted tenant (resolved in the reactor), for outcome
+    /// counters.
+    tenant: Arc<Tenant>,
 }
 
 /// Loopback byte-pipe used to wake the reactor out of `epoll_wait`
@@ -206,10 +217,20 @@ impl HttpServer {
         })
     }
 
-    /// Run the reactor on the calling thread with the worker pool
-    /// around it; returns after a graceful drain (handle, signal, or
-    /// worker-pool loss).
+    /// [`HttpServer::serve_registry`] over a single default tenant
+    /// sharing `engine` — the single-tenant deployment shape, kept for
+    /// embedders.
     pub fn serve(self, engine: Arc<Mutex<Ssdm>>) -> std::io::Result<()> {
+        self.serve_registry(Arc::new(TenantRegistry::from_shared(
+            engine,
+            TenantQuotas::default(),
+        )))
+    }
+
+    /// Run the reactor on the calling thread with the worker pool
+    /// around it, serving every tenant in `registry`; returns after a
+    /// graceful drain (handle, signal, or worker-pool loss).
+    pub fn serve_registry(self, registry: Arc<TenantRegistry>) -> std::io::Result<()> {
         let HttpServer {
             listener,
             config,
@@ -220,37 +241,61 @@ impl HttpServer {
         // Best effort: the fd budget should cover the connection cap.
         let _ = sys::raise_nofile_limit(config.max_connections as u64 * 2 + 64);
         let workers = config.workers.max(1);
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-        let job_rx = Mutex::new(job_rx);
+        // DRR-ordered dispatch replacing the old FIFO sync_channel: the
+        // queue_depth bound becomes the server-wide cap, per-tenant
+        // caps ride each push.
+        let dispatch: Arc<FairDispatch<Job>> = Arc::new(FairDispatch::new(
+            DEFAULT_QUANTUM,
+            config.queue_depth.max(1),
+        ));
         let done: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
         let request_timeout = config.request_timeout;
 
         let worker_done = Arc::clone(&done);
-        let worker_engine = Arc::clone(&engine);
+        let worker_registry = Arc::clone(&registry);
+        let worker_dispatch = Arc::clone(&dispatch);
+        let reactor_dispatch = Arc::clone(&dispatch);
         ssdm_array::pool::run_scoped(
             workers,
-            || loop {
-                let next = job_rx.lock().expect("http job queue").recv();
-                let Ok(job) = next else { break };
-                let mut response = if job.enqueued.elapsed() > request_timeout {
-                    ssdm_obs::recorder()
-                        .counter("ssdm_http_queue_timeouts_total")
-                        .inc();
-                    Response::text(503, "request timed out waiting for a worker")
-                } else {
-                    router::execute(&job.exec, &worker_engine)
-                };
-                response.head_only = job.head_only;
-                let encoded = response.encode(job.keep_alive);
-                worker_done.lock().expect("http done queue").push(Done {
-                    token: job.token,
-                    seq: job.seq,
-                    encoded,
-                    close: !job.keep_alive,
-                });
-                let _ = (&waker_tx).write(&[1]);
+            || {
+                while let Some((tenant_name, job)) = worker_dispatch.pop() {
+                    let mut response = if job.enqueued.elapsed() > request_timeout {
+                        ssdm_obs::recorder()
+                            .counter("ssdm_http_queue_timeouts_total")
+                            .inc();
+                        job.tenant.note_timed_out();
+                        Response::text(503, "request timed out waiting for a worker")
+                    } else {
+                        let response = router::execute(&job.exec, &worker_registry);
+                        job.tenant.note_done(response.status < 400);
+                        response
+                    };
+                    worker_dispatch.finish(&tenant_name);
+                    response.head_only = job.head_only;
+                    let encoded = response.encode(job.keep_alive);
+                    worker_done.lock().expect("http done queue").push(Done {
+                        token: job.token,
+                        seq: job.seq,
+                        encoded,
+                        close: !job.keep_alive,
+                    });
+                    let _ = (&waker_tx).write(&[1]);
+                }
             },
-            || reactor(listener, &config, &shutdown, waker_rx, job_tx, &done),
+            || {
+                let result = reactor(
+                    listener,
+                    &config,
+                    &shutdown,
+                    waker_rx,
+                    &registry,
+                    &reactor_dispatch,
+                    &done,
+                );
+                // Unblock the workers (queued jobs still drain).
+                reactor_dispatch.close();
+                result
+            },
         )
     }
 }
@@ -262,7 +307,8 @@ fn reactor(
     config: &HttpConfig,
     shutdown: &AtomicBool,
     waker_rx: TcpStream,
-    job_tx: mpsc::SyncSender<Job>,
+    registry: &TenantRegistry,
+    dispatch: &FairDispatch<Job>,
     done: &Mutex<Vec<Done>>,
 ) -> std::io::Result<()> {
     let poller = Poller::new()?;
@@ -344,7 +390,7 @@ fn reactor(
             let Some(conn) = conns.get_mut(&token) else {
                 continue;
             };
-            let finished = pump(conn, config, &drain, &job_tx, rec);
+            let finished = pump(conn, config, &drain, registry, dispatch, rec);
             if finished {
                 poller_forget(&poller, conn);
             } else {
@@ -443,33 +489,49 @@ fn pump(
     conn: &mut Conn,
     config: &HttpConfig,
     drain: &DrainState,
-    job_tx: &mpsc::SyncSender<Job>,
+    registry: &TenantRegistry,
+    dispatch: &FairDispatch<Job>,
     rec: &'static ssdm_obs::Recorder,
 ) -> bool {
     // During a drain no *new* requests are taken; what is in flight
     // still completes and flushes below.
     if !drain.draining() {
-        for dispatch in conn.drain_input(&config.limits) {
+        for d in conn.drain_input(&config.limits) {
+            let keep_alive = d.keep_alive;
+            let seq = d.seq;
+            // Admission before any queueing: unknown tenant → 404,
+            // over the req/s token bucket → 429.
+            let tenant = match registry.admit(d.exec.tenant(), Instant::now()) {
+                Ok(tenant) => tenant,
+                Err(why) => {
+                    rec.counter("ssdm_http_admission_rejects_total").inc();
+                    let resp = Response::text(why.http_status(), why.message());
+                    conn.complete_inflight(seq, resp.encode(keep_alive), !keep_alive);
+                    continue;
+                }
+            };
+            let caps = tenant.caps();
+            let cost = d.exec.cost();
             let job = Job {
                 token: conn.token,
-                seq: dispatch.seq,
-                exec: dispatch.exec,
-                head_only: dispatch.head_only,
-                keep_alive: dispatch.keep_alive,
+                seq,
+                exec: d.exec,
+                head_only: d.head_only,
+                keep_alive,
                 enqueued: Instant::now(),
+                tenant: Arc::clone(&tenant),
             };
-            let keep_alive = dispatch.keep_alive;
-            if let Err(e) = job_tx.try_send(job) {
-                // Queue full (or pool gone): admission control says 503
-                // now rather than unbounded buffering.
-                rec.counter("ssdm_http_admission_rejects_total").inc();
-                let seq = match e {
-                    mpsc::TrySendError::Full(job) | mpsc::TrySendError::Disconnected(job) => {
-                        job.seq
-                    }
-                };
-                let resp = Response::text(503, "server overloaded, try again");
-                conn.complete_inflight(seq, resp.encode(keep_alive), !keep_alive);
+            // DRR push enforces the tenant's in-flight cap (429) and
+            // the server-wide queue bound (503) — admission control
+            // now rather than unbounded buffering.
+            match dispatch.push(&tenant.name, caps, cost, job) {
+                Ok(()) => tenant.note_admitted(),
+                Err(why) => {
+                    rec.counter("ssdm_http_admission_rejects_total").inc();
+                    tenant.note_rejected(&why);
+                    let resp = Response::text(why.http_status(), why.message());
+                    conn.complete_inflight(seq, resp.encode(keep_alive), !keep_alive);
+                }
             }
         }
     }

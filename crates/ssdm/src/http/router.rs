@@ -4,12 +4,27 @@
 //! engine: [`route`] classifies a parsed request without touching the
 //! database (immediate responses for protocol errors, health checks,
 //! and method/path mismatches; an [`Exec`] job otherwise), and
-//! [`execute`] runs an `Exec` against the shared engine on a worker
-//! thread with the same panic isolation as the framed server.
+//! [`execute`] runs an `Exec` against the resolved tenant's engine on
+//! a worker thread with the same panic isolation as the framed server.
+//!
+//! Tenant routing: `/query`, `/update`, and `/stats` serve the default
+//! tenant; `/tenants/<id>/query|update|stats` serve the named one.
+//! `/metrics` and `/healthz` are server-wide.
+//!
+//! Protocol conformance notes (each was a silent-wrong-answer bug):
+//! the dataset-scope parameters (`default-graph-uri`, `named-graph-uri`,
+//! `using-graph-uri`, `using-named-graph-uri`) are *refused* with a 400
+//! rather than silently ignored — the spec requires honoring or
+//! refusing them, and this service always queries its own dataset;
+//! duplicate `query=`/`update=` parameters (the spec requires exactly
+//! one) are a 400 instead of first-wins; and `Content-Type` matches by
+//! media type only, so parameterized headers like
+//! `application/x-www-form-urlencoded; charset=UTF-8` are accepted.
 
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
+use crate::tenant::TenantRegistry;
 use crate::Ssdm;
 
 use super::negotiate::{negotiate, ResultFormat};
@@ -65,6 +80,7 @@ impl Response {
             413 => "Content Too Large",
             414 => "URI Too Long",
             415 => "Unsupported Media Type",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -98,20 +114,49 @@ impl Response {
     }
 }
 
-/// What a request needs from the engine.
+/// What a request needs from the engine. `tenant: None` means the
+/// default tenant (the bare `/query`-family paths).
 #[derive(Debug, Clone)]
 pub enum Exec {
     /// A read statement from `/query`, answered in `format`.
     Query {
+        tenant: Option<String>,
         statement: String,
         format: ResultFormat,
     },
     /// An update statement from `/update`.
-    Update { statement: String },
-    /// The Prometheus dump (needs the engine lock for the report).
+    Update {
+        tenant: Option<String>,
+        statement: String,
+    },
+    /// The Prometheus dump across every tenant.
     Metrics,
-    /// The plain-text statistics report.
-    Stats,
+    /// The plain-text statistics report for one tenant.
+    Stats { tenant: Option<String> },
+}
+
+impl Exec {
+    /// Which tenant's queue and quotas this job charges against.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Exec::Query { tenant, .. } | Exec::Update { tenant, .. } | Exec::Stats { tenant } => {
+                tenant.as_deref()
+            }
+            Exec::Metrics => None,
+        }
+    }
+
+    /// Fair-share cost in bytes; deficit round robin weighs queued
+    /// work by statement size so a hog's megabyte bodies do not buy it
+    /// extra turns.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Exec::Query { statement, .. } | Exec::Update { statement, .. } => {
+                statement.len() as u64
+            }
+            Exec::Metrics | Exec::Stats { .. } => 1,
+        }
+    }
 }
 
 /// The routing decision for one request.
@@ -129,9 +174,41 @@ fn counter(name: &'static str) {
 /// Classify a parsed request per the SPARQL 1.1 Protocol.
 pub fn route(req: &Request) -> Routed {
     let head_only = req.method == Method::Head;
+    if let Some(rest) = req.path.strip_prefix("/tenants/") {
+        let Some((name, endpoint)) = rest.split_once('/') else {
+            counter("ssdm_http_not_found_total");
+            return Routed::Immediate(Response::text(
+                404,
+                "tenant paths are /tenants/<id>/query, /tenants/<id>/update, /tenants/<id>/stats",
+            ));
+        };
+        if name.is_empty() {
+            counter("ssdm_http_not_found_total");
+            return Routed::Immediate(Response::text(404, "empty tenant id"));
+        }
+        let tenant = Some(name.to_string());
+        return match endpoint {
+            "query" => route_query(req, tenant, head_only),
+            "update" => route_update(req, tenant),
+            "stats" => match req.method {
+                Method::Get | Method::Head => {
+                    counter("ssdm_http_stats_requests_total");
+                    Routed::Dispatch {
+                        exec: Exec::Stats { tenant },
+                        head_only,
+                    }
+                }
+                _ => method_not_allowed("GET, HEAD"),
+            },
+            _ => {
+                counter("ssdm_http_not_found_total");
+                Routed::Immediate(Response::text(404, "no such tenant endpoint"))
+            }
+        };
+    }
     match req.path.as_str() {
-        "/query" => route_query(req, head_only),
-        "/update" => route_update(req),
+        "/query" => route_query(req, None, head_only),
+        "/update" => route_update(req, None),
         "/metrics" => match req.method {
             Method::Get | Method::Head => {
                 counter("ssdm_http_metrics_requests_total");
@@ -146,7 +223,7 @@ pub fn route(req: &Request) -> Routed {
             Method::Get | Method::Head => {
                 counter("ssdm_http_stats_requests_total");
                 Routed::Dispatch {
-                    exec: Exec::Stats,
+                    exec: Exec::Stats { tenant: None },
                     head_only,
                 }
             }
@@ -171,21 +248,69 @@ fn method_not_allowed(allow: &'static str) -> Routed {
     Routed::Immediate(Response::text(405, "method not allowed").with_header("Allow", allow))
 }
 
+/// Dataset-scope parameters each endpoint must honor or refuse; this
+/// service always operates on its own dataset, so it refuses them.
+const QUERY_DATASET_PARAMS: &[&str] = &["default-graph-uri", "named-graph-uri"];
+const UPDATE_DATASET_PARAMS: &[&str] = &["using-graph-uri", "using-named-graph-uri"];
+
+fn refuse_dataset_params(pairs: &[(String, String)], forbidden: &[&str]) -> Option<Routed> {
+    for (k, _) in pairs {
+        if forbidden.iter().any(|f| f == k) {
+            return Some(bad_request(&format!(
+                "unsupported protocol parameter '{k}': this service always operates on its own \
+                 dataset and refuses dataset-scope parameters rather than silently ignoring them"
+            )));
+        }
+    }
+    None
+}
+
+/// Enforce the protocol's exactly-one rule for the statement
+/// parameter across every place it could appear.
+fn exactly_one<'a>(
+    pairs: impl Iterator<Item = &'a (String, String)>,
+    field: &str,
+) -> Result<Option<String>, Routed> {
+    let mut found = None;
+    for (k, v) in pairs {
+        if k == field {
+            if found.is_some() {
+                return Err(bad_request(&format!(
+                    "duplicate '{field}' parameter: the protocol requires exactly one"
+                )));
+            }
+            found = Some(v.clone());
+        }
+    }
+    Ok(found)
+}
+
 /// `/query`: GET with a `query=` parameter, or POST with either an
 /// urlencoded form carrying `query=` or a raw
 /// `application/sparql-query` body.
-fn route_query(req: &Request, head_only: bool) -> Routed {
+fn route_query(req: &Request, tenant: Option<String>, head_only: bool) -> Routed {
+    if let Some(resp) = refuse_dataset_params(&req.query_pairs, QUERY_DATASET_PARAMS) {
+        return resp;
+    }
     let statement = match req.method {
-        Method::Get | Method::Head => match req.query_param("query") {
-            Some(q) => q.to_string(),
-            None => {
+        Method::Get | Method::Head => match exactly_one(req.query_pairs.iter(), "query") {
+            Err(r) => return r,
+            Ok(Some(q)) => q,
+            Ok(None) => {
                 return bad_request("missing required 'query' parameter");
             }
         },
-        Method::Post => match extract_post_statement(req, "query", "application/sparql-query") {
-            Ok(s) => s,
-            Err(r) => return r,
-        },
+        Method::Post => {
+            match extract_post_statement(
+                req,
+                "query",
+                "application/sparql-query",
+                QUERY_DATASET_PARAMS,
+            ) {
+                Ok(s) => s,
+                Err(r) => return r,
+            }
+        }
         Method::Other => return method_not_allowed("GET, HEAD, POST"),
     };
     let Some(format) = negotiate(req.header("accept")) else {
@@ -207,18 +332,30 @@ fn route_query(req: &Request, head_only: bool) -> Routed {
     }
     counter("ssdm_http_query_requests_total");
     Routed::Dispatch {
-        exec: Exec::Query { statement, format },
+        exec: Exec::Query {
+            tenant,
+            statement,
+            format,
+        },
         head_only,
     }
 }
 
 /// `/update`: POST only, urlencoded form carrying `update=` or a raw
 /// `application/sparql-update` body.
-fn route_update(req: &Request) -> Routed {
+fn route_update(req: &Request, tenant: Option<String>) -> Routed {
     if req.method != Method::Post {
         return method_not_allowed("POST");
     }
-    let statement = match extract_post_statement(req, "update", "application/sparql-update") {
+    if let Some(resp) = refuse_dataset_params(&req.query_pairs, UPDATE_DATASET_PARAMS) {
+        return resp;
+    }
+    let statement = match extract_post_statement(
+        req,
+        "update",
+        "application/sparql-update",
+        UPDATE_DATASET_PARAMS,
+    ) {
         Ok(s) => s,
         Err(r) => return r,
     };
@@ -230,7 +367,7 @@ fn route_update(req: &Request) -> Routed {
     }
     counter("ssdm_http_update_requests_total");
     Routed::Dispatch {
-        exec: Exec::Update { statement },
+        exec: Exec::Update { tenant, statement },
         head_only: false,
     }
 }
@@ -242,12 +379,29 @@ fn bad_request(msg: &str) -> Routed {
 
 /// Pull the statement out of a POST body: either the direct media type
 /// (raw statement) or a urlencoded form with the named field.
-fn extract_post_statement(req: &Request, field: &str, direct_type: &str) -> Result<String, Routed> {
+/// `Request::content_type()` strips media-type parameters, so
+/// `application/x-www-form-urlencoded; charset=UTF-8` matches here.
+fn extract_post_statement(
+    req: &Request,
+    field: &str,
+    direct_type: &str,
+    forbidden: &[&str],
+) -> Result<String, Routed> {
     match req.content_type().as_deref() {
-        Some(t) if t == direct_type => match String::from_utf8(req.body.clone()) {
-            Ok(s) => Ok(s),
-            Err(_) => Err(bad_request("statement body is not UTF-8")),
-        },
+        Some(t) if t == direct_type => {
+            // A statement parameter alongside a raw statement body
+            // would be a second statement.
+            if req.query_param(field).is_some() {
+                return Err(bad_request(&format!(
+                    "duplicate '{field}': both a raw {direct_type} body and a '{field}' \
+                     parameter were supplied; the protocol requires exactly one"
+                )));
+            }
+            match String::from_utf8(req.body.clone()) {
+                Ok(s) => Ok(s),
+                Err(_) => Err(bad_request("statement body is not UTF-8")),
+            }
+        }
         Some("application/x-www-form-urlencoded") | None => {
             let Some(body) = std::str::from_utf8(&req.body).ok() else {
                 return Err(bad_request("form body is not UTF-8"));
@@ -255,9 +409,13 @@ fn extract_post_statement(req: &Request, field: &str, direct_type: &str) -> Resu
             let Some(pairs) = super::parser::parse_urlencoded(body) else {
                 return Err(bad_request("malformed form body"));
             };
-            match pairs.into_iter().find(|(k, _)| k == field) {
-                Some((_, v)) => Ok(v),
-                None => Err(bad_request(&format!(
+            if let Some(r) = refuse_dataset_params(&pairs, forbidden) {
+                return Err(r);
+            }
+            match exactly_one(req.query_pairs.iter().chain(pairs.iter()), field) {
+                Err(r) => Err(r),
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => Err(bad_request(&format!(
                     "missing required '{field}' form field"
                 ))),
             }
@@ -272,69 +430,71 @@ fn extract_post_statement(req: &Request, field: &str, direct_type: &str) -> Resu
     }
 }
 
-/// Run one dispatched job against the engine. Called on a worker
-/// thread; takes the engine lock per statement with the framed server's
-/// panic-isolation contract (the evaluator holds no cross-statement
-/// invariants over a panic edge, so recovering a poisoned lock is
-/// sound).
-pub fn execute(exec: &Exec, engine: &Mutex<Ssdm>) -> Response {
+/// Run one dispatched job against its tenant's engine. Called on a
+/// worker thread; takes the engine lock per statement with the framed
+/// server's panic-isolation contract (the evaluator holds no
+/// cross-statement invariants over a panic edge, so recovering a
+/// poisoned lock is sound). Tenants are resolved again here because
+/// one may be evicted between admission and execution.
+pub fn execute(exec: &Exec, registry: &TenantRegistry) -> Response {
     let rec = ssdm_obs::recorder();
     let start = Instant::now();
     let response = match exec {
-        Exec::Metrics => {
-            let body = engine
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .metrics_prometheus();
-            Response::new(
-                200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                body.into_bytes(),
-            )
-        }
-        Exec::Stats => {
-            let body = engine
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .stats_report();
-            Response::text(200, body)
-        }
-        Exec::Query { statement, format } => match run_isolated(statement, engine) {
-            Ok(Ok(result)) => Response::new(
-                200,
-                format.content_type(),
-                results::serialize(&result, *format),
-            ),
-            Ok(Err(e)) => {
-                counter("ssdm_http_query_errors_total");
-                Response::text(400, e.to_string())
-            }
-            Err(what) => {
-                counter("ssdm_http_panics_total");
-                Response::text(
-                    500,
-                    format!("internal error: query engine panicked: {what}"),
-                )
-            }
+        Exec::Metrics => Response::new(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.metrics_prometheus().into_bytes(),
+        ),
+        Exec::Stats { tenant } => match registry.resolve(tenant.as_deref()) {
+            Ok(t) => Response::text(200, registry.stats_text(&t)),
+            Err(why) => Response::text(why.http_status(), why.message()),
         },
-        Exec::Update { statement } => match run_isolated(statement, engine) {
-            // The protocol leaves the success body open; report the
-            // engine's mutation counts as plain text.
-            Ok(Ok(scisparql::QueryResult::Updated { inserted, deleted })) => {
-                Response::text(200, format!("inserted {inserted} deleted {deleted}"))
-            }
-            Ok(Ok(_)) => Response::text(200, "ok"),
-            Ok(Err(e)) => {
-                counter("ssdm_http_update_errors_total");
-                Response::text(400, e.to_string())
-            }
-            Err(what) => {
-                counter("ssdm_http_panics_total");
-                Response::text(
-                    500,
-                    format!("internal error: query engine panicked: {what}"),
-                )
-            }
+        Exec::Query {
+            tenant,
+            statement,
+            format,
+        } => match registry.resolve(tenant.as_deref()) {
+            Err(why) => Response::text(why.http_status(), why.message()),
+            Ok(t) => match run_isolated(statement, t.engine()) {
+                Ok(Ok(result)) => Response::new(
+                    200,
+                    format.content_type(),
+                    results::serialize(&result, *format),
+                ),
+                Ok(Err(e)) => {
+                    counter("ssdm_http_query_errors_total");
+                    Response::text(400, e.to_string())
+                }
+                Err(what) => {
+                    counter("ssdm_http_panics_total");
+                    Response::text(
+                        500,
+                        format!("internal error: query engine panicked: {what}"),
+                    )
+                }
+            },
+        },
+        Exec::Update { tenant, statement } => match registry.resolve(tenant.as_deref()) {
+            Err(why) => Response::text(why.http_status(), why.message()),
+            Ok(t) => match run_isolated(statement, t.engine()) {
+                // The protocol leaves the success body open; report the
+                // engine's mutation counts as plain text.
+                Ok(Ok(scisparql::QueryResult::Updated { inserted, deleted })) => {
+                    Response::text(200, format!("inserted {inserted} deleted {deleted}"))
+                }
+                Ok(Ok(_)) => Response::text(200, "ok"),
+                Ok(Err(e)) => {
+                    counter("ssdm_http_update_errors_total");
+                    Response::text(400, e.to_string())
+                }
+                Err(what) => {
+                    counter("ssdm_http_panics_total");
+                    Response::text(
+                        500,
+                        format!("internal error: query engine panicked: {what}"),
+                    )
+                }
+            },
         },
     };
     rec.histogram("ssdm_http_request_seconds")
@@ -393,7 +553,12 @@ mod tests {
             b"GET /query?query=SELECT%20%2A%20WHERE%20%7B%7D HTTP/1.1\r\nAccept: text/csv\r\n\r\n",
         );
         match dispatched(route(&req)) {
-            Exec::Query { statement, format } => {
+            Exec::Query {
+                tenant,
+                statement,
+                format,
+            } => {
+                assert_eq!(tenant, None);
                 assert_eq!(statement, "SELECT * WHERE {}");
                 assert_eq!(format, ResultFormat::Csv);
             }
@@ -482,6 +647,106 @@ mod tests {
     }
 
     #[test]
+    fn tenant_paths_route_to_the_named_tenant() {
+        let req = parse(b"GET /tenants/alice/query?query=ASK%7B%7D HTTP/1.1\r\n\r\n");
+        match dispatched(route(&req)) {
+            Exec::Query { tenant, .. } => assert_eq!(tenant.as_deref(), Some("alice")),
+            other => panic!("{other:?}"),
+        }
+        let body = "INSERT DATA { <http://s> <http://p> 1 }";
+        let raw = format!(
+            "POST /tenants/bob/update HTTP/1.1\r\nContent-Type: application/sparql-update\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse(raw.as_bytes());
+        match dispatched(route(&req)) {
+            Exec::Update { tenant, .. } => assert_eq!(tenant.as_deref(), Some("bob")),
+            other => panic!("{other:?}"),
+        }
+        let req = parse(b"GET /tenants/alice/stats HTTP/1.1\r\n\r\n");
+        match dispatched(route(&req)) {
+            Exec::Stats { tenant } => assert_eq!(tenant.as_deref(), Some("alice")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_tenant_paths_are_404() {
+        for path in [
+            "/tenants/alice",
+            "/tenants//query",
+            "/tenants/alice/metrics",
+        ] {
+            let req = parse(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes());
+            assert_eq!(immediate(route(&req)).status, 404, "{path}");
+        }
+    }
+
+    #[test]
+    fn dataset_scope_parameters_are_refused_with_400() {
+        let req =
+            parse(b"GET /query?query=ASK%7B%7D&default-graph-uri=http%3A%2F%2Fg HTTP/1.1\r\n\r\n");
+        let resp = immediate(route(&req));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("default-graph-uri"));
+
+        let body = "update=CLEAR%20ALL&using-graph-uri=http%3A%2F%2Fg";
+        let raw = format!(
+            "POST /update HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = immediate(route(&parse(raw.as_bytes())));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("using-graph-uri"));
+    }
+
+    #[test]
+    fn duplicate_statement_parameters_are_refused_with_400() {
+        // Two query= pairs on GET: first-wins would silently run one.
+        let req = parse(b"GET /query?query=ASK%7B%7D&query=ASK%7B%7D HTTP/1.1\r\n\r\n");
+        let resp = immediate(route(&req));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("exactly one"));
+
+        // Two update= fields in a form body.
+        let body = "update=CLEAR%20ALL&update=CLEAR%20ALL";
+        let raw = format!(
+            "POST /update HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = immediate(route(&parse(raw.as_bytes())));
+        assert_eq!(resp.status, 400);
+
+        // A raw body plus a query= parameter in the query string.
+        let raw = "POST /query?query=ASK%7B%7D HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 6\r\n\r\nASK {}";
+        let resp = immediate(route(&parse(raw.as_bytes())));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn parameterized_content_types_match_by_media_type() {
+        let body = "query=ASK%20%7B%7D";
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded; charset=UTF-8\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        match dispatched(route(&parse(raw.as_bytes()))) {
+            Exec::Query { statement, .. } => assert_eq!(statement, "ASK {}"),
+            other => panic!("{other:?}"),
+        }
+
+        let raw = "POST /query HTTP/1.1\r\nContent-Type: application/sparql-query;charset=utf-8\r\nContent-Length: 6\r\n\r\nASK {}";
+        match dispatched(route(&parse(raw.as_bytes()))) {
+            Exec::Query { statement, .. } => assert_eq!(statement, "ASK {}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn response_encoding_carries_connection_header() {
         let resp = Response::text(200, "hi");
         let wire = String::from_utf8(resp.encode(true)).unwrap();
@@ -503,31 +768,77 @@ mod tests {
 
     #[test]
     fn execute_runs_queries_and_updates_against_an_engine() {
-        let engine = Mutex::new(crate::Ssdm::open(crate::Backend::Memory));
+        let registry = TenantRegistry::new(
+            crate::Ssdm::open(crate::Backend::Memory),
+            crate::tenant::TenantQuotas::default(),
+        );
         let update = Exec::Update {
+            tenant: None,
             statement: "INSERT DATA { <http://s> <http://p> 41 }".into(),
         };
-        let resp = execute(&update, &engine);
+        let resp = execute(&update, &registry);
         assert_eq!(resp.status, 200);
         assert!(String::from_utf8_lossy(&resp.body).contains("inserted 1"));
 
         let query = Exec::Query {
+            tenant: None,
             statement: "SELECT ?o WHERE { <http://s> <http://p> ?o }".into(),
             format: ResultFormat::Json,
         };
-        let resp = execute(&query, &engine);
+        let resp = execute(&query, &registry);
         assert_eq!(resp.status, 200);
         assert_eq!(resp.content_type, "application/sparql-results+json");
         assert!(String::from_utf8_lossy(&resp.body).contains("\"41\""));
 
         let bad = Exec::Query {
+            tenant: None,
             statement: "SELECT syntax error".into(),
             format: ResultFormat::Json,
         };
-        assert_eq!(execute(&bad, &engine).status, 400);
+        assert_eq!(execute(&bad, &registry).status, 400);
 
-        let metrics = execute(&Exec::Metrics, &engine);
+        let metrics = execute(&Exec::Metrics, &registry);
         assert_eq!(metrics.status, 200);
         assert!(String::from_utf8_lossy(&metrics.body).contains("ssdm_"));
+    }
+
+    #[test]
+    fn execute_routes_tenants_independently_and_404s_unknown_ones() {
+        let registry = TenantRegistry::new(
+            crate::Ssdm::open(crate::Backend::Memory),
+            crate::tenant::TenantQuotas::default(),
+        );
+        registry
+            .add(
+                "alice",
+                crate::Ssdm::open(crate::Backend::Memory),
+                crate::tenant::TenantQuotas::default(),
+            )
+            .unwrap();
+
+        let update = Exec::Update {
+            tenant: Some("alice".into()),
+            statement: "INSERT DATA { <http://s> <http://p> 7 }".into(),
+        };
+        assert_eq!(execute(&update, &registry).status, 200);
+
+        // Alice sees her row; the default tenant does not.
+        let ask = |tenant: Option<&str>| {
+            let exec = Exec::Query {
+                tenant: tenant.map(String::from),
+                statement: "ASK { <http://s> <http://p> 7 }".into(),
+                format: ResultFormat::Json,
+            };
+            String::from_utf8(execute(&exec, &registry).body).unwrap()
+        };
+        assert!(ask(Some("alice")).contains("true"));
+        assert!(ask(None).contains("false"));
+
+        let gone = Exec::Query {
+            tenant: Some("nobody".into()),
+            statement: "ASK {}".into(),
+            format: ResultFormat::Json,
+        };
+        assert_eq!(execute(&gone, &registry).status, 404);
     }
 }

@@ -35,6 +35,7 @@ pub mod loaders;
 pub mod server;
 pub mod snapshot;
 pub mod tabular;
+pub mod tenant;
 pub mod workflow;
 
 use std::path::PathBuf;

@@ -11,13 +11,15 @@
 //!   names, then one row per solution, arrays in collection notation);
 //!   ASK returns `true`/`false`; updates return `inserted N deleted M`.
 //!
-//! Four statements are handled by the wire layer itself: `SHUTDOWN`
-//! stops the server, `STATS` returns the engine's back-end / cache /
-//! resilience / APR / durability statistics ([`Ssdm::stats_report`]),
-//! `METRICS` returns the same counters plus the process-wide latency
-//! histograms in Prometheus text format ([`Ssdm::metrics_prometheus`]),
-//! and `CHECKPOINT` runs a durability checkpoint
-//! ([`Ssdm::checkpoint`]; an error on non-durable engines).
+//! Six statements are handled by the wire layer itself: `SHUTDOWN`
+//! stops the server, `STATS` returns the session tenant's back-end /
+//! cache / resilience / APR / durability statistics plus the
+//! per-tenant admission counters, `METRICS` returns the Prometheus
+//! dump (tenant-labelled series included), `CHECKPOINT` runs a
+//! durability checkpoint on the session tenant's engine (an error on
+//! non-durable engines), `USE <tenant>` switches the session to a
+//! registered tenant, and `TENANT` reports the session's current
+//! tenant.
 //!
 //! An optional HTTP front end ([`Server::enable_http`], the `--http`
 //! flag of `ssdm-server`; [`Server::enable_metrics`]/`--metrics` is an
@@ -25,15 +27,20 @@
 //! over [`crate::http`]'s event-loop core, sharing this server's engine
 //! and graceful drain.
 //!
-//! # Concurrency
+//! # Concurrency and fairness
 //!
-//! A bounded pool of [`ServerConfig::workers`] threads serves accepted
-//! connections against one shared [`Ssdm`] engine behind a mutex:
-//! connections make progress concurrently (frame parsing, waiting on
-//! slow peers, rendering results) while query evaluation itself is a
-//! per-statement critical section — the concurrency model of a
-//! main-memory DBMS with a single query engine. A slow or stalled
-//! *client* therefore occupies one worker, not the whole server.
+//! Each accepted connection gets its own thread (capped at
+//! [`ServerConfig::max_connections`]; over-cap connections get a flat
+//! status-1 busy reply), but statement *execution* is bounded by
+//! [`ServerConfig::workers`] slots handed out by a deficit-round-robin
+//! [`FairGate`] keyed on the session's tenant — so a tenant bursting
+//! hundreds of statements cannot starve another tenant's interactive
+//! queries, which used to be possible with the FIFO worker handoff.
+//! Per tenant, evaluation serializes on that tenant's engine mutex
+//! (the concurrency model of a main-memory DBMS with one query engine
+//! per tenant); different tenants' statements genuinely run in
+//! parallel. A slow or stalled *client* occupies one connection
+//! thread, never an execution slot.
 //!
 //! # Hardening
 //!
@@ -56,13 +63,14 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use scisparql::{QueryError, QueryResult};
 
 use crate::http::{HttpConfig, HttpServer};
+use crate::tenant::{FairGate, Rejection, Tenant, TenantQuotas, TenantRegistry};
 use crate::Ssdm;
 
 /// Default protocol limit: 64 MiB per message.
@@ -80,9 +88,13 @@ pub struct ServerConfig {
     /// Consecutive protocol errors (malformed statements) tolerated on
     /// one connection before it is dropped.
     pub max_protocol_errors: u32,
-    /// Connection-handling worker threads (minimum 1). Connections
-    /// beyond this many queue in the accept backlog.
+    /// Statement-execution slots (minimum 1), handed out in
+    /// deficit-round-robin order across tenants.
     pub workers: usize,
+    /// Concurrent connections served (each on its own thread);
+    /// connections beyond this get a status-1 busy reply and are
+    /// dropped.
+    pub max_connections: usize,
     /// Graceful-drain bound after `SHUTDOWN`: in-flight requests finish
     /// and get their responses, idle connections close, and a peer
     /// stalled mid-frame is abandoned once this much drain time has
@@ -99,6 +111,7 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_protocol_errors: 3,
             workers: 4,
+            max_connections: 1024,
             drain_timeout: Duration::from_secs(5),
         }
     }
@@ -151,8 +164,14 @@ pub struct Server {
     db: Ssdm,
     config: ServerConfig,
     /// HTTP front ends ([`Server::enable_http`], [`Server::enable_metrics`])
-    /// sharing the framed server's engine; started by [`Server::serve`].
+    /// sharing the framed server's tenant registry; started by
+    /// [`Server::serve`].
     http: Vec<HttpServer>,
+    /// Additional named tenants registered before serving
+    /// ([`Server::add_tenant`]); `db` becomes the default tenant.
+    tenants: Vec<(String, Ssdm, TenantQuotas)>,
+    /// Quotas applied to the default tenant.
+    default_quotas: TenantQuotas,
 }
 
 /// What reading one request frame produced.
@@ -182,7 +201,26 @@ impl Server {
             db,
             config,
             http: Vec::new(),
+            tenants: Vec::new(),
+            default_quotas: TenantQuotas::default(),
         })
+    }
+
+    /// Quotas for the default tenant (the engine passed to
+    /// [`Server::bind`]). Generous by default.
+    pub fn set_default_quotas(&mut self, quotas: TenantQuotas) {
+        self.default_quotas = quotas;
+    }
+
+    /// Register an additional named tenant with its own engine and
+    /// quotas, served by both the framed wire (`USE <name>`) and HTTP
+    /// (`/tenants/<name>/...`) once [`Server::serve`] starts.
+    pub fn add_tenant(&mut self, name: &str, db: Ssdm, quotas: TenantQuotas) -> Result<(), String> {
+        if name == crate::tenant::DEFAULT_TENANT || self.tenants.iter().any(|(n, _, _)| n == name) {
+            return Err(format!("tenant {name:?} already exists"));
+        }
+        self.tenants.push((name.to_string(), db, quotas));
+        Ok(())
     }
 
     /// The bound address (to hand to clients).
@@ -230,25 +268,38 @@ impl Server {
 
     /// Serve connections until a client sends the statement `SHUTDOWN`.
     ///
-    /// Accepted connections are dispatched to a bounded pool of
-    /// [`ServerConfig::workers`] threads sharing one engine; each
-    /// connection carries any number of statements until the peer
-    /// closes it. A connection-level I/O error drops that connection
-    /// only — the pool keeps serving. On SHUTDOWN the server drains
-    /// gracefully: the acceptor stops taking connections, requests
-    /// already in flight finish and get their responses, idle
-    /// connections close within one poll slice, and peers stalled
-    /// mid-frame are abandoned after [`ServerConfig::drain_timeout`] —
-    /// so this returns within roughly that bound plus the longest
-    /// in-flight statement.
+    /// Each accepted connection runs on its own thread (capped at
+    /// [`ServerConfig::max_connections`]) and carries any number of
+    /// statements until the peer closes it; statement execution is
+    /// bounded by [`ServerConfig::workers`] slots granted in
+    /// deficit-round-robin order across tenants. A connection-level
+    /// I/O error drops that connection only — the server keeps
+    /// serving. On SHUTDOWN the server drains gracefully: the acceptor
+    /// stops taking connections, requests already in flight finish and
+    /// get their responses, idle connections close within one poll
+    /// slice, and peers stalled mid-frame are abandoned after
+    /// [`ServerConfig::drain_timeout`] — so this returns within
+    /// roughly that bound plus the longest in-flight statement.
     pub fn serve(self) -> std::io::Result<()> {
         let Server {
             listener,
             db,
             config,
             http,
+            tenants,
+            default_quotas,
         } = self;
         let engine = Arc::new(Mutex::new(db));
+        let registry = Arc::new(TenantRegistry::from_shared(
+            Arc::clone(&engine),
+            default_quotas,
+        ));
+        for (name, db, quotas) in tenants {
+            registry
+                .add(&name, db, quotas)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        }
+        let gate = Arc::new(FairGate::new(config.workers.max(1)));
         let shutdown = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(DrainState::new());
         let wake_addr = listener.local_addr()?;
@@ -260,12 +311,12 @@ impl Server {
         let mut http_joins = Vec::new();
         for server in http {
             http_handles.push(server.shutdown_handle()?);
-            let engine = Arc::clone(&engine);
+            let registry = Arc::clone(&registry);
             let shutdown = Arc::clone(&shutdown);
             let drain = Arc::clone(&drain);
             let drain_timeout = config.drain_timeout;
             http_joins.push(std::thread::spawn(move || {
-                let result = server.serve(engine);
+                let result = server.serve_registry(registry);
                 if !shutdown.swap(true, Ordering::SeqCst) {
                     // The HTTP side went down first: drain the framed
                     // side too (the acceptor may be blocked in accept).
@@ -275,52 +326,51 @@ impl Server {
                 result
             }));
         }
-        let workers = config.workers.max(1);
-        // Rendezvous-ish queue: a small bound keeps accepted-but-unserved
-        // sockets from piling up beyond what the pool can absorb.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
-        let rx = Mutex::new(rx);
-        // The shared scoped worker-pool helper runs the acceptor on the
-        // calling thread and joins the workers when it returns.
-        let framed = ssdm_array::pool::run_scoped(
-            workers,
-            || loop {
-                // Hold the receiver lock only while waiting for a
-                // stream, not while serving it.
-                let next = rx.lock().expect("connection queue").recv();
-                let Ok(stream) = next else { break };
-                match handle_connection(stream, &engine, &config, &drain) {
-                    Ok(true) => {
-                        drain.begin(config.drain_timeout);
-                        shutdown.store(true, Ordering::SeqCst);
-                        // The acceptor may be blocked in accept():
-                        // poke it with a throwaway connection so it
-                        // notices the flag.
-                        let _ = TcpStream::connect(wake_addr);
-                    }
-                    Ok(false) => {}
-                    Err(_) => {} // peer broke mid-frame
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut joins: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let framed = loop {
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) => break Err(e),
+            };
+            if shutdown.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            // Reap finished connection threads so the handle list stays
+            // proportional to live connections, not total served.
+            joins.retain(|j| !j.is_finished());
+            if live.load(Ordering::SeqCst) >= config.max_connections {
+                let mut stream = stream;
+                let _ = write_response(
+                    &mut stream,
+                    1,
+                    "503 server busy: connection limit reached",
+                    config.max_frame,
+                );
+                continue;
+            }
+            live.fetch_add(1, Ordering::SeqCst);
+            let registry = Arc::clone(&registry);
+            let gate = Arc::clone(&gate);
+            let drain = Arc::clone(&drain);
+            let shutdown = Arc::clone(&shutdown);
+            let live = Arc::clone(&live);
+            joins.push(std::thread::spawn(move || {
+                let outcome = handle_connection(stream, &registry, &gate, &config, &drain);
+                live.fetch_sub(1, Ordering::SeqCst);
+                if let Ok(true) = outcome {
+                    drain.begin(config.drain_timeout);
+                    shutdown.store(true, Ordering::SeqCst);
+                    // The acceptor may be blocked in accept(): poke it
+                    // with a throwaway connection so it notices.
+                    let _ = TcpStream::connect(wake_addr);
                 }
-            },
-            || {
-                let result = loop {
-                    let stream = match listener.accept() {
-                        Ok((stream, _peer)) => stream,
-                        Err(e) => break Err(e),
-                    };
-                    if shutdown.load(Ordering::SeqCst) {
-                        break Ok(());
-                    }
-                    if tx.send(stream).is_err() {
-                        break Ok(()); // all workers gone
-                    }
-                };
-                // Closing the channel lets idle workers exit; busy ones
-                // finish their connection first (the pool joins them).
-                drop(tx);
-                result
-            },
-        );
+            }));
+        };
+        // In-flight connections finish their drain before we return.
+        for join in joins {
+            let _ = join.join();
+        }
         // Framed side done: drain the HTTP front ends (a no-op for any
         // that initiated the shutdown and already returned).
         for handle in &http_handles {
@@ -387,11 +437,13 @@ fn await_request(
     }
 }
 
-/// Serve one connection against the shared engine. Returns true when a
-/// SHUTDOWN was received.
+/// Serve one connection against the tenant registry. The session
+/// starts on the default tenant; `USE <name>` switches it. Returns
+/// true when a SHUTDOWN was received.
 fn handle_connection(
     mut stream: TcpStream,
-    engine: &Mutex<Ssdm>,
+    registry: &TenantRegistry,
+    gate: &FairGate,
     config: &ServerConfig,
     drain: &DrainState,
 ) -> std::io::Result<bool> {
@@ -401,6 +453,7 @@ fn handle_connection(
     let _ = stream.set_nodelay(true);
     let max = config.max_frame;
     let mut protocol_errors = 0u32;
+    let mut tenant: Arc<Tenant> = registry.default_tenant();
     loop {
         if !await_request(&stream, config, drain)? {
             return Ok(false);
@@ -441,28 +494,39 @@ fn handle_connection(
             }
         };
         protocol_errors = 0;
-        if text.trim().eq_ignore_ascii_case("SHUTDOWN") {
+        let trimmed = text.trim();
+        if trimmed.eq_ignore_ascii_case("SHUTDOWN") {
             write_response(&mut stream, 0, "bye", max)?;
             return Ok(true);
         }
-        if text.trim().eq_ignore_ascii_case("STATS") {
-            let report = engine
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .stats_report();
+        if trimmed.eq_ignore_ascii_case("TENANT") {
+            write_response(&mut stream, 0, &tenant.name, max)?;
+            continue;
+        }
+        if trimmed.len() >= 4 && trimmed[..4].eq_ignore_ascii_case("USE ") {
+            let name = trimmed[4..].trim();
+            match registry.get(name) {
+                Some(next) => {
+                    tenant = next;
+                    write_response(&mut stream, 0, &format!("tenant {name}"), max)?;
+                }
+                None => write_response(&mut stream, 1, &format!("unknown tenant: {name}"), max)?,
+            }
+            continue;
+        }
+        if trimmed.eq_ignore_ascii_case("STATS") {
+            let report = registry.stats_text(&tenant);
             write_response(&mut stream, 0, &report, max)?;
             continue;
         }
-        if text.trim().eq_ignore_ascii_case("METRICS") {
-            let metrics = engine
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .metrics_prometheus();
+        if trimmed.eq_ignore_ascii_case("METRICS") {
+            let metrics = registry.metrics_prometheus();
             write_response(&mut stream, 0, &metrics, max)?;
             continue;
         }
-        if text.trim().eq_ignore_ascii_case("CHECKPOINT") {
-            let outcome = engine
+        if trimmed.eq_ignore_ascii_case("CHECKPOINT") {
+            let outcome = tenant
+                .engine()
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .checkpoint();
@@ -472,21 +536,55 @@ fn handle_connection(
             }
             continue;
         }
+        // Admission: spend a rate token, then queue for an execution
+        // slot under the tenant's DRR queue. Rejections are flat
+        // status-1 replies carrying the HTTP-equivalent code.
+        if !tenant.rate_admit(Instant::now()) {
+            let why = Rejection::RateLimited(tenant.name.clone());
+            tenant.note_rejected(&why);
+            write_response(&mut stream, 1, &format!("429 {}", why.message()), max)?;
+            continue;
+        }
+        let slot = match gate.acquire(&tenant.name, tenant.caps(), text.len() as u64) {
+            Ok(slot) => slot,
+            Err(why) => {
+                tenant.note_rejected(&why);
+                write_response(
+                    &mut stream,
+                    1,
+                    &format!("{} {}", why.http_status(), why.message()),
+                    max,
+                )?;
+                continue;
+            }
+        };
+        tenant.note_admitted();
         // Panic isolation: a query-engine panic poisons only this
         // response. The engine is a main-memory evaluator without
         // cross-statement invariants held over a panic edge, so
         // recovering the poisoned mutex and continuing with the same
         // instance is sound. The lock is taken *inside* the unwind
         // boundary and held per statement: rendering and I/O happen
-        // with the engine free for other workers.
+        // with the engine free for other sessions.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut db = engine.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut db = tenant
+                .engine()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             db.query(&text)
         }));
+        drop(slot);
         match outcome {
-            Ok(Ok(result)) => write_response(&mut stream, 0, &render(&result), max)?,
-            Ok(Err(e)) => write_response(&mut stream, 1, &e.to_string(), max)?,
+            Ok(Ok(result)) => {
+                tenant.note_done(true);
+                write_response(&mut stream, 0, &render(&result), max)?;
+            }
+            Ok(Err(e)) => {
+                tenant.note_done(false);
+                write_response(&mut stream, 1, &e.to_string(), max)?;
+            }
             Err(panic) => {
+                tenant.note_done(false);
                 let what = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -645,6 +743,17 @@ impl Client {
         Ok((vars, rows))
     }
 
+    /// Switch this session to a named tenant (`USE <name>` on the
+    /// wire); subsequent statements run against that tenant's engine.
+    pub fn use_tenant(&mut self, name: &str) -> Result<(), QueryError> {
+        self.query(&format!("USE {name}")).map(|_| ())
+    }
+
+    /// The session's current tenant (`TENANT` on the wire).
+    pub fn current_tenant(&mut self) -> Result<String, QueryError> {
+        self.query("TENANT")
+    }
+
     /// Ask the server to shut down.
     pub fn shutdown(&mut self) -> Result<(), QueryError> {
         self.query("SHUTDOWN").map(|_| ())
@@ -655,6 +764,7 @@ impl Client {
 mod tests {
     use super::*;
     use crate::Backend;
+    use std::sync::mpsc;
 
     fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
         let mut db = Ssdm::open(Backend::Memory);
@@ -1095,6 +1205,111 @@ mod tests {
             started.elapsed()
         );
         drop(parked);
+    }
+
+    #[test]
+    fn tenant_statement_round_trip_over_the_wire() {
+        let mut server = Server::bind("127.0.0.1:0", Ssdm::open(Backend::Memory)).unwrap();
+        server
+            .add_tenant(
+                "alice",
+                Ssdm::open(Backend::Memory),
+                crate::tenant::TenantQuotas::default(),
+            )
+            .unwrap();
+        assert!(
+            server
+                .add_tenant(
+                    "alice",
+                    Ssdm::open(Backend::Memory),
+                    crate::tenant::TenantQuotas::default()
+                )
+                .is_err(),
+            "duplicate tenant rejected at registration"
+        );
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let mut client = Client::connect(addr).unwrap();
+        // Sessions start on the default tenant.
+        assert_eq!(client.current_tenant().unwrap(), "default");
+        // Data written on the default tenant...
+        client.query("INSERT DATA { <urn:s> <urn:p> 1 . }").unwrap();
+        // ...is invisible after switching to alice.
+        client.use_tenant("alice").unwrap();
+        assert_eq!(client.current_tenant().unwrap(), "alice");
+        let (_, rows) = client
+            .query_rows("SELECT ?o WHERE { <urn:s> <urn:p> ?o }")
+            .unwrap();
+        assert!(
+            rows.is_empty() || rows == vec![vec![String::new()]],
+            "{rows:?}"
+        );
+        // Unknown tenants are a clean error; the session stays put.
+        let err = client.use_tenant("nobody").unwrap_err();
+        assert!(err.to_string().contains("unknown tenant"), "{err}");
+        assert_eq!(client.current_tenant().unwrap(), "alice");
+        // STATS carries the tenant-labelled admission counters.
+        let stats = client.query("STATS").unwrap();
+        assert!(stats.contains("tenant[cumulative]:"), "{stats}");
+        assert!(stats.contains("admitted{tenant=alice}"), "{stats}");
+        // METRICS carries the labelled Prometheus series.
+        let metrics = client.query("METRICS").unwrap();
+        assert!(
+            metrics.contains("ssdm_tenant_admitted_total{tenant=\"alice\"}"),
+            "{metrics}"
+        );
+        // A second session sees the default tenant's data untouched.
+        let mut other = Client::connect(addr).unwrap();
+        let (_, rows) = other
+            .query_rows("SELECT ?o WHERE { <urn:s> <urn:p> ?o }")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        other.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn framed_rate_quota_rejects_with_429_then_recovers() {
+        use crate::tenant::{RateLimit, TenantQuotas};
+        let mut server = Server::bind("127.0.0.1:0", Ssdm::open(Backend::Memory)).unwrap();
+        server
+            .add_tenant(
+                "limited",
+                Ssdm::open(Backend::Memory),
+                TenantQuotas {
+                    rate: Some(RateLimit {
+                        per_sec: 1000.0, // refills fast: recovery within ms
+                        burst: 1.0,
+                    }),
+                    ..TenantQuotas::default()
+                },
+            )
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+
+        let mut client = Client::connect(addr).unwrap();
+        client.use_tenant("limited").unwrap();
+        // Burst of 1: fire statements back-to-back until one is
+        // rejected with the flat 429 reply.
+        let mut saw_429 = false;
+        for _ in 0..50 {
+            match client.query("ASK { }") {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.to_string().contains("429"), "unexpected error: {e}");
+                    saw_429 = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_429, "burst never hit the rate quota");
+        // The bucket refills at 1000/s: the tenant recovers.
+        std::thread::sleep(Duration::from_millis(20));
+        client.query("ASK { }").unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
     }
 
     #[test]
